@@ -1,0 +1,93 @@
+"""Ablation — what the shifting machinery's ingredients buy.
+
+DESIGN.md calls out three design choices worth isolating:
+
+* **Fault discovery + masking** (vs the plain PSL information gathering):
+  without them a shifted execution has no progress guarantee; with them the
+  lying scenarios produce global detections.
+* **Conversion function** (`resolve` vs `resolve'`): both are correct for the
+  Exponential Algorithm (the paper's remark after Claim 2), but `resolve'` is
+  what lets Algorithm A keep the optimal resilience while shifting.
+* **Block parameter b**: the knob that trades rounds for message size.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core.algorithm_a import algorithm_a_max_message_entries, algorithm_a_rounds
+from repro.core.exponential import ExponentialSpec
+from repro.core.protocol import ProtocolConfig
+from repro.experiments.workloads import worst_case_scenarios
+from repro.runtime.simulation import run_agreement
+
+
+def test_ablation_fault_discovery_enables_detection(benchmark):
+    """Same executions with discovery on (Exponential) and off (PSL): decisions
+    agree, costs agree, but only the former ever learns who is faulty."""
+    from repro.baselines import PeaseShostakLamportSpec
+
+    def run():
+        config = ProtocolConfig(n=10, t=3, initial_value=1)
+        rows = []
+        for scenario in worst_case_scenarios(10, 3):
+            with_discovery = run_agreement(ExponentialSpec(), config,
+                                           scenario.faulty, scenario.adversary())
+            without = run_agreement(PeaseShostakLamportSpec(), config,
+                                    scenario.faulty, scenario.adversary())
+            rows.append({
+                "scenario": scenario.name,
+                "decision_with": with_discovery.decision_value,
+                "decision_without": without.decision_value,
+                "detected_with": max(len(v) for v in with_discovery.discovered.values()),
+                "detected_without": max(len(v) for v in without.discovered.values()),
+            })
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(rows, title="Ablation — fault discovery on/off (n=10, t=3)"))
+    assert all(row["decision_with"] == row["decision_without"] for row in rows)
+    assert all(row["detected_without"] == 0 for row in rows)
+    assert any(row["detected_with"] > 0 for row in rows)
+
+
+def test_ablation_conversion_function(benchmark):
+    """resolve vs resolve' on the Exponential Algorithm: identical decisions."""
+    def run():
+        config = ProtocolConfig(n=10, t=3, initial_value=1)
+        rows = []
+        for scenario in worst_case_scenarios(10, 3):
+            majority = run_agreement(ExponentialSpec("resolve"), config,
+                                     scenario.faulty, scenario.adversary())
+            threshold = run_agreement(ExponentialSpec("resolve_prime"), config,
+                                      scenario.faulty, scenario.adversary())
+            rows.append({
+                "scenario": scenario.name,
+                "resolve_decision": majority.decision_value,
+                "resolve_prime_decision": threshold.decision_value,
+                "agreement_both": majority.agreement and threshold.agreement,
+            })
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(rows, title="Ablation — resolve vs resolve' (n=10, t=3)"))
+    assert all(row["agreement_both"] for row in rows)
+
+
+def test_ablation_block_parameter(benchmark):
+    """The b knob: rounds fall, message budget rises (Algorithm A, analytic)."""
+    def table():
+        n, t = 31, 10
+        return [{"b": b,
+                 "rounds": algorithm_a_rounds(t, b),
+                 "max_message_entries": algorithm_a_max_message_entries(n, b)}
+                for b in (3, 4, 5, 6, 8, 10)]
+
+    rows = run_once(benchmark, table)
+    print()
+    print(format_table(rows, title="Ablation — block parameter b (n=31, t=10)"))
+    rounds = [row["rounds"] for row in rows]
+    sizes = [row["max_message_entries"] for row in rows]
+    assert rounds == sorted(rounds, reverse=True)
+    assert sizes == sorted(sizes)

@@ -1,0 +1,62 @@
+"""E9 — baseline comparison.
+
+Places the paper's algorithms next to the original Pease–Shostak–Lamport
+algorithm, the Berman–Garay–Perry phase king, and the authenticated
+Dolev–Strong protocol on identical scenarios: rounds, largest message, and
+whether agreement held everywhere.  It also checks the equivalence claim that
+the (simplified) Exponential Algorithm behaves exactly like PSL.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import experiment_baselines
+
+
+def test_baseline_comparison_table(benchmark):
+    rows = run_once(benchmark, lambda: experiment_baselines(n=13, t=3))
+    print()
+    print(format_table(rows, title="E9 — baselines (n=13, worst-case scenarios)"))
+    by_name = {row["protocol"]: row for row in rows}
+    assert all(row["all_scenarios_agree"] for row in rows)
+    # The exponential algorithms carry the largest messages; phase king and
+    # Dolev–Strong the smallest; Algorithm C sits at O(n).
+    assert by_name["exponential"]["max_message_entries"] == \
+        by_name["psl-om"]["max_message_entries"]
+    assert by_name["phase-king"]["max_message_entries"] == 1
+    assert by_name["algorithm-c"]["max_message_entries"] <= 13
+    assert (by_name["exponential"]["max_message_entries"]
+            > by_name["algorithm-c"]["max_message_entries"])
+
+
+def test_psl_equivalence(benchmark):
+    """The simplification claim of Section 3: same decisions and costs as PSL."""
+    from repro.baselines import PeaseShostakLamportSpec
+    from repro.core.exponential import ExponentialSpec
+    from repro.core.protocol import ProtocolConfig
+    from repro.experiments.workloads import standard_scenarios
+    from repro.runtime.simulation import run_agreement
+
+    def run():
+        config = ProtocolConfig(n=7, t=2, initial_value=1)
+        rows = []
+        for scenario in standard_scenarios(7, 2):
+            psl = run_agreement(PeaseShostakLamportSpec(), config, scenario.faulty,
+                                scenario.adversary())
+            exp = run_agreement(ExponentialSpec(), config, scenario.faulty,
+                                scenario.adversary())
+            rows.append({
+                "scenario": scenario.name,
+                "psl_decision": psl.decision_value,
+                "exponential_decision": exp.decision_value,
+                "psl_max_entries": psl.metrics.max_message_entries(),
+                "exponential_max_entries": exp.metrics.max_message_entries(),
+            })
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(rows, title="E9 — PSL vs the (modified) Exponential Algorithm"))
+    assert all(row["psl_decision"] == row["exponential_decision"] for row in rows)
+    assert all(row["psl_max_entries"] == row["exponential_max_entries"]
+               for row in rows)

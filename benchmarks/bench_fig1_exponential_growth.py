@@ -1,0 +1,57 @@
+"""E5 — Figure 1 / Section 3: the Exponential Algorithm's growth.
+
+Figure 1 draws the Information Gathering Tree; the accompanying text bounds
+the round-``h`` tree at ``O(n^{h−1})`` leaves and hence messages of
+``O(n^{h−1})`` values in round ``h + 1``.  This benchmark regenerates that
+growth curve — measured largest message and local computation per processor
+as ``n`` (and ``t = ⌊(n−1)/3⌋``) grows — and checks it against the
+falling-factorial bound.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core.exponential import exponential_max_message_entries
+from repro.core.sequences import count_sequences_of_length
+from repro.experiments import experiment_exponential_growth
+
+
+def test_exponential_growth_table(benchmark):
+    rows = run_once(benchmark, lambda: experiment_exponential_growth((4, 7, 10)))
+    print()
+    print(format_table(rows, title="E5 / Figure 1 — Exponential Algorithm growth"))
+    assert rows
+    entries = [row["measured_max_entries"] for row in rows]
+    computation = [row["measured_max_computation"] for row in rows]
+    # Growth is monotone and stays within the falling-factorial bound.
+    assert entries == sorted(entries)
+    assert computation == sorted(computation)
+    for row in rows:
+        assert row["measured_max_entries"] <= row["max_message_entries_bound"]
+        assert row["all_scenarios_agree"]
+
+
+def test_tree_level_sizes_match_formula(benchmark):
+    def table():
+        rows = []
+        for n in (5, 7, 9, 11):
+            for level in range(1, 5):
+                rows.append({
+                    "n": n,
+                    "level": level,
+                    "nodes": count_sequences_of_length(level, n),
+                })
+        return rows
+
+    rows = run_once(benchmark, table)
+    print()
+    print(format_table(rows, title="E5 — Information Gathering Tree level sizes"))
+    # Level ℓ has (n−1)(n−2)···(n−ℓ+1) nodes: the O(n^{ℓ−1}) blow-up of Fig. 1.
+    for row in rows:
+        n, level = row["n"], row["level"]
+        expected = 1
+        for i in range(1, level):
+            expected *= n - i
+        assert row["nodes"] == expected
+    # Message bound equals the leaf count of the level actually broadcast.
+    assert exponential_max_message_entries(9, 3) == 8 * 7

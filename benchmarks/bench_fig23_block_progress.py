@@ -1,0 +1,57 @@
+"""E7 — Figures 2–3: the block structure and its progress dichotomy.
+
+Figures 2 and 3 give the pseudocode of Algorithm B and of the hybrid; the
+correctness arguments rest on a per-block dichotomy: every block either
+produces a persistent value or globally detects a batch of new faults, which
+are masked from then on.  This benchmark makes that dichotomy observable: it
+runs Algorithm A under the worst-case adversaries and reports, per scenario,
+how many faults were detected and in which rounds — and it checks that
+whenever lying actually happens under a faulty source, detections occur.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import experiment_block_progress
+
+
+def test_block_progress_table(benchmark):
+    rows = run_once(benchmark, lambda: experiment_block_progress(n=13, t=4, b=3))
+    print()
+    print(format_table(
+        rows,
+        columns=["scenario", "faults", "rounds", "agreement",
+                 "total_detected_max", "detections_by_round"],
+        title="E7 / Figures 2–3 — fault detections per round, Algorithm A(3), n=13, t=4"))
+    assert rows
+    assert all(row["agreement"] for row in rows)
+    # The aggressively lying scenarios must trigger global fault detection.
+    lying = [row for row in rows if row["scenario"] in
+             ("faulty-source-allies", "minimal-exposure")]
+    assert lying
+    assert all(row["total_detected_max"] >= 1 for row in lying)
+    # Detection never exceeds the number of actually faulty processors.
+    assert all(row["total_detected_max"] <= row["faults"] for row in rows)
+
+
+def test_hybrid_phase_structure(benchmark):
+    def table():
+        from repro.core.hybrid import hybrid_parameters
+        rows = []
+        for n, t, b in ((13, 4, 3), (16, 5, 3), (31, 10, 4)):
+            params = hybrid_parameters(n, t, b)
+            rows.append({
+                "n": n, "t": t, "b": b,
+                "A_blocks": list(params.a_blocks),
+                "B_blocks": list(params.b_blocks),
+                "C_rounds": params.c_rounds,
+                "total_rounds": params.total_rounds,
+            })
+        return rows
+
+    rows = run_once(benchmark, table)
+    print()
+    print(format_table(rows, title="E7 / Figure 3 — hybrid phase structure"))
+    for row in rows:
+        assert row["total_rounds"] == (1 + sum(row["A_blocks"]) + sum(row["B_blocks"])
+                                       + row["C_rounds"])

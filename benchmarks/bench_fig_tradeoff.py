@@ -1,0 +1,45 @@
+"""E6 — the rounds vs message-length trade-off (the Coan comparison).
+
+The introduction and Section 4 claim that Algorithms A and B achieve the same
+rounds-to-message-length trade-off as Coan's families while avoiding their
+exponential local computation.  This benchmark regenerates the trade-off
+curve at a fixed ``(n, t)`` over a sweep of ``b`` and checks the three claims:
+identical round curves, identical message budgets, diverging local
+computation.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import experiment_tradeoff
+
+
+def test_tradeoff_curve_table(benchmark):
+    rows = run_once(benchmark,
+                    lambda: experiment_tradeoff(n=31, t=10, b_values=(3, 4, 5, 6, 8)))
+    print()
+    print(format_table(rows, title="E6 — rounds vs message length (n=31, t=10)"))
+    feasible = [row for row in rows if row["rounds_A"] is not None]
+    assert feasible
+    # 1. Ours and Coan's round curves coincide (that is the paper's claim).
+    assert all(row["rounds_A"] == row["rounds_coan"] for row in feasible)
+    # 2. Rounds fall toward t + O(1) as the message budget grows.
+    rounds = [row["rounds_A"] for row in feasible]
+    assert rounds == sorted(rounds, reverse=True)
+    assert rounds[-1] < rounds[0]
+    # 3. Coan's local computation diverges from ours (exponential vs polynomial).
+    assert all(row["local_comp_coan"] > 100 * row["local_comp_A"]
+               for row in feasible)
+    # 4. The hybrid never needs more rounds than Algorithm A at the same b.
+    assert all(row["rounds_hybrid"] <= row["rounds_A"] for row in feasible
+               if row["rounds_hybrid"] is not None)
+
+
+def test_message_budget_grows_with_b(benchmark):
+    rows = run_once(benchmark,
+                    lambda: experiment_tradeoff(n=61, t=20, b_values=(3, 4, 5, 6)))
+    print()
+    print(format_table(rows, title="E6 — message budget vs b (n=61, t=20)"))
+    budgets = [row["message_entries(O(n^b))"] for row in rows]
+    assert budgets == sorted(budgets)
+    assert budgets[-1] > budgets[0]

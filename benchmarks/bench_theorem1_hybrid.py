@@ -1,0 +1,46 @@
+"""E1 — Theorem 1 (Main Theorem): the hybrid algorithm.
+
+Regenerates the Main Theorem's claim for a sweep of block parameters ``b``:
+round count ``k_AB + k_BC + (t − t_AC) + 1`` (asymptotically
+``t + O(t/b) + O(√t)``), message size ``O(n^b)``, and agreement under the
+worst-case adversary battery even though Algorithms B and C alone could not
+tolerate ``t`` faults.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table, main_theorem_round_formula
+from repro.experiments import experiment_theorem1
+
+
+def test_theorem1_hybrid_table(benchmark):
+    rows = run_once(benchmark,
+                    lambda: experiment_theorem1(n=13, t=4, b_values=(3, 4)))
+    print()
+    print(format_table(rows, title="E1 / Theorem 1 — hybrid algorithm (n=13, t=4)"))
+    assert rows
+    for row in rows:
+        assert row["all_scenarios_agree"]
+        assert row["measured_rounds"] <= row["rounds_bound"]
+        assert row["measured_max_entries"] <= row["max_message_entries_bound"]
+        # The constructive round count decomposes into the three phases.
+        assert row["k_AB"] + row["k_BC"] + row["c_rounds"] == row["rounds_bound"]
+
+
+def test_theorem1_round_formula_consistency(benchmark):
+    def check():
+        rows = []
+        for n, t in ((13, 4), (16, 5), (31, 10), (61, 20)):
+            for b in range(3, min(t, 6) + 1):
+                from repro.core.hybrid import hybrid_rounds
+                rows.append({
+                    "n": n, "t": t, "b": b,
+                    "constructive_rounds": hybrid_rounds(n, t, b),
+                    "closed_form": main_theorem_round_formula(n, t, b),
+                })
+        return rows
+
+    rows = run_once(benchmark, check)
+    print()
+    print(format_table(rows, title="E1 — constructive vs closed-form round count"))
+    assert all(row["constructive_rounds"] == row["closed_form"] for row in rows)

@@ -1,0 +1,38 @@
+"""E2 — Theorem 2: Algorithm A(b).
+
+Regenerates the Theorem 2 row for each block parameter: rounds
+``t + 2 + 2⌊(t−1)/(b−2)⌋``, messages ``O(n^b)`` values, agreement under the
+full scenario battery at the optimal resilience ``n ≥ 3t + 1``.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core.algorithm_a import algorithm_a_rounds
+from repro.experiments import experiment_theorem2
+
+
+def test_theorem2_algorithm_a_table(benchmark):
+    rows = run_once(benchmark,
+                    lambda: experiment_theorem2(n=13, t=4, b_values=(3, 4)))
+    print()
+    print(format_table(rows, title="E2 / Theorem 2 — Algorithm A (n=13, t=4)"))
+    assert rows
+    for row in rows:
+        assert row["all_scenarios_agree"]
+        assert row["measured_rounds"] == row["rounds_bound"]
+        assert row["measured_max_entries"] <= row["max_message_entries_bound"]
+
+
+def test_theorem2_round_formula_shape(benchmark):
+    def table():
+        return [{"t": t, "b": b, "rounds": algorithm_a_rounds(t, b)}
+                for t in (5, 10, 20) for b in range(3, min(6, t) + 1)]
+
+    rows = run_once(benchmark, table)
+    print()
+    print(format_table(rows, title="E2 — Algorithm A rounds vs (t, b)"))
+    # Rounds shrink monotonically as the block parameter grows (at fixed t).
+    for t in (5, 10, 20):
+        series = [row["rounds"] for row in rows if row["t"] == t]
+        assert series == sorted(series, reverse=True)

@@ -1,0 +1,40 @@
+"""E3 — Theorem 3: Algorithm B(b).
+
+Regenerates the Theorem 3 row for each block parameter: rounds
+``t + 1 + ⌊(t−1)/(b−1)⌋``, messages ``O(n^b)`` values, resilience
+``n ≥ 4t + 1``, agreement under the full scenario battery.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core.algorithm_a import algorithm_a_rounds
+from repro.core.algorithm_b import algorithm_b_rounds
+from repro.experiments import experiment_theorem3
+
+
+def test_theorem3_algorithm_b_table(benchmark):
+    rows = run_once(benchmark,
+                    lambda: experiment_theorem3(n=13, t=3, b_values=(2, 3)))
+    print()
+    print(format_table(rows, title="E3 / Theorem 3 — Algorithm B (n=13, t=3)"))
+    assert rows
+    for row in rows:
+        assert row["all_scenarios_agree"]
+        assert row["measured_rounds"] == row["rounds_bound"]
+        assert row["measured_max_entries"] <= row["max_message_entries_bound"]
+
+
+def test_theorem3_needs_fewer_rounds_than_theorem2(benchmark):
+    def table():
+        return [{"t": t, "b": b,
+                 "rounds_B": algorithm_b_rounds(t, b),
+                 "rounds_A": algorithm_a_rounds(t, b)}
+                for t in (5, 10, 20) for b in range(3, min(6, t) + 1)]
+
+    rows = run_once(benchmark, table)
+    print()
+    print(format_table(rows, title="E3 — Algorithm B vs Algorithm A rounds"))
+    # The lower-resilience family makes progress faster: B never needs more
+    # rounds than A at the same (t, b).
+    assert all(row["rounds_B"] <= row["rounds_A"] for row in rows)

@@ -1,0 +1,38 @@
+"""E4 — Theorem 4: Algorithm C (the Dolev–Reischuk–Strong adaptation).
+
+Regenerates the Theorem 4 row across ``n``: rounds exactly ``t + 1``, messages
+of ``O(n)`` values, local computation tracking ``O(n^2.5)``, at resilience
+``t_C ≈ √(n/2)``.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core.algorithm_c import algorithm_c_resilience
+from repro.experiments import experiment_theorem4
+
+
+def test_theorem4_algorithm_c_table(benchmark):
+    rows = run_once(benchmark, lambda: experiment_theorem4((14, 20)))
+    print()
+    print(format_table(rows, title="E4 / Theorem 4 — Algorithm C"))
+    assert rows
+    for row in rows:
+        assert row["all_scenarios_agree"]
+        assert row["measured_rounds"] == row["rounds_bound"] == row["t"] + 1
+        assert row["measured_max_entries"] <= row["n"]
+
+
+def test_theorem4_resilience_tracks_sqrt_n_over_2(benchmark):
+    def table():
+        rows = []
+        for n in (8, 18, 32, 50, 72, 98, 128, 200):
+            t = algorithm_c_resilience(n)
+            rows.append({"n": n, "t_C": t, "sqrt(n/2)": round((n / 2) ** 0.5, 2)})
+        return rows
+
+    rows = run_once(benchmark, table)
+    print()
+    print(format_table(rows, title="E4 — Algorithm C resilience vs √(n/2)"))
+    for row in rows:
+        assert abs(row["t_C"] - row["sqrt(n/2)"]) <= 2.0

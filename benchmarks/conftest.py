@@ -1,0 +1,16 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+corresponding experiment from :mod:`repro.experiments.harness` exactly once
+under pytest-benchmark (``pedantic`` with one round — the interesting output
+is the table, not the wall-clock), prints the "paper bound vs measured" rows,
+and asserts the shape claims (agreement everywhere, measured costs within the
+theorem's bounds, the right growth direction).
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Execute *fn* exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

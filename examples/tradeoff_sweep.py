@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""The rounds-versus-message-length trade-off and the dominance table.
+
+Prints the two analytic figures of the paper's quantitative story at a
+publication-scale parameterisation (n = 61, t = 20):
+
+* the trade-off curve — for each message budget O(n^b), the rounds needed by
+  the Exponential Algorithm, Algorithm A, Algorithm B, the hybrid, and the
+  Coan-model comparison, plus the local-computation gap to Coan's families;
+* the dominance table — how many rounds the hybrid saves over Algorithm A at
+  every block parameter.
+
+Run:  python examples/tradeoff_sweep.py
+"""
+
+from repro.analysis import format_table
+from repro.core.algorithm_a import algorithm_a_resilience
+from repro.experiments import experiment_dominance, experiment_tradeoff
+
+
+def main(n: int = 61) -> None:
+    t = algorithm_a_resilience(n)
+    tradeoff = experiment_tradeoff(n=n, t=t, b_values=(2, 3, 4, 5, 6, 8, 10))
+    print(format_table(tradeoff,
+                       title=f"Rounds vs message length, n={n}, t={t} "
+                             f"(blank cells: parameter out of range)"))
+    print()
+    dominance = experiment_dominance(n=n, t=t, b_values=(3, 4, 5, 6, 8))
+    print(format_table(dominance, title="Hybrid vs Algorithm A (round savings)"))
+    print()
+    best = max(dominance, key=lambda row: row["saving"])
+    print(f"Largest saving: {best['saving']} rounds at b={best['b']} "
+          f"({best['rounds_hybrid']} vs {best['rounds_A']}; "
+          f"the Exponential Algorithm needs {best['exponential_rounds']} rounds "
+          f"but exponential-size messages).")
+
+
+if __name__ == "__main__":
+    main()

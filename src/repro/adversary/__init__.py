@@ -1,0 +1,66 @@
+"""Byzantine adversary strategies.
+
+Every strategy controls the whole faulty set at once, sees the correct
+processors' messages before choosing its own (rushing), and cannot forge
+sender identities.  :func:`standard_adversaries` returns the battery used by
+the agreement test-suite and by the experiment harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import Adversary, AdversaryContext, BenignAdversary, ShadowAdversary
+from .crash import CrashAdversary, SilentAdversary, StaggeredCrashAdversary
+from .liars import (ConsistentLiarAdversary, EchoSuppressorAdversary,
+                    RandomLiarAdversary, TwoFacedAdversary, another_value)
+from .source_attacks import (DelayedEquivocationAdversary,
+                             EquivocatingSourceWithAlliesAdversary,
+                             TwoFacedSourceAdversary)
+from .stealth import MinimalExposureAdversary, StealthPathAdversary
+
+__all__ = [
+    "Adversary",
+    "AdversaryContext",
+    "BenignAdversary",
+    "ShadowAdversary",
+    "CrashAdversary",
+    "SilentAdversary",
+    "StaggeredCrashAdversary",
+    "ConsistentLiarAdversary",
+    "RandomLiarAdversary",
+    "TwoFacedAdversary",
+    "EchoSuppressorAdversary",
+    "TwoFacedSourceAdversary",
+    "EquivocatingSourceWithAlliesAdversary",
+    "DelayedEquivocationAdversary",
+    "StealthPathAdversary",
+    "MinimalExposureAdversary",
+    "another_value",
+    "standard_adversaries",
+    "adversary_registry",
+]
+
+
+def adversary_registry() -> Dict[str, Callable[[], Adversary]]:
+    """Factories for every named adversary strategy."""
+    return {
+        "benign": BenignAdversary,
+        "crash": CrashAdversary,
+        "staggered-crash": StaggeredCrashAdversary,
+        "silent": SilentAdversary,
+        "consistent-liar": ConsistentLiarAdversary,
+        "random-liar": RandomLiarAdversary,
+        "two-faced": TwoFacedAdversary,
+        "echo-suppressor": EchoSuppressorAdversary,
+        "two-faced-source": TwoFacedSourceAdversary,
+        "equivocating-source-allies": EquivocatingSourceWithAlliesAdversary,
+        "delayed-equivocation": DelayedEquivocationAdversary,
+        "stealth-path": StealthPathAdversary,
+        "minimal-exposure": MinimalExposureAdversary,
+    }
+
+
+def standard_adversaries() -> List[Adversary]:
+    """A fresh instance of every strategy in the registry (test battery)."""
+    return [factory() for factory in adversary_registry().values()]

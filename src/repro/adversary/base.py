@@ -1,0 +1,175 @@
+"""Adversary interfaces and the shadow-processor machinery.
+
+The paper's fault model places no restriction on faulty behaviour: the
+adversary is a single coordinating entity that controls every faulty
+processor, sees the complete state of the system (a *full-information*
+adversary), and in each round may choose the faulty processors' messages
+*after* seeing what the correct processors send (a *rushing* adversary).
+The only power it lacks is forging sender identities — the network stamps
+those.
+
+Concrete strategies usually want to deviate *from what a correct processor
+would have sent*, so :class:`ShadowAdversary` maintains a correct protocol
+instance ("shadow") for every faulty processor, feeds it the messages the
+faulty processor actually receives, and lets subclasses tamper with the
+shadows' outgoing messages per destination.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, FrozenSet, Mapping, Optional
+
+from ..core.sequences import ProcessorId
+from ..runtime.errors import AdversaryError
+from ..runtime.messages import Inbox, Message, Outbox
+
+if TYPE_CHECKING:  # imported only for annotations, to avoid an import cycle
+    from ..core.protocol import AgreementProtocol, ProtocolConfig, ProtocolSpec
+
+
+@dataclass(frozen=True)
+class AdversaryContext:
+    """Everything an adversary is allowed to know before the execution starts."""
+
+    config: ProtocolConfig
+    spec: ProtocolSpec
+    faulty: FrozenSet[ProcessorId]
+    seed: int = 0
+
+    def rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+    @property
+    def correct(self) -> FrozenSet[ProcessorId]:
+        return frozenset(set(self.config.processors) - self.faulty)
+
+    @property
+    def source_is_faulty(self) -> bool:
+        return self.config.source in self.faulty
+
+
+class Adversary(abc.ABC):
+    """Coordinated Byzantine behaviour for the whole faulty set."""
+
+    name = "adversary"
+
+    def __init__(self) -> None:
+        self.context: Optional[AdversaryContext] = None
+
+    def bind(self, context: AdversaryContext) -> None:
+        """Attach the adversary to one execution.  Called once by the driver."""
+        self.context = context
+
+    def _require_context(self) -> AdversaryContext:
+        if self.context is None:
+            raise AdversaryError("adversary used before bind()")
+        return self.context
+
+    @abc.abstractmethod
+    def round_messages(self, round_number: int,
+                       correct_outboxes: Mapping[ProcessorId, Outbox]
+                       ) -> Dict[ProcessorId, Outbox]:
+        """The faulty processors' messages for *round_number*.
+
+        The adversary is rushing: ``correct_outboxes`` contains what every
+        correct processor is sending this round.  The return value maps each
+        faulty sender to its outbox; omitted senders send nothing.
+        """
+
+    def observe_delivery(self, round_number: int,
+                         faulty_inboxes: Mapping[ProcessorId, Inbox]) -> None:
+        """Hook invoked after delivery with the messages the faulty processors
+        received.  Default: ignore."""
+
+    def describe(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Adversary {self.describe()}>"
+
+
+class ShadowAdversary(Adversary):
+    """Base class that runs a correct "shadow" protocol per faulty processor.
+
+    Subclasses override :meth:`tamper` (per-destination message rewriting)
+    and/or :meth:`suppress` (dropping messages entirely).  By default the
+    shadows' messages are forwarded untouched, i.e. the faulty processors
+    behave correctly.
+    """
+
+    name = "shadow"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shadows: Dict[ProcessorId, AgreementProtocol] = {}
+        self._rng: Optional[random.Random] = None
+
+    def bind(self, context: AdversaryContext) -> None:
+        super().bind(context)
+        self._rng = context.rng()
+        self._shadows = {
+            pid: context.spec.build(pid, context.config)
+            for pid in sorted(context.faulty)
+        }
+
+    # -- knobs for subclasses ------------------------------------------------
+    @property
+    def rng(self) -> random.Random:
+        if self._rng is None:
+            raise AdversaryError("adversary used before bind()")
+        return self._rng
+
+    def shadow(self, pid: ProcessorId) -> AgreementProtocol:
+        return self._shadows[pid]
+
+    def suppress(self, round_number: int, sender: ProcessorId,
+                 dest: ProcessorId) -> bool:
+        """Return True to drop the message from *sender* to *dest* entirely."""
+        return False
+
+    def tamper(self, round_number: int, sender: ProcessorId, dest: ProcessorId,
+               message: Message,
+               correct_outboxes: Mapping[ProcessorId, Outbox]) -> Message:
+        """Rewrite the shadow's message for one destination (default: no-op)."""
+        return message
+
+    # -- Adversary API ----------------------------------------------------------
+    def round_messages(self, round_number: int,
+                       correct_outboxes: Mapping[ProcessorId, Outbox]
+                       ) -> Dict[ProcessorId, Outbox]:
+        context = self._require_context()
+        result: Dict[ProcessorId, Outbox] = {}
+        for pid in sorted(context.faulty):
+            shadow_outbox = self._shadows[pid].outgoing(round_number)
+            outbox: Outbox = {}
+            for dest, message in shadow_outbox.items():
+                if dest in context.faulty:
+                    # Faulty-to-faulty traffic is internal to the adversary;
+                    # keep it so shadows stay consistent, but it is free.
+                    outbox[dest] = message
+                    continue
+                if self.suppress(round_number, pid, dest):
+                    continue
+                outbox[dest] = self.tamper(round_number, pid, dest, message,
+                                           correct_outboxes)
+            result[pid] = outbox
+        return result
+
+    def observe_delivery(self, round_number: int,
+                         faulty_inboxes: Mapping[ProcessorId, Inbox]) -> None:
+        for pid, inbox in faulty_inboxes.items():
+            if pid in self._shadows:
+                self._shadows[pid].incoming(round_number, dict(inbox))
+
+
+class BenignAdversary(ShadowAdversary):
+    """Faulty processors that follow the protocol to the letter.
+
+    Useful as a baseline: with a benign adversary every execution must decide
+    on the source's value, and fault discovery should never trigger.
+    """
+
+    name = "benign"

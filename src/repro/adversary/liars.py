@@ -1,0 +1,108 @@
+"""Lying adversaries: consistent, random, and destination-dependent lies.
+
+These strategies perturb the *values* carried by otherwise well-formed
+messages.  A consistent liar tells the same lie to everyone (easy to out-vote,
+hard to detect); a random liar injects noise (easy to detect); a two-faced
+liar partitions the correct processors and tells each side a different story
+(the behaviour the agreement lower bounds are built on).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.sequences import ProcessorId
+from ..core.values import DEFAULT_VALUE, Value
+from ..runtime.messages import Message, Outbox
+from .base import ShadowAdversary
+
+
+def another_value(value: Value, domain) -> Value:
+    """A domain element different from *value* (the "lie" about it)."""
+    for candidate in domain:
+        if candidate != value:
+            return candidate
+    return value
+
+
+class ConsistentLiarAdversary(ShadowAdversary):
+    """Every faulty processor flips every value it relays, identically for all
+    destinations.
+
+    Because the lie is consistent, correct processors store identical trees
+    and agreement is never in danger; what the strategy stresses is validity
+    (out-voting the lies about the source's value) and the fault-discovery
+    thresholds.
+    """
+
+    name = "consistent-liar"
+
+    def tamper(self, round_number: int, sender: ProcessorId, dest: ProcessorId,
+               message: Message,
+               correct_outboxes: Mapping[ProcessorId, Outbox]) -> Message:
+        domain = self._require_context().config.domain
+        flipped = {seq: another_value(value, domain)
+                   for seq, value in message.entries.items()}
+        return message.with_entries(flipped)
+
+
+class RandomLiarAdversary(ShadowAdversary):
+    """Every relayed value is replaced by a uniformly random domain element,
+    chosen independently per destination and per entry.
+
+    This is maximal noise: it almost always triggers the Fault Discovery Rule
+    quickly, which makes it a good exerciser of masking rather than a strong
+    attack on agreement.
+    """
+
+    name = "random-liar"
+
+    def tamper(self, round_number: int, sender: ProcessorId, dest: ProcessorId,
+               message: Message,
+               correct_outboxes: Mapping[ProcessorId, Outbox]) -> Message:
+        domain = self._require_context().config.domain
+        noisy = {seq: self.rng.choice(domain)
+                 for seq in message.entries}
+        return message.with_entries(noisy)
+
+
+class TwoFacedAdversary(ShadowAdversary):
+    """Destination-dependent lies: one story for even correct processors,
+    another for odd ones.
+
+    Every faulty processor reports the true (shadow) value to one half of the
+    correct processors and the flipped value to the other half, on every entry
+    it relays.  This is the canonical equivocation pattern that forces
+    agreement protocols to spend rounds reconciling views.
+    """
+
+    name = "two-faced"
+
+    def tamper(self, round_number: int, sender: ProcessorId, dest: ProcessorId,
+               message: Message,
+               correct_outboxes: Mapping[ProcessorId, Outbox]) -> Message:
+        domain = self._require_context().config.domain
+        if dest % 2 == 0:
+            return message
+        flipped = {seq: another_value(value, domain)
+                   for seq, value in message.entries.items()}
+        return message.with_entries(flipped)
+
+
+class EchoSuppressorAdversary(ShadowAdversary):
+    """Faulty processors always report the default value for every entry.
+
+    Unlike :class:`~repro.adversary.crash.SilentAdversary` the messages *are*
+    sent (well-formed, on time), so no omission is detectable — the lie is in
+    the content.  Under fault masking this is exactly how a globally detected
+    processor is forced to behave, so the strategy doubles as a check that
+    masked and unmasked "all-zeros" senders are treated identically.
+    """
+
+    name = "echo-suppressor"
+
+    def tamper(self, round_number: int, sender: ProcessorId, dest: ProcessorId,
+               message: Message,
+               correct_outboxes: Mapping[ProcessorId, Outbox]) -> Message:
+        zeros = {seq: DEFAULT_VALUE for seq in message.entries}
+        return message.with_entries(zeros)

@@ -1,0 +1,112 @@
+"""Adversaries that centre on a faulty source.
+
+The hardest executions of Byzantine broadcast have a faulty source that
+equivocates in round 1 and accomplice relays that keep the two world views
+alive for as long as possible.  These strategies implement that pattern with
+increasing sophistication; they are the primary stressors used by the
+agreement tests and by the block-progress experiment (E7).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.sequences import ProcessorId
+from ..core.values import Value
+from ..runtime.messages import Message, Outbox
+from .base import ShadowAdversary
+from .liars import another_value
+
+
+class TwoFacedSourceAdversary(ShadowAdversary):
+    """The source sends its value to half of the processors and a different
+    value to the other half; the remaining faulty processors relay honestly.
+
+    This isolates the effect of source equivocation: with all relays honest,
+    every algorithm must converge on *some* common value (validity does not
+    apply), and fault discovery should quickly pin the source.
+    """
+
+    name = "two-faced-source"
+
+    def tamper(self, round_number: int, sender: ProcessorId, dest: ProcessorId,
+               message: Message,
+               correct_outboxes: Mapping[ProcessorId, Outbox]) -> Message:
+        context = self._require_context()
+        if sender != context.config.source or round_number != 1:
+            return message
+        if dest % 2 == 0:
+            return message
+        domain = context.config.domain
+        flipped = {seq: another_value(value, domain)
+                   for seq, value in message.entries.items()}
+        return message.with_entries(flipped)
+
+
+class EquivocatingSourceWithAlliesAdversary(ShadowAdversary):
+    """A two-faced source whose faulty accomplices amplify the split.
+
+    The source tells even-numbered processors ``v`` and odd-numbered ones the
+    flipped value.  Every other faulty processor then *always* reports, about
+    every tree node, the value that matches the destination's side of the
+    split — so each side keeps hearing a consistent world in which its own
+    round-1 value is corroborated.  This is the strongest value-splitting
+    strategy expressible without violating sender authentication and is the
+    default "worst case" adversary of the benchmark harness.
+    """
+
+    name = "equivocating-source-allies"
+
+    def _side_value(self, dest: ProcessorId, original: Value) -> Value:
+        domain = self._require_context().config.domain
+        if dest % 2 == 0:
+            return original
+        return another_value(original, domain)
+
+    def tamper(self, round_number: int, sender: ProcessorId, dest: ProcessorId,
+               message: Message,
+               correct_outboxes: Mapping[ProcessorId, Outbox]) -> Message:
+        context = self._require_context()
+        source = context.config.source
+        if sender == source:
+            if round_number != 1:
+                return message
+            flipped = {seq: self._side_value(dest, value)
+                       for seq, value in message.entries.items()}
+            return message.with_entries(flipped)
+        # Accomplices: bias every relayed entry toward the destination's side.
+        initial = context.config.initial_value
+        biased = {seq: self._side_value(dest, initial)
+                  for seq in message.entries}
+        return message.with_entries(biased)
+
+
+class DelayedEquivocationAdversary(ShadowAdversary):
+    """Accomplices behave correctly for the first ``honest_rounds`` rounds and
+    only then start splitting the world.
+
+    The paper's persistence property says early honesty is fatal for the
+    adversary — once enough correct processors share a preferred value it
+    persists through every later shift.  This strategy exists to exercise that
+    property: lies that start late must not be able to destroy agreement.
+    """
+
+    name = "delayed-equivocation"
+
+    def __init__(self, honest_rounds: int = 2) -> None:
+        super().__init__()
+        self.honest_rounds = honest_rounds
+        self.name = f"delayed-equivocation(honest={honest_rounds})"
+
+    def tamper(self, round_number: int, sender: ProcessorId, dest: ProcessorId,
+               message: Message,
+               correct_outboxes: Mapping[ProcessorId, Outbox]) -> Message:
+        context = self._require_context()
+        if round_number <= self.honest_rounds:
+            return message
+        domain = context.config.domain
+        if dest % 2 == 0:
+            return message
+        flipped = {seq: another_value(value, domain)
+                   for seq, value in message.entries.items()}
+        return message.with_entries(flipped)

@@ -1,0 +1,33 @@
+"""Analytic bounds, trade-off curves, run verdicts, and table rendering."""
+
+from __future__ import annotations
+
+from .bounds import (TheoremBound, algorithm_a_local_computation,
+                     algorithm_b_local_computation, algorithm_c_local_computation,
+                     exponential_bound, exponential_local_computation,
+                     hybrid_local_computation, main_theorem_asymptotic,
+                     main_theorem_round_formula, resilience_table, theorem1_bound,
+                     theorem2_bound, theorem3_bound, theorem4_bound)
+from .checkers import (RunVerdict, check_agreement, check_discovery_soundness,
+                       check_message_bound, check_round_bound, check_validity,
+                       verify_run)
+from .coan_model import (CoanPoint, coan_curve, coan_local_computation,
+                         coan_max_message_entries, coan_rounds)
+from .reporting import comparison_rows, format_markdown_table, format_table
+from .tradeoff import (TradeoffPoint, dominance_table, message_growth_curve,
+                       tradeoff_curve)
+
+__all__ = [
+    "TheoremBound", "exponential_bound", "theorem1_bound", "theorem2_bound",
+    "theorem3_bound", "theorem4_bound", "resilience_table",
+    "exponential_local_computation", "algorithm_a_local_computation",
+    "algorithm_b_local_computation", "algorithm_c_local_computation",
+    "hybrid_local_computation", "main_theorem_round_formula",
+    "main_theorem_asymptotic",
+    "RunVerdict", "verify_run", "check_agreement", "check_validity",
+    "check_discovery_soundness", "check_round_bound", "check_message_bound",
+    "CoanPoint", "coan_curve", "coan_rounds", "coan_max_message_entries",
+    "coan_local_computation",
+    "TradeoffPoint", "tradeoff_curve", "dominance_table", "message_growth_curve",
+    "format_table", "format_markdown_table", "comparison_rows",
+]

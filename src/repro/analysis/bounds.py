@@ -1,0 +1,160 @@
+"""Closed-form bounds of Theorems 1–4, collected in one place.
+
+The benchmark harness compares every *measured* quantity (rounds executed,
+largest message, local computation units) against the corresponding bound
+from this module, so the paper's tables can be regenerated as
+"paper bound vs measured" rows.  Everything here is a pure function of
+``(n, t, b)``; nothing simulates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.algorithm_a import (algorithm_a_max_message_entries, algorithm_a_resilience,
+                                algorithm_a_rounds)
+from ..core.algorithm_b import (algorithm_b_max_message_entries, algorithm_b_resilience,
+                                algorithm_b_rounds)
+from ..core.algorithm_c import (algorithm_c_max_message_entries, algorithm_c_resilience,
+                                algorithm_c_rounds)
+from ..core.exponential import (exponential_max_message_entries, exponential_resilience,
+                                exponential_rounds)
+from ..core.hybrid import hybrid_parameters, hybrid_rounds, hybrid_rounds_closed_form
+
+
+@dataclass(frozen=True)
+class TheoremBound:
+    """The per-processor bounds one theorem promises for one parameterisation."""
+
+    algorithm: str
+    n: int
+    t: int
+    b: Optional[int]
+    resilience_limit: int
+    rounds: int
+    max_message_entries: int
+    local_computation: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "t": self.t,
+            "b": self.b if self.b is not None else "-",
+            "resilience_limit": self.resilience_limit,
+            "rounds_bound": self.rounds,
+            "max_message_entries_bound": self.max_message_entries,
+            "local_computation_bound": round(self.local_computation, 1),
+        }
+
+
+# -- local computation models (growth shapes, not constants) -----------------------
+
+def exponential_local_computation(n: int, t: int) -> float:
+    """The Exponential Algorithm touches every node of a ``(t+1)``-level tree."""
+    total = 0.0
+    size = 1.0
+    for level in range(1, t + 2):
+        total += size
+        size *= max(1, n - level)
+    return total
+
+
+def algorithm_a_local_computation(n: int, t: int, b: int) -> float:
+    """Theorem 2: ``O(n^{b+1}(t − 1)/(b − 2))`` local computation."""
+    return float(n ** (b + 1)) * max(1, t - 1) / max(1, b - 2)
+
+
+def algorithm_b_local_computation(n: int, t: int, b: int) -> float:
+    """Theorem 3: ``O(n^{b+1}(t − 1)/(b − 1))`` local computation."""
+    return float(n ** (b + 1)) * max(1, t - 1) / max(1, b - 1)
+
+
+def algorithm_c_local_computation(n: int) -> float:
+    """Theorem 4: ``O(n^{2.5})`` local computation."""
+    return float(n) ** 2.5
+
+
+def hybrid_local_computation(n: int, t: int, b: int) -> float:
+    """The hybrid's local computation is dominated by its Algorithm A prefix."""
+    params = hybrid_parameters(n, t, b)
+    a_part = float(n ** (b + 1)) * max(1, len(params.a_blocks))
+    b_part = float(n ** (b + 1)) * max(1, len(params.b_blocks))
+    c_part = algorithm_c_local_computation(n) * max(1, params.c_rounds)
+    return a_part + b_part + c_part
+
+
+# -- per-theorem bound rows -------------------------------------------------------------
+
+def exponential_bound(n: int, t: int) -> TheoremBound:
+    """Section 3 (Proposition 1): the Exponential Algorithm."""
+    return TheoremBound(
+        algorithm="exponential", n=n, t=t, b=None,
+        resilience_limit=exponential_resilience(n),
+        rounds=exponential_rounds(t),
+        max_message_entries=exponential_max_message_entries(n, t),
+        local_computation=exponential_local_computation(n, t))
+
+
+def theorem2_bound(n: int, t: int, b: int) -> TheoremBound:
+    """Theorem 2: Algorithm A(b)."""
+    return TheoremBound(
+        algorithm=f"algorithm-a(b={b})", n=n, t=t, b=b,
+        resilience_limit=algorithm_a_resilience(n),
+        rounds=algorithm_a_rounds(t, b),
+        max_message_entries=algorithm_a_max_message_entries(n, b),
+        local_computation=algorithm_a_local_computation(n, t, b))
+
+
+def theorem3_bound(n: int, t: int, b: int) -> TheoremBound:
+    """Theorem 3: Algorithm B(b)."""
+    return TheoremBound(
+        algorithm=f"algorithm-b(b={b})", n=n, t=t, b=b,
+        resilience_limit=algorithm_b_resilience(n),
+        rounds=algorithm_b_rounds(t, b),
+        max_message_entries=algorithm_b_max_message_entries(n, b),
+        local_computation=algorithm_b_local_computation(n, t, b))
+
+
+def theorem4_bound(n: int, t: int) -> TheoremBound:
+    """Theorem 4: Algorithm C."""
+    return TheoremBound(
+        algorithm="algorithm-c", n=n, t=t, b=None,
+        resilience_limit=algorithm_c_resilience(n),
+        rounds=algorithm_c_rounds(t),
+        max_message_entries=algorithm_c_max_message_entries(n),
+        local_computation=algorithm_c_local_computation(n))
+
+
+def theorem1_bound(n: int, t: int, b: int) -> TheoremBound:
+    """Theorem 1 (Main): the hybrid algorithm."""
+    return TheoremBound(
+        algorithm=f"hybrid(b={b})", n=n, t=t, b=b,
+        resilience_limit=algorithm_a_resilience(n),
+        rounds=hybrid_rounds(n, t, b),
+        max_message_entries=algorithm_a_max_message_entries(n, b),
+        local_computation=hybrid_local_computation(n, t, b))
+
+
+def main_theorem_round_formula(n: int, t: int, b: int) -> int:
+    """The Main Theorem's closed-form round expression (for cross-checking the
+    constructive count in :func:`repro.core.hybrid.hybrid_rounds`)."""
+    return hybrid_rounds_closed_form(n, t, b)
+
+
+def main_theorem_asymptotic(t: int, b: int) -> float:
+    """``t + t/(b−2) + 2(b−1) + O(√t)`` — the headline asymptotic shape."""
+    return t + t / max(1, b - 2) + 2 * (b - 1) + math.sqrt(max(0, t))
+
+
+def resilience_table(n: int) -> Dict[str, int]:
+    """Resilience thresholds of every algorithm for a given *n*."""
+    return {
+        "exponential": exponential_resilience(n),
+        "algorithm-a": algorithm_a_resilience(n),
+        "algorithm-b": algorithm_b_resilience(n),
+        "algorithm-c": algorithm_c_resilience(n),
+        "hybrid": algorithm_a_resilience(n),
+    }

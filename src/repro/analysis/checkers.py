@@ -1,0 +1,100 @@
+"""Verdicts on executed runs: agreement, validity, bound compliance.
+
+Tests, benchmarks and the experiment harness all need the same checks, so
+they live here rather than being re-derived ad hoc:
+
+* :func:`check_agreement` / :func:`check_validity` — the two correctness
+  conditions of the Byzantine agreement problem;
+* :func:`check_round_bound`, :func:`check_message_bound` — a run stayed
+  within the theorem's promises;
+* :func:`verify_run` — all of the above combined into a :class:`RunVerdict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..runtime.simulation import RunResult
+
+
+@dataclass(frozen=True)
+class RunVerdict:
+    """The outcome of checking one run against the paper's guarantees."""
+
+    agreement: bool
+    validity: Optional[bool]
+    discovery_sound: bool
+    rounds_within_bound: Optional[bool]
+    message_within_bound: Optional[bool]
+    problems: tuple
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def check_agreement(result: RunResult) -> bool:
+    """No two correct processors decided differently."""
+    return result.agreement
+
+
+def check_validity(result: RunResult) -> Optional[bool]:
+    """If the source is correct, every correct processor decided its value."""
+    return result.validity
+
+
+def check_discovery_soundness(result: RunResult) -> bool:
+    """No correct processor ever listed a correct processor as faulty."""
+    return result.soundness_of_discovery()
+
+
+def check_round_bound(result: RunResult, bound: int) -> bool:
+    """The execution used at most the promised number of rounds."""
+    return result.rounds <= bound
+
+
+def check_message_bound(result: RunResult, max_entries: int,
+                        slack: float = 1.0) -> bool:
+    """The largest message carried at most ``slack × max_entries`` values.
+
+    The theorems are ``O(·)`` statements; *slack* allows for the constant
+    (the defaults in the benchmarks use 1.0 because the entry counts here are
+    exact, not asymptotic).
+    """
+    return result.metrics.max_message_entries() <= max_entries * slack
+
+
+def verify_run(result: RunResult, round_bound: Optional[int] = None,
+               message_bound: Optional[int] = None) -> RunVerdict:
+    """Run every applicable check and collect human-readable problems."""
+    problems: List[str] = []
+    agreement = check_agreement(result)
+    if not agreement:
+        problems.append(
+            f"agreement violated: decisions {dict(sorted(result.decisions.items()))}")
+    validity = check_validity(result)
+    if validity is False:
+        problems.append(
+            f"validity violated: source value {result.config.initial_value!r}, "
+            f"decisions {dict(sorted(result.decisions.items()))}")
+    discovery_sound = check_discovery_soundness(result)
+    if not discovery_sound:
+        problems.append("a correct processor was listed as faulty")
+    rounds_ok = None
+    if round_bound is not None:
+        rounds_ok = check_round_bound(result, round_bound)
+        if not rounds_ok:
+            problems.append(f"used {result.rounds} rounds > bound {round_bound}")
+    message_ok = None
+    if message_bound is not None:
+        message_ok = check_message_bound(result, message_bound)
+        if not message_ok:
+            problems.append(
+                f"largest message {result.metrics.max_message_entries()} entries "
+                f"> bound {message_bound}")
+    return RunVerdict(agreement=agreement, validity=validity,
+                      discovery_sound=discovery_sound,
+                      rounds_within_bound=rounds_ok,
+                      message_within_bound=message_ok,
+                      problems=tuple(problems))

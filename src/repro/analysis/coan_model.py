@@ -1,0 +1,75 @@
+"""An analytic cost model of Coan's algorithm families (the paper's foil).
+
+Coan (PODC 1986; MIT PhD thesis 1987) gave families of agreement algorithms
+that trade rounds for message length: for a message-size budget of ``O(n^b)``
+bits the running time grows by roughly a ``t/(b − O(1))`` additive term.  The
+paper's Algorithms A and B "obtain the same rounds to message length
+trade-off as do Coan's families but do not require the exponential local
+computation time (and space) of his algorithms."
+
+Coan's construction has no artifact to run, so — per the substitution rule in
+DESIGN.md — we model it analytically: the round and message-size curves are
+taken to be identical to Algorithm A's (that is exactly the paper's claim),
+while the local computation is exponential in ``t`` because his conversion
+enumerates scenarios/runs of the underlying exponential protocol rather than
+a tree of values.  The model exists so that the trade-off figure (experiment
+E6) can plot "ours vs Coan" the way the introduction describes it; it is not
+an executable reimplementation of Coan's protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.algorithm_a import algorithm_a_max_message_entries, algorithm_a_rounds
+from .bounds import algorithm_a_local_computation
+
+
+@dataclass(frozen=True)
+class CoanPoint:
+    """One point of the Coan-model trade-off curve."""
+
+    b: int
+    rounds: int
+    max_message_entries: int
+    local_computation: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "b": self.b,
+            "rounds": self.rounds,
+            "max_message_entries": self.max_message_entries,
+            "local_computation": self.local_computation,
+        }
+
+
+def coan_rounds(t: int, b: int) -> int:
+    """Rounds of the Coan family for message budget ``O(n^b)`` — by the
+    paper's claim, the same trade-off as Algorithm A."""
+    return algorithm_a_rounds(t, b)
+
+
+def coan_max_message_entries(n: int, b: int) -> int:
+    """Message-size budget of the Coan family: ``O(n^b)`` values."""
+    return algorithm_a_max_message_entries(n, b)
+
+
+def coan_local_computation(n: int, t: int, b: int) -> float:
+    """Exponential local computation: the distinguishing cost of Coan's families.
+
+    Modelled as the polynomial cost of our Algorithm A multiplied by a
+    ``2^t`` scenario-enumeration factor.  Only the growth shape matters: the
+    trade-off figure checks that this curve diverges from Algorithm A's as
+    ``t`` grows while the rounds/message curves coincide.
+    """
+    return algorithm_a_local_computation(n, t, b) * (2.0 ** t)
+
+
+def coan_curve(n: int, t: int, b_values) -> List[CoanPoint]:
+    """The full Coan-model curve over a range of message-size budgets."""
+    return [CoanPoint(b=b,
+                      rounds=coan_rounds(t, b),
+                      max_message_entries=coan_max_message_entries(n, b),
+                      local_computation=coan_local_computation(n, t, b))
+            for b in b_values]

@@ -1,0 +1,142 @@
+"""Executable forms of the paper's lemmas, checkable on real execution state.
+
+The proofs of Theorems 1–4 rest on a handful of structural statements about
+the Information Gathering Trees of *correct* processors: the Correctness
+Lemma (Lemma 1), the Frontier Lemma (Lemma 2), the Persistence Lemma
+(Lemma 3) and the Hidden Fault Lemma (Lemma 4).  These functions evaluate
+those statements on a collection of trees (one per correct processor), so the
+test-suite can assert them on the trees produced by genuine adversarial
+executions rather than trusting the implementation to mirror the proof.
+
+All functions take ``trees``: a mapping ``{pid: InfoGatheringTree}`` holding
+the round-``h`` trees of the correct processors, and the conversion to use
+(``"resolve"`` or ``"resolve_prime"``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Set
+
+from ..core.resolve import resolve_all
+from ..core.sequences import LabelSequence, ProcessorId
+from ..core.tree import InfoGatheringTree
+from ..core.values import Value, is_bottom
+
+
+def converted_values(trees: Mapping[ProcessorId, InfoGatheringTree],
+                     conversion: str, t: int
+                     ) -> Dict[ProcessorId, Dict[LabelSequence, Value]]:
+    """Apply the conversion to every correct processor's tree."""
+    return {pid: resolve_all(tree, conversion, t) for pid, tree in trees.items()}
+
+
+def common_nodes(trees: Mapping[ProcessorId, InfoGatheringTree],
+                 conversion: str, t: int) -> Set[LabelSequence]:
+    """The nodes that are *common*: every correct processor computes the same
+    converted value for them (the paper's definition after data conversion)."""
+    converted = converted_values(trees, conversion, t)
+    if not converted:
+        return set()
+    any_tree = next(iter(trees.values()))
+    common: Set[LabelSequence] = set()
+    for seq in any_tree.sequences():
+        values = {per_node.get(seq) for per_node in converted.values()}
+        if len(values) == 1:
+            common.add(seq)
+    return common
+
+
+def correctness_lemma_holds(trees: Mapping[ProcessorId, InfoGatheringTree],
+                            correct: Iterable[ProcessorId],
+                            conversion: str, t: int) -> bool:
+    """Lemma 1: every node ``βq`` whose last label ``q`` is correct is common,
+    and its converted value equals ``tree_p(βq)`` for every correct ``p``."""
+    correct_set = set(correct)
+    converted = converted_values(trees, conversion, t)
+    any_tree = next(iter(trees.values()))
+    for seq in any_tree.sequences():
+        if seq[-1] not in correct_set:
+            continue
+        values = {per_node.get(seq) for per_node in converted.values()}
+        if len(values) != 1:
+            return False
+        value = values.pop()
+        if is_bottom(value):
+            return False
+        stored = {tree.value(seq) for tree in trees.values()}
+        if stored != {value}:
+            return False
+    return True
+
+
+def has_common_frontier(trees: Mapping[ProcessorId, InfoGatheringTree],
+                        conversion: str, t: int) -> bool:
+    """Every root-to-leaf path of the (shared-shape) tree contains a common node."""
+    common = common_nodes(trees, conversion, t)
+    any_tree = next(iter(trees.values()))
+    depth = any_tree.num_levels
+    for leaf in any_tree.level_sequences(depth):
+        on_path = any(leaf[:length] in common for length in range(1, depth + 1))
+        if not on_path:
+            return False
+    return True
+
+
+def frontier_lemma_holds(trees: Mapping[ProcessorId, InfoGatheringTree],
+                         conversion: str, t: int) -> bool:
+    """Lemma 2: a common frontier forces the root to be common."""
+    if not has_common_frontier(trees, conversion, t):
+        return True  # vacuously
+    any_tree = next(iter(trees.values()))
+    return any_tree.root in common_nodes(trees, conversion, t)
+
+
+def persistence_lemma_holds(trees: Mapping[ProcessorId, InfoGatheringTree],
+                            conversion: str, t: int) -> Optional[bool]:
+    """Lemma 3: if all correct processors share a preferred value (the root of
+    their trees), the root converts to that value everywhere.
+
+    Returns ``None`` when the hypothesis does not hold (nothing to check).
+    """
+    roots = {tree.root_value() for tree in trees.values()}
+    if len(roots) != 1:
+        return None
+    shared = roots.pop()
+    converted = converted_values(trees, conversion, t)
+    any_tree = next(iter(trees.values()))
+    return all(per_node[any_tree.root] == shared for per_node in converted.values())
+
+
+def hidden_fault_lemma_holds(trees: Mapping[ProcessorId, InfoGatheringTree],
+                             suspects: Mapping[ProcessorId, Set[ProcessorId]],
+                             faulty: Iterable[ProcessorId],
+                             correct: Iterable[ProcessorId],
+                             t: int) -> bool:
+    """Lemma 4 (checked per correct processor p and all-faulty internal ``αr``):
+    if ``r ∉ L_p`` after its children were stored, then a majority value exists
+    for ``αr`` and at least ``n − 2t + |L_p|`` of its children correspond to
+    correct processors storing that value."""
+    faulty_set = set(faulty)
+    correct_set = set(correct)
+    for pid, tree in trees.items():
+        listed = suspects.get(pid, set())
+        n = tree.n
+        for level in range(1, tree.num_levels):
+            for parent in tree.level_sequences(level):
+                r = parent[-1]
+                if not all(label in faulty_set for label in parent):
+                    continue
+                if r in listed:
+                    continue
+                children = tree.child_labels(parent)
+                values = {child: tree.value(parent + (child,)) for child in children}
+                from collections import Counter
+                counter = Counter(values.values())
+                majority, count = counter.most_common(1)[0]
+                if count * 2 <= len(children):
+                    return False
+                supporters = sum(1 for child, value in values.items()
+                                 if value == majority and child in correct_set)
+                if supporters < n - 2 * t + len(listed):
+                    return False
+    return True

@@ -1,0 +1,82 @@
+"""Plain-text table rendering for benchmark output and EXPERIMENTS.md.
+
+The paper's "evaluation" is a set of theorem statements; the harness
+regenerates them as tables of *paper bound vs measured value*.  This module
+renders lists of row dictionaries as aligned ASCII tables (for benchmark
+stdout) and as GitHub-flavoured Markdown (for EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def _stringify(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value >= 1e6:
+            return f"{value:.3e}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _columns(rows: Sequence[Dict[str, object]],
+             columns: Optional[Sequence[str]]) -> List[str]:
+    if columns is not None:
+        return list(columns)
+    seen: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.append(key)
+    return seen
+
+
+def format_table(rows: Sequence[Dict[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render rows as an aligned, pipe-separated ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = _columns(rows, columns)
+    cells = [[_stringify(row.get(col)) for col in cols] for row in rows]
+    widths = [max(len(col), *(len(line[i]) for line in cells))
+              for i, col in enumerate(cols)]
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
+    rule = "-+-".join("-" * width for width in widths)
+    body = "\n".join(" | ".join(line[i].ljust(widths[i]) for i in range(len(cols)))
+                     for line in cells)
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([header, rule, body])
+    return "\n".join(parts)
+
+
+def format_markdown_table(rows: Sequence[Dict[str, object]],
+                          columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return "(no rows)"
+    cols = _columns(rows, columns)
+    header = "| " + " | ".join(cols) + " |"
+    rule = "| " + " | ".join("---" for _ in cols) + " |"
+    body = "\n".join(
+        "| " + " | ".join(_stringify(row.get(col)) for col in cols) + " |"
+        for row in rows)
+    return "\n".join([header, rule, body])
+
+
+def comparison_rows(pairs: Iterable, label_key: str = "label") -> List[Dict[str, object]]:
+    """Flatten (label, bound, measured) triples into ratio-annotated rows."""
+    rows: List[Dict[str, object]] = []
+    for label, bound, measured in pairs:
+        ratio = None
+        if bound:
+            ratio = measured / bound
+        rows.append({label_key: label, "paper_bound": bound,
+                     "measured": measured, "measured/bound": ratio})
+    return rows

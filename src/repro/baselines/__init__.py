@@ -1,0 +1,16 @@
+"""Baseline agreement protocols the paper compares against or builds upon."""
+
+from __future__ import annotations
+
+from .dolev_strong import DolevStrongProcessor, DolevStrongSpec, SignatureLedger
+from .phase_king import (PhaseKingProcessor, PhaseKingSpec, phase_king_max_message_entries,
+                         phase_king_resilience, phase_king_rounds)
+from .psl import (PeaseShostakLamportSpec, psl_max_message_entries, psl_resilience,
+                  psl_rounds)
+
+__all__ = [
+    "PeaseShostakLamportSpec", "psl_resilience", "psl_rounds", "psl_max_message_entries",
+    "PhaseKingSpec", "PhaseKingProcessor", "phase_king_resilience",
+    "phase_king_rounds", "phase_king_max_message_entries",
+    "DolevStrongSpec", "DolevStrongProcessor", "SignatureLedger",
+]

@@ -1,0 +1,191 @@
+"""The authenticated Dolev–Strong protocol, with simulated signatures.
+
+The paper works in the *unauthenticated* model, but cites Dolev and Strong's
+authenticated algorithms (SIAM J. Comput. 1983) as the natural comparison
+point for what signatures buy: resilience ``t < n`` and single-value messages
+in ``t + 1`` rounds.  We include it as a baseline so the benchmark tables can
+show the unauthenticated algorithms' costs next to the authenticated optimum.
+
+The model has no cryptography, so signatures are *simulated* with a
+:class:`SignatureLedger`: a correct processor "signs" a (value, chain) pair by
+registering it with the ledger, and verification checks that every correct
+signer named in a chain actually registered the corresponding prefix.  Faulty
+signers are never checked — the adversary may sign anything on their behalf —
+which is exactly the guarantee an unforgeable signature scheme provides.  The
+ledger is shared by the processors of one execution through the spec object,
+so build a fresh :class:`DolevStrongSpec` per run (as the harness does).
+
+Protocol (value ``v``, chain ``σ`` = sequence of distinct signer ids starting
+with the source):
+
+* round 1: the source signs and broadcasts its value;
+* round ``r``: a processor that extracted a value with a valid chain of ``r-1``
+  signers (not including itself) in the previous round appends its signature
+  and relays; every processor adds to its extracted set each value carried by
+  a valid chain of ``r`` distinct signers;
+* after round ``t + 1``: decide the extracted value if exactly one exists,
+  otherwise the default value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..core.protocol import AgreementProtocol, ProtocolConfig, ProtocolSpec
+from ..core.sequences import LabelSequence, ProcessorId
+from ..core.values import DEFAULT_VALUE, Value
+from ..runtime.errors import ConfigurationError
+from ..runtime.messages import Inbox, Outbox, broadcast
+
+Chain = LabelSequence
+
+
+class SignatureLedger:
+    """Registry of the (chain, value) pairs each *correct* processor signed.
+
+    The ledger is the stand-in for an unforgeable signature scheme: a
+    Byzantine processor cannot register on behalf of a correct one because
+    only the correct protocol objects call :meth:`sign`.
+    """
+
+    def __init__(self) -> None:
+        self._signed: Set[Tuple[ProcessorId, Chain, Value]] = set()
+
+    def sign(self, signer: ProcessorId, chain: Chain, value: Value) -> None:
+        """Record that *signer* signed *value* under the (signer-inclusive) *chain*."""
+        self._signed.add((signer, tuple(chain), value))
+
+    def verify(self, signer: ProcessorId, chain: Chain, value: Value,
+               correct_hint: bool) -> bool:
+        """Check one signature.  Signatures of (presumed) faulty signers always
+        verify — the ledger only protects correct processors from forgery."""
+        if not correct_hint:
+            return True
+        return (signer, tuple(chain), value) in self._signed
+
+
+class DolevStrongProcessor(AgreementProtocol):
+    """One processor's execution of authenticated Dolev–Strong broadcast."""
+
+    def __init__(self, pid: ProcessorId, config: ProtocolConfig,
+                 ledger: SignatureLedger) -> None:
+        super().__init__(pid, config)
+        self.ledger = ledger
+        #: values this processor has extracted (accepted with a valid chain)
+        self.extracted: Set[Value] = set()
+        #: (chain, value) pairs to relay in the next round
+        self._to_relay: List[Tuple[Chain, Value]] = []
+
+    @property
+    def total_rounds(self) -> int:
+        return self.config.t + 1
+
+    # -- signature helpers ---------------------------------------------------------
+    def _chain_valid(self, chain: Chain, value: Value, round_number: int) -> bool:
+        """A chain is valid in round r if it has r distinct signers starting with
+        the source, does not include this processor, and every signer's
+        signature verifies (correct signers must have registered)."""
+        chain = tuple(chain)
+        if len(chain) != round_number:
+            return False
+        if not chain or chain[0] != self.config.source:
+            return False
+        if len(set(chain)) != len(chain) or self.pid in chain:
+            return False
+        if any(not (0 <= signer < self.config.n) for signer in chain):
+            return False
+        if value not in self.config.domain:
+            return False
+        for index, signer in enumerate(chain):
+            prefix = chain[:index + 1]
+            # The receiver does not know who is faulty; the ledger applies the
+            # forgery check only to processors that actually registered keys
+            # (i.e. ran the correct protocol), which is the honest-signer set.
+            if not self.ledger.verify(signer, prefix, value,
+                                      correct_hint=self._has_key(signer)):
+                return False
+        return True
+
+    def _has_key(self, signer: ProcessorId) -> bool:
+        """Whether *signer* ever registered any signature (correct processors do)."""
+        return any(s == signer for s, _chain, _value in self.ledger._signed)
+
+    # -- protocol API ------------------------------------------------------------------
+    def outgoing(self, round_number: int) -> Outbox:
+        self._check_round(round_number)
+        if round_number == 1:
+            if self.pid != self.config.source:
+                return {}
+            chain = (self.config.source,)
+            value = self.config.initial_value
+            self.ledger.sign(self.pid, chain, value)
+            return broadcast({chain: value}, self.pid, round_number,
+                             self.config.processors)
+        if self.pid == self.config.source or not self._to_relay:
+            return {}
+        entries: Dict[Chain, Value] = {}
+        for chain, value in self._to_relay:
+            extended = tuple(chain) + (self.pid,)
+            self.ledger.sign(self.pid, extended, value)
+            entries[extended] = value
+        self._to_relay = []
+        return broadcast(entries, self.pid, round_number, self.config.processors)
+
+    def incoming(self, round_number: int, inbox: Inbox) -> None:
+        if self.pid == self.config.source:
+            if round_number == 1:
+                self.extracted.add(self.config.initial_value)
+                self._decide(self.config.initial_value)
+            return
+        for sender, message in inbox.items():
+            for chain, value in message.entries.items():
+                chain = tuple(chain)
+                if not chain or chain[-1] != sender:
+                    continue
+                if not self._chain_valid(chain, value, round_number):
+                    continue
+                if value not in self.extracted:
+                    self.extracted.add(value)
+                    if round_number < self.total_rounds:
+                        self._to_relay.append((chain, value))
+        if round_number == self.total_rounds:
+            if len(self.extracted) == 1:
+                self._decide(next(iter(self.extracted)))
+            else:
+                self._decide(DEFAULT_VALUE)
+
+    def preferred_value(self) -> Value:
+        if len(self.extracted) == 1:
+            return next(iter(self.extracted))
+        return DEFAULT_VALUE
+
+
+class DolevStrongSpec(ProtocolSpec):
+    """Protocol spec for the authenticated Dolev–Strong baseline.
+
+    Each spec instance owns one :class:`SignatureLedger`; create a fresh spec
+    per execution (``run_agreement`` never reuses protocol state, but the
+    ledger lives on the spec precisely so that the processors of one run share
+    a signature scheme).
+    """
+
+    name = "dolev-strong"
+
+    def __init__(self) -> None:
+        self.ledger = SignatureLedger()
+
+    def validate(self, config: ProtocolConfig) -> None:
+        if config.t >= config.n - 1:
+            raise ConfigurationError(
+                f"Dolev–Strong requires at least two correct processors "
+                f"(got n={config.n}, t={config.t})")
+
+    def total_rounds(self, config: ProtocolConfig) -> int:
+        return config.t + 1
+
+    def build(self, pid: ProcessorId, config: ProtocolConfig) -> AgreementProtocol:
+        self.validate(config)
+        return DolevStrongProcessor(pid, config, self.ledger)
+
+    def describe(self) -> str:
+        return "dolev-strong: authenticated, t+1 rounds, resilience t < n − 1"

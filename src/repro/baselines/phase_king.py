@@ -1,0 +1,168 @@
+"""The Phase King algorithm (Berman–Garay–Perry), adapted to broadcast.
+
+The paper's "Recent Results" section points to Berman, Garay and Perry's
+constant-message-size agreement protocols as successors that reuse its fault
+masking ideas.  The classic Phase King protocol is the simplest member of
+that family: ``t + 1`` phases of two rounds each, messages of ``O(1)`` values,
+resilience ``n > 4t``.  We include it as an independent baseline — a protocol
+*not* derived from information gathering trees — so the benchmark harness can
+compare round counts and message bits across genuinely different designs.
+
+Adaptation to the broadcast (Byzantine Generals) problem: a round-0 broadcast
+by the source seeds every processor's preference, after which the standard
+consensus phases run.  Validity follows because with a correct source every
+correct processor starts the phases with the same preference and the
+``> n/2 + t`` retention threshold keeps it; agreement follows from the phase
+whose king is correct.
+
+Phase structure (phase ``k``, king ``= k-th`` processor in id order):
+
+* round ``2k``: every processor broadcasts its preference; each processor
+  tallies the received preferences (its own included) and computes the
+  majority value and its count;
+* round ``2k + 1``: the king broadcasts its majority value; every processor
+  keeps its own majority value if its count exceeded ``n/2 + t``, otherwise
+  adopts the king's value (default 0 if the king stayed silent).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional
+
+from ..core.protocol import AgreementProtocol, ProtocolConfig, ProtocolSpec
+from ..core.sequences import ProcessorId
+from ..core.values import DEFAULT_VALUE, Value, coerce_value
+from ..runtime.errors import ConfigurationError
+from ..runtime.messages import Inbox, Message, Outbox, broadcast
+
+
+def phase_king_resilience(n: int) -> int:
+    """Largest ``t`` with ``n > 4t``: ``⌊(n − 1)/4⌋``."""
+    return (n - 1) // 4
+
+
+def phase_king_rounds(t: int) -> int:
+    """One seeding round plus two rounds for each of ``t + 1`` phases."""
+    return 1 + 2 * (t + 1)
+
+
+def phase_king_max_message_entries() -> int:
+    """Every Phase King message carries a single value."""
+    return 1
+
+
+class PhaseKingProcessor(AgreementProtocol):
+    """One processor's execution of the broadcast-adapted Phase King protocol."""
+
+    def __init__(self, pid: ProcessorId, config: ProtocolConfig) -> None:
+        super().__init__(pid, config)
+        self.preference: Value = DEFAULT_VALUE
+        self._tally_value: Value = DEFAULT_VALUE
+        self._tally_count: int = 0
+        #: phase index -> king processor id (kings rotate in id order)
+        self.kings: Dict[int, ProcessorId] = {
+            phase: sorted(config.processors)[phase % config.n]
+            for phase in range(config.t + 1)
+        }
+        self._key = (config.source,)
+
+    # -- round geometry ---------------------------------------------------------
+    @property
+    def total_rounds(self) -> int:
+        return phase_king_rounds(self.config.t)
+
+    def _phase_and_step(self, round_number: int):
+        """Map a global round to ``(phase, step)`` where step 0 is the exchange
+        round and step 1 the king round; round 1 maps to ``(None, None)``."""
+        if round_number == 1:
+            return None, None
+        offset = round_number - 2
+        return offset // 2, offset % 2
+
+    # -- protocol API ---------------------------------------------------------------
+    def outgoing(self, round_number: int) -> Outbox:
+        self._check_round(round_number)
+        if round_number == 1:
+            if self.pid != self.config.source:
+                return {}
+            return broadcast({self._key: self.config.initial_value}, self.pid,
+                             round_number, self.config.processors)
+        phase, step = self._phase_and_step(round_number)
+        if step == 0:
+            return broadcast({self._key: self.preference}, self.pid,
+                             round_number, self.config.processors)
+        if self.kings[phase] != self.pid:
+            return {}
+        return broadcast({self._key: self._tally_value}, self.pid,
+                         round_number, self.config.processors)
+
+    def incoming(self, round_number: int, inbox: Inbox) -> None:
+        if round_number == 1:
+            if self.pid == self.config.source:
+                self.preference = self.config.initial_value
+                self._decide(self.config.initial_value)
+            else:
+                self.preference = self._claimed(inbox.get(self.config.source))
+            return
+        if self.pid == self.config.source:
+            return
+        phase, step = self._phase_and_step(round_number)
+        if step == 0:
+            self._universal_exchange(inbox)
+        else:
+            self._king_round(phase, inbox)
+            if round_number == self.total_rounds:
+                self._decide(self.preference)
+
+    # -- phase bodies ----------------------------------------------------------------------
+    def _claimed(self, message: Optional[Message]) -> Value:
+        if message is None:
+            return DEFAULT_VALUE
+        return coerce_value(message.value_for(self._key), self.config.domain)
+
+    def _universal_exchange(self, inbox: Inbox) -> None:
+        counter: Counter = Counter()
+        counter[self.preference] += 1
+        for sender in self.config.processors:
+            if sender == self.pid:
+                continue
+            counter[self._claimed(inbox.get(sender))] += 1
+        value, count = counter.most_common(1)[0]
+        self._tally_value = value
+        self._tally_count = count
+
+    def _king_round(self, phase: int, inbox: Inbox) -> None:
+        king = self.kings[phase]
+        threshold = self.config.n / 2 + self.config.t
+        if self._tally_count > threshold:
+            self.preference = self._tally_value
+        elif king == self.pid:
+            self.preference = self._tally_value
+        else:
+            self.preference = self._claimed(inbox.get(king))
+
+    # -- introspection -----------------------------------------------------------------------
+    def preferred_value(self) -> Value:
+        return self.preference
+
+
+class PhaseKingSpec(ProtocolSpec):
+    """Protocol spec for the broadcast-adapted Phase King baseline."""
+
+    name = "phase-king"
+
+    def validate(self, config: ProtocolConfig) -> None:
+        if config.t > phase_king_resilience(config.n):
+            raise ConfigurationError(
+                f"Phase King requires n > 4t (got n={config.n}, t={config.t})")
+
+    def total_rounds(self, config: ProtocolConfig) -> int:
+        return phase_king_rounds(config.t)
+
+    def build(self, pid: ProcessorId, config: ProtocolConfig) -> AgreementProtocol:
+        self.validate(config)
+        return PhaseKingProcessor(pid, config)
+
+    def describe(self) -> str:
+        return "phase-king: 2(t+1)+1 rounds, O(1)-value messages, n > 4t"

@@ -1,0 +1,122 @@
+"""Command-line interface: run single executions or regenerate experiment tables.
+
+Two subcommands:
+
+``repro run``
+    Execute one agreement instance (protocol, parameters, adversary, faulty
+    set) and print the outcome and costs.
+
+``repro experiments``
+    Regenerate the paper's tables/figures (the E1–E9 harness) at a chosen
+    scale and print them; optionally restrict to a subset by experiment id.
+
+Examples
+--------
+::
+
+    python -m repro run --protocol hybrid --n 16 --t 5 --b 3 \\
+        --adversary equivocating-source-allies --faults 5 --source-faulty
+    python -m repro experiments --scale small --only E1 E8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .adversary import adversary_registry
+from .analysis import format_table
+from .baselines import DolevStrongSpec, PeaseShostakLamportSpec, PhaseKingSpec
+from .core.algorithm_a import AlgorithmASpec
+from .core.algorithm_b import AlgorithmBSpec
+from .core.algorithm_c import AlgorithmCSpec
+from .core.exponential import ExponentialSpec
+from .core.hybrid import HybridSpec
+from .core.protocol import ProtocolConfig, ProtocolSpec
+from .experiments import run_all_experiments
+from .runtime.simulation import choose_faulty, run_agreement
+
+
+def build_spec(name: str, b: int) -> ProtocolSpec:
+    """Instantiate a protocol spec from its CLI name."""
+    factories = {
+        "exponential": lambda: ExponentialSpec(),
+        "algorithm-a": lambda: AlgorithmASpec(b),
+        "algorithm-b": lambda: AlgorithmBSpec(b),
+        "algorithm-c": lambda: AlgorithmCSpec(),
+        "hybrid": lambda: HybridSpec(b),
+        "psl": lambda: PeaseShostakLamportSpec(),
+        "phase-king": lambda: PhaseKingSpec(),
+        "dolev-strong": lambda: DolevStrongSpec(),
+    }
+    if name not in factories:
+        raise SystemExit(f"unknown protocol {name!r}; choose from {sorted(factories)}")
+    return factories[name]()
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Shifting Gears (Bar-Noy, Dolev, Dwork, Strong) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one agreement instance")
+    run.add_argument("--protocol", default="hybrid")
+    run.add_argument("--n", type=int, default=16)
+    run.add_argument("--t", type=int, default=5)
+    run.add_argument("--b", type=int, default=3,
+                     help="block parameter for algorithms A, B and the hybrid")
+    run.add_argument("--value", type=int, default=1, help="the source's input value")
+    run.add_argument("--faults", type=int, default=None,
+                     help="number of faulty processors (default: t)")
+    run.add_argument("--source-faulty", action="store_true")
+    run.add_argument("--adversary", default="equivocating-source-allies",
+                     choices=sorted(adversary_registry()))
+    run.add_argument("--seed", type=int, default=0)
+
+    experiments = sub.add_parser("experiments",
+                                 help="regenerate the paper's tables and figures")
+    experiments.add_argument("--scale", choices=("small", "paper"), default="small")
+    experiments.add_argument("--only", nargs="*", default=None,
+                             help="experiment ids to include (e.g. E1 E8)")
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    spec = build_spec(args.protocol, args.b)
+    config = ProtocolConfig(n=args.n, t=args.t, initial_value=args.value)
+    fault_count = args.faults if args.faults is not None else args.t
+    faulty = choose_faulty(args.n, fault_count, source_faulty=args.source_faulty)
+    adversary = adversary_registry()[args.adversary]()
+    result = run_agreement(spec, config, faulty, adversary, seed=args.seed)
+    print(format_table([result.summary()], title=f"{spec.name} on n={args.n}, "
+                                                 f"t={args.t}, faulty={sorted(faulty)}"))
+    print()
+    print(f"decisions: {dict(sorted(result.decisions.items()))}")
+    return 0 if result.succeeded else 1
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    tables = run_all_experiments(scale=args.scale)
+    wanted = None
+    if args.only:
+        wanted = {token.upper() for token in args.only}
+    for name, rows in tables.items():
+        experiment_id = name.split("-")[0].upper()
+        if wanted is not None and experiment_id not in wanted:
+            continue
+        print(format_table(rows, title=name))
+        print()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(list(argv) if argv is not None else None)
+    if args.command == "run":
+        return _command_run(args)
+    return _command_experiments(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

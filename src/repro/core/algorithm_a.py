@@ -1,0 +1,103 @@
+"""Algorithm A (Theorem 2 of the paper).
+
+Resilience ``t_A = ⌊(n − 1) / 3⌋`` — the optimum for unauthenticated Byzantine
+agreement.  For a block parameter ``2 < b ≤ t``, Algorithm A(b) is the
+repeated application of ``shift_{b+1→1}`` to the Exponential Algorithm using
+the *threshold* conversion ``resolve'`` (a value must appear at least
+``t + 1`` times among the converted children and must be unique, otherwise the
+node converts to ``⊥``), plus the Fault Discovery Rule During Conversion:
+
+* one initial round,
+* ``⌊(t − 1)/(b − 2)⌋`` blocks of ``b`` rounds, each ending with
+  ``tree(s) := resolve'(s)`` (with ``⊥`` mapped to the default value),
+* when ``b − 2`` does not divide ``t − 1``, one final block of
+  ``t + 1 − (b − 2)⌊(t − 1)/(b − 2)⌋`` rounds,
+* decide ``resolve'(s)``.
+
+Total: ``t + 2 + 2⌊(t − 1)/(b − 2)⌋`` rounds with ``O(n^b)``-bit messages and
+``O(n^{b+1}(t − 1)/(b − 2))`` local computation.  A block that fails to yield
+a persistent value globally detects at least ``b − 2`` new faults besides the
+source (Corollary 3), which is why the denominator is ``b − 2`` rather than
+Algorithm B's ``b − 1`` — the price paid for the higher resilience.
+
+``b = t`` degenerates to the Exponential Algorithm run with ``resolve'``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .protocol import AgreementProtocol, ProtocolConfig, ProtocolSpec
+from .sequences import ProcessorId
+from .shifting import ShiftSchedule, ShiftingEIGProcessor
+from ..runtime.errors import ConfigurationError
+
+
+def algorithm_a_resilience(n: int) -> int:
+    """``t_A = ⌊(n − 1) / 3⌋``."""
+    return (n - 1) // 3
+
+
+def algorithm_a_blocks(t: int, b: int) -> List[int]:
+    """Block lengths (after the initial round) of Algorithm A(b)."""
+    if not 2 < b <= t:
+        raise ConfigurationError(
+            f"Algorithm A requires 2 < b ≤ t (got b={b}, t={t})")
+    if b == t:
+        return [t]
+    full_blocks = (t - 1) // (b - 2)
+    remainder = (t - 1) - (b - 2) * full_blocks
+    blocks = [b] * full_blocks
+    if remainder:
+        blocks.append(remainder + 2)
+    return blocks
+
+
+def algorithm_a_rounds(t: int, b: int) -> int:
+    """Worst-case rounds of Algorithm A(b).
+
+    Equals ``t + 2 + 2⌊(t − 1)/(b − 2)⌋`` when ``(b − 2) ∤ (t − 1)`` (and
+    correspondingly fewer otherwise); ``t + 1`` when ``b = t``.
+    """
+    return 1 + sum(algorithm_a_blocks(t, b))
+
+
+def algorithm_a_max_message_entries(n: int, b: int) -> int:
+    """Entries of the largest message: leaves of a ``b``-level tree, ``O(n^b)``."""
+    count = 1
+    for i in range(1, b):
+        count *= max(1, n - i)
+    return count
+
+
+def algorithm_a_schedule(t: int, b: int) -> ShiftSchedule:
+    """The :class:`ShiftSchedule` realising Algorithm A(b)."""
+    return ShiftSchedule.uniform(algorithm_a_blocks(t, b), "resolve_prime",
+                                 conversion_discovery=True)
+
+
+class AlgorithmASpec(ProtocolSpec):
+    """Protocol spec for Algorithm A with block parameter *b*."""
+
+    def __init__(self, b: int) -> None:
+        self.b = b
+        self.name = f"algorithm-a(b={b})"
+
+    def validate(self, config: ProtocolConfig) -> None:
+        if config.t > algorithm_a_resilience(config.n):
+            raise ConfigurationError(
+                f"Algorithm A requires n ≥ 3t + 1 (got n={config.n}, t={config.t})")
+        if not 2 < self.b <= config.t:
+            raise ConfigurationError(
+                f"Algorithm A requires 2 < b ≤ t (got b={self.b}, t={config.t})")
+
+    def total_rounds(self, config: ProtocolConfig) -> int:
+        return algorithm_a_rounds(config.t, self.b)
+
+    def build(self, pid: ProcessorId, config: ProtocolConfig) -> AgreementProtocol:
+        self.validate(config)
+        return ShiftingEIGProcessor(
+            pid, config, algorithm_a_schedule(config.t, self.b))
+
+    def describe(self) -> str:
+        return f"{self.name}: t+2+2⌊(t−1)/(b−2)⌋ rounds, O(n^b) bits"

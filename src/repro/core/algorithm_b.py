@@ -1,0 +1,102 @@
+"""Algorithm B (Theorem 3 of the paper).
+
+Resilience ``t_B = ⌊(n − 1) / 4⌋``.  For a block parameter ``1 < b ≤ t``,
+Algorithm B(b) is the repeated application of ``shift_{b+1→1}`` (conversion by
+``resolve``) to the Exponential Algorithm:
+
+* one initial round (the source's broadcast),
+* ``⌊(t − 1)/(b − 1)⌋`` blocks of ``b`` rounds, each ending with
+  ``tree(s) := resolve(s)``,
+* when ``b − 1`` does not divide ``t − 1``, one final block of
+  ``t − (b − 1)⌊(t − 1)/(b − 1)⌋`` rounds,
+* decide ``resolve(s)``.
+
+Total: ``t + 1 + ⌊(t − 1)/(b − 1)⌋`` rounds in the worst case (one fewer when
+``(b − 1) | (t − 1)``), with messages of ``O(n^b)`` bits and
+``O(n^{b+1}(t − 1)/(b − 1))`` local computation.  The correctness argument is
+that every block either yields a persistent value (Frontier + Persistence
+Lemmas) or globally detects at least ``b − 1`` new faults besides the source
+(Corollary 1 to the Hidden Fault Lemma), and masked faults cannot block the
+emergence of a persistent value.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .protocol import AgreementProtocol, ProtocolConfig, ProtocolSpec
+from .sequences import ProcessorId
+from .shifting import ShiftSchedule, ShiftingEIGProcessor
+from ..runtime.errors import ConfigurationError
+
+
+def algorithm_b_resilience(n: int) -> int:
+    """``t_B = ⌊(n − 1) / 4⌋``."""
+    return (n - 1) // 4
+
+
+def algorithm_b_blocks(t: int, b: int) -> List[int]:
+    """Block lengths (after the initial round) of Algorithm B(b).
+
+    ``b = t`` degenerates to the Exponential Algorithm (a single block of
+    ``t`` rounds).
+    """
+    if not 1 < b <= t:
+        raise ConfigurationError(
+            f"Algorithm B requires 1 < b ≤ t (got b={b}, t={t})")
+    full_blocks = (t - 1) // (b - 1)
+    remainder = (t - 1) - (b - 1) * full_blocks
+    blocks = [b] * full_blocks
+    if remainder:
+        blocks.append(remainder + 1)
+    return blocks
+
+
+def algorithm_b_rounds(t: int, b: int) -> int:
+    """Worst-case rounds of Algorithm B(b): ``1 + Σ block lengths``.
+
+    Equals ``t + 1 + ⌊(t − 1)/(b − 1)⌋`` when ``(b − 1) ∤ (t − 1)`` and one
+    fewer otherwise, as in Theorem 3.
+    """
+    return 1 + sum(algorithm_b_blocks(t, b))
+
+
+def algorithm_b_max_message_entries(n: int, b: int) -> int:
+    """Entries of the largest message: leaves of a ``b``-level tree, ``O(n^b)``."""
+    count = 1
+    for i in range(1, b):
+        count *= max(1, n - i)
+    return count
+
+
+def algorithm_b_schedule(t: int, b: int) -> ShiftSchedule:
+    """The :class:`ShiftSchedule` realising Algorithm B(b)."""
+    return ShiftSchedule.uniform(algorithm_b_blocks(t, b), "resolve",
+                                 conversion_discovery=False)
+
+
+class AlgorithmBSpec(ProtocolSpec):
+    """Protocol spec for Algorithm B with block parameter *b*."""
+
+    def __init__(self, b: int) -> None:
+        self.b = b
+        self.name = f"algorithm-b(b={b})"
+
+    def validate(self, config: ProtocolConfig) -> None:
+        if config.t > algorithm_b_resilience(config.n):
+            raise ConfigurationError(
+                f"Algorithm B requires n ≥ 4t + 1 (got n={config.n}, t={config.t})")
+        if not 1 < self.b <= config.t:
+            raise ConfigurationError(
+                f"Algorithm B requires 1 < b ≤ t (got b={self.b}, t={config.t})")
+
+    def total_rounds(self, config: ProtocolConfig) -> int:
+        return algorithm_b_rounds(config.t, self.b)
+
+    def build(self, pid: ProcessorId, config: ProtocolConfig) -> AgreementProtocol:
+        self.validate(config)
+        return ShiftingEIGProcessor(
+            pid, config, algorithm_b_schedule(config.t, self.b))
+
+    def describe(self) -> str:
+        return f"{self.name}: t+1+⌊(t−1)/(b−1)⌋ rounds, O(n^b) bits"

@@ -1,0 +1,84 @@
+"""The Exponential Algorithm (Section 3 of the paper).
+
+"Exponential Information Gathering with Recursive Majority Voting": gather
+information for ``t + 1`` rounds, convert the tree with ``resolve`` (recursive
+majority), decide on the converted value for the root.  It requires
+``n ≥ 3t + 1`` and reaches agreement in the optimal ``t + 1`` rounds, at the
+cost of messages (and local computation) that grow as ``O(n^h)`` with the
+round number ``h``.
+
+The processors here run the *modified* Exponential Algorithm — with the Fault
+Discovery and Fault Masking Rules — which is the version every other algorithm
+in the paper is derived from by shifting.  A flag allows the conversion
+function to be swapped for ``resolve'`` (the paper's Remark 1 after Claim 2:
+the Exponential Algorithm is also correct with ``resolve'``).
+"""
+
+from __future__ import annotations
+
+from .protocol import AgreementProtocol, ProtocolConfig, ProtocolSpec
+from .sequences import ProcessorId
+from .shifting import Segment, ShiftSchedule, ShiftingEIGProcessor
+from ..runtime.errors import ConfigurationError
+
+
+def exponential_resilience(n: int) -> int:
+    """Maximum resilience of the Exponential Algorithm: ``⌊(n − 1) / 3⌋``."""
+    return (n - 1) // 3
+
+
+def exponential_rounds(t: int) -> int:
+    """Rounds of communication used by the Exponential Algorithm: ``t + 1``."""
+    return t + 1
+
+
+def exponential_max_message_entries(n: int, t: int) -> int:
+    """Entries of the largest message: the leaf count of the round-``t`` tree.
+
+    Round ``t + 1`` messages carry the ``t``-level leaves, of which there are
+    ``(n − 1)(n − 2)···(n − t + 1)`` — the paper's ``O(n^{t-1})`` bound (with
+    an extra ``n − t`` factor for the final, unsent level when counting tree
+    size instead of message size).
+    """
+    count = 1
+    for i in range(1, t):
+        count *= max(1, n - i)
+    return count
+
+
+def exponential_schedule(t: int, conversion: str = "resolve") -> ShiftSchedule:
+    """The Exponential Algorithm as a degenerate one-segment shift schedule."""
+    return ShiftSchedule((Segment(t, conversion, conversion_discovery=False),))
+
+
+class ExponentialSpec(ProtocolSpec):
+    """Protocol spec for the (modified) Exponential Algorithm.
+
+    Parameters
+    ----------
+    conversion:
+        ``"resolve"`` (default, recursive majority) or ``"resolve_prime"``
+        (the threshold conversion; also correct, per the paper's remark).
+    """
+
+    def __init__(self, conversion: str = "resolve") -> None:
+        self.conversion = conversion
+        self.name = ("exponential" if conversion == "resolve"
+                     else "exponential-resolve-prime")
+
+    def validate(self, config: ProtocolConfig) -> None:
+        if config.n < 3 * config.t + 1:
+            raise ConfigurationError(
+                f"the Exponential Algorithm requires n ≥ 3t + 1 "
+                f"(got n={config.n}, t={config.t})")
+
+    def total_rounds(self, config: ProtocolConfig) -> int:
+        return exponential_rounds(config.t)
+
+    def build(self, pid: ProcessorId, config: ProtocolConfig) -> AgreementProtocol:
+        self.validate(config)
+        return ShiftingEIGProcessor(
+            pid, config, exponential_schedule(config.t, self.conversion))
+
+    def describe(self) -> str:
+        return f"{self.name}(t+1 rounds, O(n^t) bits)"

@@ -1,0 +1,179 @@
+"""The Fault Discovery Rules (Section 3 and Section 4.2 of the paper).
+
+Two rules let a correct processor ``p`` add names to its list ``L_p`` of
+processors known to be faulty:
+
+**Fault Discovery Rule (during Information Gathering).**  When the children of
+an internal node ``αr`` have just been stored, ``r ∉ L_p`` is added to ``L_p``
+if either
+
+* there is no majority value for ``αr`` (no value is stored at a strict
+  majority of its children), or
+* a majority value exists but values other than it are stored at more than
+  ``t − |L_p|`` children of ``αr`` corresponding to processors ``q ∉ L_p``.
+
+**Fault Discovery Rule During Conversion (Algorithm A only).**  The same test
+applied to the *converted* values of the children of ``αr`` while a conversion
+(``resolve'``) is being computed.
+
+Both rules are sound: as long as ``L_p`` contains only faulty processors and
+at most ``t`` processors are faulty, any processor the rules add is faulty
+(a correct ``r`` relays a single value which at least ``n − |αr| − t`` correct
+children echo, so the majority exists and at most ``t − |L_p|`` unlisted
+children deviate).  Because one discovery can enable another within the same
+round — masking a newly discovered processor changes other nodes' child
+values — the implementation iterates discovery to a fixpoint; the paper leaves
+the order unspecified and the fixpoint only ever adds provably faulty names.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Set
+
+from .sequences import LabelSequence, ProcessorId, corresponding_processor
+from .tree import InfoGatheringTree
+from .values import Value
+from ..runtime.metrics import ComputationMeter
+
+
+def majority_among_children(values: Sequence[Value]):
+    """Return ``(majority_value, counter)`` for a list of child values.
+
+    ``majority_value`` is ``None`` when no value is held by a strict majority
+    of the children (the population is the full child count, as in the paper's
+    definition of *majority value for β*).
+    """
+    counter = Counter(values)
+    if not values:
+        return None, counter
+    value, count = counter.most_common(1)[0]
+    if count * 2 > len(values):
+        return value, counter
+    return None, counter
+
+
+def node_triggers_discovery(child_values: Dict[ProcessorId, Value],
+                            suspects: Set[ProcessorId],
+                            t: int) -> bool:
+    """Evaluate the two conditions of the Fault Discovery Rule for one node.
+
+    ``child_values`` maps the child label ``q`` to the value stored (or
+    converted) at ``αrq``; ``suspects`` is the current ``L_p``.
+    """
+    values = list(child_values.values())
+    majority, _counter = majority_among_children(values)
+    if majority is None:
+        return True
+    budget = t - len(suspects)
+    deviating_unlisted = sum(
+        1 for q, value in child_values.items()
+        if q not in suspects and value != majority)
+    return deviating_unlisted > budget
+
+
+def discover_at_level(tree: InfoGatheringTree, level: int,
+                      suspects: Set[ProcessorId], t: int,
+                      meter: ComputationMeter = None) -> Set[ProcessorId]:
+    """Apply the Fault Discovery Rule to every internal node whose children
+    live at *level* of *tree* (a single pass, no masking).
+
+    Returns the set of newly discovered processors (not yet added to
+    *suspects*; the caller owns the update so it can interleave masking).
+    """
+    discovered: Set[ProcessorId] = set()
+    if level < 2:
+        return discovered
+    for parent in tree.level_sequences(level - 1):
+        r = corresponding_processor(parent)
+        if r in suspects or r in discovered:
+            continue
+        child_values = {
+            child: tree.value(parent + (child,))
+            for child in tree.child_labels(parent)
+        }
+        if meter is not None:
+            meter.charge(len(child_values))
+        if node_triggers_discovery(child_values, suspects, t):
+            discovered.add(r)
+    return discovered
+
+
+def discover_during_conversion(tree: InfoGatheringTree,
+                               converted: Dict[LabelSequence, Value],
+                               suspects: Set[ProcessorId], t: int,
+                               meter: ComputationMeter = None) -> Set[ProcessorId]:
+    """The Fault Discovery Rule During Conversion (Algorithm A).
+
+    *converted* maps every node of the tree to its converted value (the output
+    of :func:`repro.core.resolve.resolve_all`).  Every internal node ``αr``
+    that is not the root's proxy for the source... — precisely, every internal
+    node — is examined using the converted values of its children.
+    """
+    discovered: Set[ProcessorId] = set()
+    num_levels = tree.num_levels
+    for level in range(1, num_levels):
+        for parent in tree.level_sequences(level):
+            r = corresponding_processor(parent)
+            if r in suspects or r in discovered:
+                continue
+            child_values = {
+                child: converted[parent + (child,)]
+                for child in tree.child_labels(parent)
+                if parent + (child,) in converted
+            }
+            if not child_values:
+                continue
+            if meter is not None:
+                meter.charge(len(child_values))
+            if node_triggers_discovery(child_values, suspects, t):
+                discovered.add(r)
+    return discovered
+
+
+class FaultTracker:
+    """The ``L_p`` list of one correct processor plus its discovery history.
+
+    The tracker records *when* each processor was discovered (round number)
+    so that experiments can reproduce the paper's per-block progress argument
+    ("each block without a common frontier globally detects at least ``b − 1``
+    new faults").
+    """
+
+    def __init__(self, owner: ProcessorId, t: int) -> None:
+        self.owner = owner
+        self.t = t
+        self._suspects: Set[ProcessorId] = set()
+        self._discovered_in_round: Dict[ProcessorId, int] = {}
+
+    # -- membership --------------------------------------------------------
+    @property
+    def suspects(self) -> Set[ProcessorId]:
+        return set(self._suspects)
+
+    def __contains__(self, pid: object) -> bool:
+        return pid in self._suspects
+
+    def __len__(self) -> int:
+        return len(self._suspects)
+
+    def add(self, pid: ProcessorId, round_number: int) -> bool:
+        """Record *pid* as faulty (idempotent); returns True if newly added."""
+        if pid in self._suspects:
+            return False
+        self._suspects.add(pid)
+        self._discovered_in_round[pid] = round_number
+        return True
+
+    def add_all(self, pids: Iterable[ProcessorId], round_number: int) -> List[ProcessorId]:
+        return [pid for pid in pids if self.add(pid, round_number)]
+
+    def discovery_round(self, pid: ProcessorId) -> int:
+        return self._discovered_in_round[pid]
+
+    def discovered_by_round(self, round_number: int) -> Set[ProcessorId]:
+        return {pid for pid, rnd in self._discovered_in_round.items()
+                if rnd <= round_number}
+
+    def history(self) -> Dict[ProcessorId, int]:
+        return dict(self._discovered_in_round)

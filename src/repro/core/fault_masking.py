@@ -1,0 +1,103 @@
+"""The Fault Masking Rule (Section 3 of the paper).
+
+    "If q is added to L in round k, then any messages from q in round k and
+     any subsequent round are replaced by messages in which each value is the
+     default 0."
+
+The rule interacts with fault discovery in a specific order, which this module
+implements exactly:
+
+1. When the round-``k`` messages arrive, messages from processors *already* in
+   ``L_p`` are masked (every entry replaced by the default value).
+2. The Fault Discovery Rule is evaluated on the resulting round-``k`` tree.
+3. Newly discovered processors are added to ``L_p`` and *their* round-``k``
+   contributions are masked as well (only the freshly stored level — the
+   portion of the tree not yet relayed to others — is rewritten; earlier
+   levels are left untouched).
+
+Because masking a newly discovered sender changes the child values of other
+nodes, steps 2–3 are iterated to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from .fault_discovery import FaultTracker, discover_at_level
+from .sequences import ProcessorId
+from .tree import InfoGatheringTree
+from .values import DEFAULT_VALUE, Value
+from ..runtime.messages import Inbox, Message
+
+
+def mask_inbox(inbox: Inbox, suspects: Set[ProcessorId],
+               masked_value: Value = DEFAULT_VALUE) -> Inbox:
+    """Replace every entry of every message from a suspect sender by the default.
+
+    This is step 1 of the rule: it acts on messages, before they are stored in
+    the tree, and leaves messages from unsuspected senders untouched.
+    """
+    masked: Inbox = {}
+    for sender, message in inbox.items():
+        if sender in suspects:
+            masked[sender] = message.replace_values(masked_value)
+        else:
+            masked[sender] = message
+    return masked
+
+
+def mask_level_entries(tree: InfoGatheringTree, level: int,
+                       senders: Set[ProcessorId],
+                       masked_value: Value = DEFAULT_VALUE) -> int:
+    """Overwrite with the default every node of *level* whose last label is a
+    masked sender.  Returns the number of rewritten nodes.
+
+    The values at ``α·q`` of the freshly stored level came from ``q``'s
+    round-``k`` message, so masking ``q``'s round-``k`` message after the fact
+    means rewriting exactly those nodes.
+    """
+    if not senders:
+        return 0
+    rewritten = 0
+    for seq in tree.level_sequences(level):
+        if seq[-1] in senders:
+            tree.store(seq, masked_value)
+            rewritten += 1
+    return rewritten
+
+
+def discover_and_mask(tree: InfoGatheringTree, level: int,
+                      tracker: FaultTracker, round_number: int,
+                      masked_value: Value = DEFAULT_VALUE) -> Set[ProcessorId]:
+    """Steps 2–3 of the rule, iterated to a fixpoint.
+
+    Returns the set of processors newly added to ``L_p`` during this round.
+    """
+    newly_discovered: Set[ProcessorId] = set()
+    while True:
+        fresh = discover_at_level(tree, level, tracker.suspects, tracker.t,
+                                  meter=tree.meter)
+        fresh = {pid for pid in fresh if pid not in tracker}
+        if not fresh:
+            break
+        tracker.add_all(fresh, round_number)
+        newly_discovered |= fresh
+        mask_level_entries(tree, level, fresh, masked_value)
+    return newly_discovered
+
+
+def masked_claim(message: Message, seq, sender: ProcessorId,
+                 suspects: Set[ProcessorId], domain,
+                 masked_value: Value = DEFAULT_VALUE) -> Value:
+    """Resolve the value claimed by *sender* for node *seq*, applying masking
+    and the default-value substitution for inappropriate messages.
+
+    Helper shared by the protocol implementations when they populate a new
+    tree level from an inbox.
+    """
+    from .values import coerce_value  # local import to avoid cycle at module load
+
+    if sender in suspects or message is None:
+        return masked_value
+    claimed = message.value_for(seq)
+    return coerce_value(claimed, domain)

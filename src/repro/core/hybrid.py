@@ -1,0 +1,273 @@
+"""The Hybrid Algorithm (Theorem 1, the Main Theorem).
+
+The hybrid tolerates ``t ≤ t_A = ⌊(n − 1)/3⌋`` faults — the resilience of
+Algorithm A — yet finishes faster than Algorithm A by *shifting down* through
+algorithms of strictly lower standalone resilience:
+
+1. run Algorithm A(b) for exactly ``k_AB`` rounds; ``tree(s) := resolve'(s)``;
+2. run Algorithm B(b) for exactly ``k_BC`` rounds (beginning with its
+   round 2); ``tree(s) := resolve(s)``;
+3. run Algorithm C for exactly ``t − t_AC + 1`` rounds (beginning with its
+   round 2); decide ``resolve(s)``.
+
+The shifts are safe because of two facts proved in the paper:
+
+* **Persistence** — once sufficiently many correct processors share a
+  preferred value, the Strong Persistence Lemma (and its Algorithm C
+  analogue, Lemma 6) keeps that value through every later conversion, so the
+  shift cannot destroy an agreement already in the making;
+* **Fault detection** — if no persistent value has emerged, enough faults
+  have been *globally detected* (at least ``t_AB`` by round ``k_AB``, at
+  least ``t_AC`` by round ``k_AB + k_BC``) and thereafter masked that the
+  lower-resilience algorithm's progress argument (Corollary 1 for B,
+  Proposition 4's per-round dichotomy for C) applies even though the total
+  number of faults exceeds its standalone resilience.
+
+``t_AB`` is the least value with ``n − 2t + t_AB > ⌊(n − 1)/2⌋`` (so
+Corollary 1 survives the shift into B), and ``t_AC`` the least value with
+``(t − t_AC)² < n/2 − t`` and ``n − 2t + t_AC > n/2`` (so Proposition 4's
+argument survives the shift into C).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .algorithm_c import AlgorithmCProcessor
+from .protocol import AgreementProtocol, ProtocolConfig, ProtocolSpec
+from .sequences import ProcessorId
+from .shifting import Segment, ShiftSchedule, ShiftingEIGProcessor
+from .values import Value
+from ..runtime.errors import ConfigurationError
+from ..runtime.messages import Inbox, Outbox
+
+
+@dataclass(frozen=True)
+class HybridParameters:
+    """All derived quantities of the hybrid algorithm for one ``(n, t, b)``."""
+
+    n: int
+    t: int
+    b: int
+    t_ab: int
+    t_ac: int
+    t_bc: int
+    a_blocks: Tuple[int, ...]
+    b_blocks: Tuple[int, ...]
+    k_ab: int
+    k_bc: int
+    c_rounds: int
+
+    @property
+    def total_rounds(self) -> int:
+        return self.k_ab + self.k_bc + self.c_rounds
+
+    @property
+    def phase_boundaries(self) -> Tuple[int, int, int]:
+        """Global round numbers at which the A, B and C phases end."""
+        return (self.k_ab, self.k_ab + self.k_bc, self.total_rounds)
+
+
+def _threshold_t_ab(n: int, t: int) -> int:
+    """Least ``t_AB ≥ 1`` with ``n − 2t + t_AB > ⌊(n − 1)/2⌋`` (clamped to ``t``)."""
+    half = (n - 1) // 2
+    needed = half + 1 - (n - 2 * t)
+    return max(1, min(t, needed))
+
+
+def _threshold_t_ac(n: int, t: int, t_ab: int) -> int:
+    """Least ``t_AC ≥ t_AB`` satisfying the shift-into-C conditions (clamped to ``t``)."""
+    for candidate in range(t_ab, t + 1):
+        slack_ok = (t - candidate) ** 2 < n / 2 - t
+        majority_ok = (n - 2 * t + candidate) * 2 > n
+        if slack_ok and majority_ok:
+            return candidate
+    return t
+
+
+def hybrid_parameters(n: int, t: int, b: int) -> HybridParameters:
+    """Compute every constant of the hybrid algorithm for ``(n, t, b)``.
+
+    Raises :class:`ConfigurationError` when ``n < 3t + 1``, ``t < 3``, or
+    ``b`` is outside ``2 < b ≤ t``.
+    """
+    if n < 3 * t + 1:
+        raise ConfigurationError(
+            f"the hybrid algorithm requires n ≥ 3t + 1 (got n={n}, t={t})")
+    if t < 3:
+        raise ConfigurationError(
+            f"the hybrid algorithm requires t ≥ 3 so that 2 < b ≤ t (got t={t})")
+    if not 2 < b <= t:
+        raise ConfigurationError(
+            f"the hybrid algorithm requires 2 < b ≤ t (got b={b}, t={t})")
+
+    t_ab = _threshold_t_ab(n, t)
+    t_ac = _threshold_t_ac(n, t, t_ab)
+    t_bc = t_ac - t_ab
+
+    # Phase A: round 1, x blocks of b rounds, and a final block of y + 2 rounds,
+    # where t_AB − 1 = (b − 2)x + y; k_AB = 2 + t_AB + 2x.
+    x = (t_ab - 1) // (b - 2)
+    y = (t_ab - 1) - (b - 2) * x
+    a_blocks: List[int] = [b] * x + [y + 2]
+    k_ab = 1 + sum(a_blocks)
+
+    # Phase B: x' blocks of b rounds and a final block of y' + 1 rounds,
+    # where t_BC = (b − 1)x' + y'; k_BC = 1 + t_BC + x'.
+    x_prime = t_bc // (b - 1)
+    y_prime = t_bc - (b - 1) * x_prime
+    b_blocks: List[int] = [b] * x_prime + [y_prime + 1]
+    k_bc = sum(b_blocks)
+
+    c_rounds = t - t_ac + 1
+
+    return HybridParameters(
+        n=n, t=t, b=b, t_ab=t_ab, t_ac=t_ac, t_bc=t_bc,
+        a_blocks=tuple(a_blocks), b_blocks=tuple(b_blocks),
+        k_ab=k_ab, k_bc=k_bc, c_rounds=c_rounds)
+
+
+def hybrid_rounds(n: int, t: int, b: int) -> int:
+    """Worst-case rounds of the hybrid: ``k_AB + k_BC + (t − t_AC) + 1``."""
+    return hybrid_parameters(n, t, b).total_rounds
+
+
+def hybrid_rounds_closed_form(n: int, t: int, b: int) -> int:
+    """The Main Theorem's closed-form round count for comparison.
+
+    ``t + 2⌊(t_AB − 1)/(b − 2)⌋ + ⌊t_BC/(b − 1)⌋ + (t_AB + t_BC − t_AC) + 4``
+    with the same thresholds as :func:`hybrid_parameters`; asymptotically
+    ``t + O(t/b) + O(√t)``.
+    """
+    params = hybrid_parameters(n, t, b)
+    x = (params.t_ab - 1) // (b - 2)
+    x_prime = params.t_bc // (b - 1)
+    return t + 2 * x + x_prime + (params.t_ab + params.t_bc - params.t_ac) + 4
+
+
+def hybrid_rounds_asymptotic(t: int, b: int) -> float:
+    """The paper's headline asymptotic: ``t + t/(b − 2) + 2(b − 1) + O(√t)``
+    evaluated without the hidden constant (used only for shape comparisons)."""
+    return t + t / max(1, b - 2) + 2 * (b - 1) + math.sqrt(max(0, t))
+
+
+def hybrid_schedule(params: HybridParameters) -> ShiftSchedule:
+    """The A→B portion of the hybrid as a single :class:`ShiftSchedule`."""
+    segments = tuple(
+        [Segment(rounds, "resolve_prime", conversion_discovery=True)
+         for rounds in params.a_blocks]
+        + [Segment(rounds, "resolve", conversion_discovery=False)
+           for rounds in params.b_blocks])
+    return ShiftSchedule(segments)
+
+
+class HybridProcessor(AgreementProtocol):
+    """One processor's execution of the hybrid algorithm."""
+
+    def __init__(self, pid: ProcessorId, config: ProtocolConfig, b: int) -> None:
+        super().__init__(pid, config)
+        self.params = hybrid_parameters(config.n, config.t, b)
+        self._phase_ab = ShiftingEIGProcessor(
+            pid, config, hybrid_schedule(self.params), decide_at_end=False)
+        self._phase_c: Optional[AlgorithmCProcessor] = None
+
+    # -- phase management -----------------------------------------------------------
+    @property
+    def total_rounds(self) -> int:
+        return self.params.total_rounds
+
+    @property
+    def _ab_rounds(self) -> int:
+        return self.params.k_ab + self.params.k_bc
+
+    def _c_local_round(self, round_number: int) -> int:
+        """Translate a global round in the C phase to Algorithm C's numbering
+        (the first C-phase round is Algorithm C's round 2)."""
+        return round_number - self._ab_rounds + 1
+
+    def _ensure_phase_c(self) -> AlgorithmCProcessor:
+        if self._phase_c is None:
+            self._phase_c = AlgorithmCProcessor(
+                self.pid, self.config,
+                first_round=2,
+                last_round=self.params.c_rounds + 1,
+                initial_root=self._phase_ab.preferred_value(),
+                tracker=self._phase_ab.tracker)
+        return self._phase_c
+
+    # -- AgreementProtocol API ------------------------------------------------------
+    def outgoing(self, round_number: int) -> Outbox:
+        self._check_round(round_number)
+        if round_number <= self._ab_rounds:
+            return self._phase_ab.outgoing(round_number)
+        local = self._c_local_round(round_number)
+        return self._ensure_phase_c().outgoing(local)
+
+    def incoming(self, round_number: int, inbox: Inbox) -> None:
+        if round_number <= self._ab_rounds:
+            self._phase_ab.incoming(round_number, inbox)
+            if round_number == 1 and self.pid == self.config.source:
+                self._decide(self.config.initial_value)
+            return
+        local = self._c_local_round(round_number)
+        phase_c = self._ensure_phase_c()
+        phase_c.incoming(local, inbox)
+        if round_number == self.total_rounds and self.pid != self.config.source:
+            self._decide(phase_c.decision())
+
+    # -- introspection ------------------------------------------------------------------
+    def preferred_value(self) -> Value:
+        if self._phase_c is not None:
+            return self._phase_c.preferred_value()
+        return self._phase_ab.preferred_value()
+
+    def discovered_faults(self):
+        if self._phase_c is not None:
+            return self._phase_c.discovered_faults()
+        return self._phase_ab.discovered_faults()
+
+    def computation_units(self) -> int:
+        units = self._phase_ab.computation_units()
+        if self._phase_c is not None:
+            units += self._phase_c.computation_units()
+        return units
+
+    def phase_of_round(self, round_number: int) -> str:
+        """Which algorithm the hybrid is executing at a global round ("A", "B" or "C")."""
+        if round_number <= self.params.k_ab:
+            return "A"
+        if round_number <= self._ab_rounds:
+            return "B"
+        return "C"
+
+    @property
+    def discovery_log(self):
+        log = dict(self._phase_ab.discovery_log)
+        if self._phase_c is not None:
+            offset = self._ab_rounds - 1
+            for local_round, count in self._phase_c.discovery_log.items():
+                log[local_round + offset] = count
+        return log
+
+
+class HybridSpec(ProtocolSpec):
+    """Protocol spec for the hybrid algorithm with block parameter *b*."""
+
+    def __init__(self, b: int) -> None:
+        self.b = b
+        self.name = f"hybrid(b={b})"
+
+    def validate(self, config: ProtocolConfig) -> None:
+        hybrid_parameters(config.n, config.t, self.b)
+
+    def total_rounds(self, config: ProtocolConfig) -> int:
+        return hybrid_rounds(config.n, config.t, self.b)
+
+    def build(self, pid: ProcessorId, config: ProtocolConfig) -> AgreementProtocol:
+        self.validate(config)
+        return HybridProcessor(pid, config, self.b)
+
+    def describe(self) -> str:
+        return f"{self.name}: A→B→C, t + O(t/b) + O(√t) rounds, O(n^b) bits"

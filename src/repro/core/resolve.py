@@ -1,0 +1,161 @@
+"""Data-conversion functions: ``resolve`` and ``resolve'``.
+
+The paper defines two recursive conversion functions applied to (subtrees of)
+an Information Gathering Tree:
+
+* ``resolve`` — *recursive majority voting*, used by the Exponential
+  Algorithm, Algorithm B, Algorithm C, and the final stages of the hybrid:
+  a leaf resolves to its stored value; an internal node resolves to the value
+  held by a strict majority of its resolved children, or to the default value
+  0 when no majority exists.
+
+* ``resolve'`` — the *threshold* conversion of Algorithm A: a leaf resolves to
+  its stored value; an internal node resolves to ``v`` when ``v`` is the
+  *unique* value of ``V`` appearing at least ``t + 1`` times among the
+  resolved children, and to ``⊥`` (:data:`~repro.core.values.BOTTOM`)
+  otherwise.  ``⊥`` never enters the tree; a processor whose final conversion
+  yields ``⊥`` adopts the default value as its new preferred value.
+
+Both functions are implemented iteratively (post-order over the subtree) so
+that very deep trees never hit Python's recursion limit, and both charge one
+computation unit per visited node so the ``O(n^{b+1})``-style local
+computation bounds can be validated.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Optional
+
+from .sequences import LabelSequence
+from .tree import InfoGatheringTree
+from .values import BOTTOM, DEFAULT_VALUE, Value, is_bottom
+
+Resolver = Callable[[InfoGatheringTree, LabelSequence], Value]
+
+
+def majority_value(counter: Counter, population: int) -> Optional[Value]:
+    """The value held by a strict majority of *population* slots, if any."""
+    if not counter or population <= 0:
+        return None
+    value, count = counter.most_common(1)[0]
+    if count * 2 > population:
+        return value
+    return None
+
+
+def _resolved_children(tree: InfoGatheringTree, seq: LabelSequence,
+                       cache: Dict[LabelSequence, Value],
+                       resolve_leaf_and_combine) -> Value:
+    """Post-order evaluation of a conversion function over the subtree at *seq*.
+
+    ``resolve_leaf_and_combine`` is a pair ``(leaf_fn, combine_fn)`` where
+    ``leaf_fn(seq)`` resolves a leaf and ``combine_fn(seq, child_values)``
+    combines already-resolved children of an internal node.
+    """
+    leaf_fn, combine_fn = resolve_leaf_and_combine
+    stack = [(tuple(seq), False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node in cache:
+            continue
+        if tree.is_leaf(node):
+            cache[node] = leaf_fn(node)
+            tree.meter.charge()
+            continue
+        children = [node + (c,) for c in tree.child_labels(node)]
+        if not expanded:
+            stack.append((node, True))
+            for child in children:
+                if child not in cache:
+                    stack.append((child, False))
+            continue
+        child_values = [cache[child] for child in children]
+        cache[node] = combine_fn(node, child_values)
+        tree.meter.charge(len(children))
+    return cache[tuple(seq)]
+
+
+def resolve(tree: InfoGatheringTree, seq: LabelSequence,
+            cache: Optional[Dict[LabelSequence, Value]] = None) -> Value:
+    """Recursive majority vote over the subtree rooted at *seq*.
+
+    Returns the stored value for leaves; for internal nodes, the strict
+    majority among the resolved children, or :data:`DEFAULT_VALUE` when no
+    strict majority exists.
+    """
+    if cache is None:
+        cache = {}
+
+    def leaf_fn(node: LabelSequence) -> Value:
+        return tree.value(node)
+
+    def combine_fn(node: LabelSequence, child_values) -> Value:
+        majority = majority_value(Counter(child_values), len(child_values))
+        return majority if majority is not None else DEFAULT_VALUE
+
+    return _resolved_children(tree, seq, cache, (leaf_fn, combine_fn))
+
+
+def make_resolve_prime(t: int) -> Resolver:
+    """Build the ``resolve'`` conversion function for resilience parameter *t*.
+
+    ``resolve'`` needs to know ``t`` because its internal-node rule is a
+    ``t + 1`` threshold rather than a majority.
+    """
+
+    def resolve_prime(tree: InfoGatheringTree, seq: LabelSequence,
+                      cache: Optional[Dict[LabelSequence, Value]] = None) -> Value:
+        if cache is None:
+            cache = {}
+
+        def leaf_fn(node: LabelSequence) -> Value:
+            return tree.value(node)
+
+        def combine_fn(node: LabelSequence, child_values) -> Value:
+            counts = Counter(v for v in child_values if not is_bottom(v))
+            winners = [value for value, count in counts.items()
+                       if count >= t + 1]
+            if len(winners) == 1:
+                return winners[0]
+            return BOTTOM
+
+        return _resolved_children(tree, seq, cache, (leaf_fn, combine_fn))
+
+    return resolve_prime
+
+
+def resolve_prime(tree: InfoGatheringTree, seq: LabelSequence, t: int,
+                  cache: Optional[Dict[LabelSequence, Value]] = None) -> Value:
+    """Convenience wrapper around :func:`make_resolve_prime`."""
+    return make_resolve_prime(t)(tree, seq, cache)
+
+
+def converted_root(tree: InfoGatheringTree, conversion: str, t: int) -> Value:
+    """Apply the named conversion (``"resolve"`` or ``"resolve_prime"``) to the
+    root and map ``⊥`` to the default value, as the protocols do when adopting
+    a new preferred value."""
+    if conversion == "resolve":
+        value = resolve(tree, tree.root)
+    elif conversion == "resolve_prime":
+        value = resolve_prime(tree, tree.root, t)
+    else:
+        raise ValueError(f"unknown conversion function {conversion!r}")
+    return DEFAULT_VALUE if is_bottom(value) else value
+
+
+def resolve_all(tree: InfoGatheringTree, conversion: str, t: int) -> Dict[LabelSequence, Value]:
+    """Resolve every node of the tree, returning the full converted-value map.
+
+    Used by the Fault Discovery Rule During Conversion (which inspects the
+    converted values of every internal node's children) and by tests of the
+    Correctness / Frontier / Hidden Fault lemmas.
+    """
+    cache: Dict[LabelSequence, Value] = {}
+    if conversion == "resolve":
+        resolve(tree, tree.root, cache)
+    elif conversion == "resolve_prime":
+        resolve_prime(tree, tree.root, t, cache)
+    else:
+        raise ValueError(f"unknown conversion function {conversion!r}")
+    return cache

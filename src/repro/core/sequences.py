@@ -1,0 +1,132 @@
+"""Label sequences (root-to-node paths) of Information Gathering Trees.
+
+A *sequence* is an ordered tuple of processor identifiers, always beginning
+with the source ``s``.  The paper uses two flavours:
+
+* **without repetitions** (the Exponential Algorithm, Algorithms A and B):
+  no processor name appears twice on a root-to-leaf path, so a node
+  ``α`` of length ``|α|`` has exactly ``n − |α|`` children;
+* **with repetitions** (Algorithm C): every internal node has exactly ``n``
+  children, one per processor name.
+
+Sequences are plain tuples of ints so they can be dictionary keys, sorted,
+and serialised into messages without any wrapper object; this module collects
+the helpers for generating and validating them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+ProcessorId = int
+LabelSequence = Tuple[ProcessorId, ...]
+
+
+def validate_sequence(seq: Sequence[ProcessorId], source: ProcessorId,
+                      n: int, allow_repetitions: bool = False) -> LabelSequence:
+    """Validate and normalise a label sequence.
+
+    Raises :class:`ValueError` when the sequence is empty, does not start with
+    the source, mentions an unknown processor, or (for trees without
+    repetitions) repeats a label.
+    """
+    seq = tuple(seq)
+    if not seq:
+        raise ValueError("a label sequence must not be empty")
+    if seq[0] != source:
+        raise ValueError(f"sequence {seq!r} must begin with the source {source}")
+    for pid in seq:
+        if not 0 <= pid < n:
+            raise ValueError(f"unknown processor id {pid} in sequence {seq!r}")
+    if not allow_repetitions and len(set(seq)) != len(seq):
+        raise ValueError(f"sequence {seq!r} repeats a processor name")
+    return seq
+
+
+def child_labels(seq: Sequence[ProcessorId], processors: Sequence[ProcessorId],
+                 allow_repetitions: bool = False) -> List[ProcessorId]:
+    """Return the labels of the children of node *seq*.
+
+    Without repetitions the children are every processor not already on the
+    path (the source is on every path, so it never reappears); with
+    repetitions every processor, including those on the path, is a child.
+    """
+    if allow_repetitions:
+        return list(processors)
+    on_path = set(seq)
+    return [pid for pid in processors if pid not in on_path]
+
+
+def sequences_of_length(length: int, source: ProcessorId,
+                        processors: Sequence[ProcessorId],
+                        allow_repetitions: bool = False) -> Iterator[LabelSequence]:
+    """Yield every valid sequence of the given *length* (root included).
+
+    ``length == 1`` yields only the root ``(source,)``.  The enumeration order
+    is deterministic (depth-first, children in processor-id order) so that the
+    full tree shape can be reproduced independently of any particular
+    execution.
+    """
+    if length < 1:
+        return
+    stack: List[LabelSequence] = [(source,)]
+    while stack:
+        seq = stack.pop()
+        if len(seq) == length:
+            yield seq
+            continue
+        for pid in reversed(child_labels(seq, processors, allow_repetitions)):
+            stack.append(seq + (pid,))
+
+
+def count_sequences_of_length(length: int, n: int,
+                              allow_repetitions: bool = False) -> int:
+    """Number of sequences of a given length over *n* processors.
+
+    Without repetitions this is ``(n−1)(n−2)···(n−length+1)`` (the root label
+    is fixed to the source); with repetitions it is ``n^(length−1)``.
+    This matches the paper's ``O(n^{h−1})`` leaf-count bound for the round-h
+    tree.
+    """
+    if length < 1:
+        return 0
+    if allow_repetitions:
+        return n ** (length - 1)
+    count = 1
+    for i in range(1, length):
+        remaining = n - i
+        if remaining <= 0:
+            return 0
+        count *= remaining
+    return count
+
+
+def corresponding_processor(seq: Sequence[ProcessorId]) -> ProcessorId:
+    """The processor *corresponding to* a node: the last name in the sequence."""
+    if not seq:
+        raise ValueError("empty sequence has no corresponding processor")
+    return seq[-1]
+
+
+def strict_prefixes(seq: Sequence[ProcessorId]) -> Iterator[LabelSequence]:
+    """Yield every strict prefix of *seq* (shortest first)."""
+    seq = tuple(seq)
+    for i in range(1, len(seq)):
+        yield seq[:i]
+
+
+def is_prefix(prefix: Sequence[ProcessorId], seq: Sequence[ProcessorId]) -> bool:
+    """Return ``True`` iff *prefix* is a (not necessarily strict) prefix of *seq*."""
+    prefix = tuple(prefix)
+    seq = tuple(seq)
+    return len(prefix) <= len(seq) and seq[:len(prefix)] == prefix
+
+
+def all_faulty(seq: Sequence[ProcessorId], faulty: Iterable[ProcessorId]) -> bool:
+    """Return ``True`` iff every processor named in *seq* is faulty.
+
+    Used by tests that check the Hidden Fault Lemma and its corollaries, which
+    are stated for nodes ``αr`` in which all processors are faulty.
+    """
+    faulty_set = set(faulty)
+    return all(pid in faulty_set for pid in seq)

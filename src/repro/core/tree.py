@@ -1,0 +1,236 @@
+"""Information Gathering Trees — the principal data structure of the paper.
+
+Two flavours are provided:
+
+* :class:`InfoGatheringTree` — the tree *without repetitions* used by the
+  Exponential Algorithm and by Algorithms A and B.  A node is identified by
+  the sequence of labels on its root-to-node path; the root is ``(s,)`` and
+  the children of a node ``α`` are labelled by every processor not in ``α``.
+* :class:`RepetitionTree` — the tree *with repetitions* used by Algorithm C:
+  every internal node has exactly ``n`` children, one per processor, and the
+  tree never grows beyond three levels because ``shift_{3→2}`` collapses it at
+  every round.
+
+Both classes store values per *level* (level ℓ = sequences of length ℓ) which
+makes the round structure of the protocols explicit: the messages received in
+round ``h + 1`` populate level ``h + 1``, the leaves of the round-``h`` tree
+are exactly level ``h``, and a shift truncates the tree back to its first
+level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .sequences import LabelSequence, ProcessorId, child_labels
+from .values import DEFAULT_VALUE, Value
+from ..runtime.metrics import ComputationMeter
+
+
+class InfoGatheringTree:
+    """Information Gathering Tree without repetitions.
+
+    Parameters
+    ----------
+    source:
+        Identifier of the distinguished source processor ``s``.
+    processors:
+        All processor identifiers (including the source).
+    meter:
+        Optional :class:`ComputationMeter` charged one unit per store and per
+        read performed through the public API, so the local-computation
+        bounds of the theorems can be checked as growth shapes.
+    """
+
+    allow_repetitions = False
+
+    def __init__(self, source: ProcessorId,
+                 processors: Sequence[ProcessorId],
+                 meter: Optional[ComputationMeter] = None) -> None:
+        self.source = source
+        self.processors: Tuple[ProcessorId, ...] = tuple(processors)
+        if source not in self.processors:
+            raise ValueError("the source must be one of the processors")
+        self.n = len(self.processors)
+        self._meter = meter if meter is not None else ComputationMeter()
+        #: level index (1-based) -> {sequence: value}
+        self._levels: Dict[int, Dict[LabelSequence, Value]] = {}
+
+    # -- basic structure ---------------------------------------------------
+    @property
+    def meter(self) -> ComputationMeter:
+        return self._meter
+
+    @property
+    def root(self) -> LabelSequence:
+        return (self.source,)
+
+    @property
+    def num_levels(self) -> int:
+        """Number of populated levels (0 for an empty tree)."""
+        return max(self._levels, default=0)
+
+    @property
+    def height(self) -> int:
+        """Height as defined by the paper (−1 for an empty tree, 0 for a root-only tree)."""
+        return self.num_levels - 1
+
+    def child_labels(self, seq: LabelSequence) -> List[ProcessorId]:
+        """Labels of the children of node *seq* (processors not on the path)."""
+        return child_labels(seq, self.processors, self.allow_repetitions)
+
+    def is_leaf(self, seq: LabelSequence) -> bool:
+        """A node is a leaf iff it sits on the deepest populated level."""
+        return len(seq) >= self.num_levels
+
+    # -- storage -----------------------------------------------------------
+    def store(self, seq: Sequence[ProcessorId], value: Value) -> None:
+        """Store *value* at node *seq*, creating the node's level if needed."""
+        seq = tuple(seq)
+        level = len(seq)
+        self._levels.setdefault(level, {})[seq] = value
+        self._meter.charge()
+
+    def value(self, seq: Sequence[ProcessorId],
+              default: Value = DEFAULT_VALUE) -> Value:
+        """The value stored at node *seq* (default if the node is absent)."""
+        seq = tuple(seq)
+        self._meter.charge()
+        return self._levels.get(len(seq), {}).get(seq, default)
+
+    def has(self, seq: Sequence[ProcessorId]) -> bool:
+        seq = tuple(seq)
+        return seq in self._levels.get(len(seq), {})
+
+    def set_root(self, value: Value) -> None:
+        """Store *value* at the root (level 1)."""
+        self.store(self.root, value)
+
+    def root_value(self, default: Value = DEFAULT_VALUE) -> Value:
+        """The *preferred value* of the owning processor (value at the root)."""
+        return self.value(self.root, default)
+
+    # -- level access --------------------------------------------------------
+    def level(self, index: int) -> Dict[LabelSequence, Value]:
+        """A copy of the mapping {sequence: value} for level *index*."""
+        return dict(self._levels.get(index, {}))
+
+    def level_sequences(self, index: int) -> List[LabelSequence]:
+        return list(self._levels.get(index, {}).keys())
+
+    def leaves(self) -> Dict[LabelSequence, Value]:
+        """The deepest populated level (empty dict for an empty tree)."""
+        if not self._levels:
+            return {}
+        return dict(self._levels[self.num_levels])
+
+    def level_size(self, index: int) -> int:
+        return len(self._levels.get(index, {}))
+
+    def node_count(self) -> int:
+        return sum(len(level) for level in self._levels.values())
+
+    def sequences(self) -> Iterator[LabelSequence]:
+        for index in sorted(self._levels):
+            yield from self._levels[index].keys()
+
+    # -- growing the tree ----------------------------------------------------
+    def expected_parents(self, level: int) -> List[LabelSequence]:
+        """The sequences that must exist at ``level − 1`` before level *level*
+        can be populated (i.e. the internal nodes whose children are stored)."""
+        if level <= 1:
+            return []
+        return self.level_sequences(level - 1)
+
+    def grow_level(self, level: int,
+                   claimed_value) -> None:
+        """Populate level *level* from a claim function.
+
+        ``claimed_value(parent_seq, child_label)`` must return the value to be
+        stored at ``parent_seq + (child_label,)``.  The claim function is where
+        the protocol consults received messages (and applies masking and the
+        default-value substitution); the tree itself is policy-free.
+        """
+        if level != self.num_levels + 1:
+            raise ValueError(
+                f"cannot grow level {level}: tree currently has "
+                f"{self.num_levels} level(s)")
+        new_level: Dict[LabelSequence, Value] = {}
+        for parent in self.level_sequences(level - 1):
+            for child in self.child_labels(parent):
+                seq = parent + (child,)
+                new_level[seq] = claimed_value(parent, child)
+                self._meter.charge()
+        self._levels[level] = new_level
+
+    # -- shifting --------------------------------------------------------------
+    def truncate_to_level(self, level: int) -> None:
+        """Drop every level strictly deeper than *level* (part of a shift)."""
+        for index in [idx for idx in self._levels if idx > level]:
+            del self._levels[index]
+
+    def reset_to_root(self, value: Value) -> None:
+        """``shift_{k→1}``: collapse the whole tree to a root holding *value*."""
+        self._levels = {1: {self.root: value}}
+        self._meter.charge()
+
+    def overwrite_level(self, index: int,
+                        values: Dict[LabelSequence, Value]) -> None:
+        """Replace the value mapping of an existing level (used by Algorithm C's
+        conversion, which rewrites level 2 in place)."""
+        self._levels[index] = dict(values)
+        self._meter.charge(len(values))
+
+    # -- misc -------------------------------------------------------------------
+    def copy(self) -> "InfoGatheringTree":
+        """A deep copy sharing no state with the original (meter excluded)."""
+        clone = type(self)(self.source, self.processors)
+        clone._levels = {index: dict(level)
+                         for index, level in self._levels.items()}
+        return clone
+
+    def __repr__(self) -> str:
+        sizes = [self.level_size(i) for i in range(1, self.num_levels + 1)]
+        return (f"{type(self).__name__}(n={self.n}, levels={sizes})")
+
+
+class RepetitionTree(InfoGatheringTree):
+    """Information Gathering Tree *with repetitions* (Algorithm C).
+
+    Every internal node has exactly ``n`` children, one per processor name
+    (names may repeat along a path, and the source reappears as a child).
+    Algorithm C keeps the tree at no more than three levels.
+    """
+
+    allow_repetitions = True
+
+    def reorder_leaves(self) -> None:
+        """Swap ``tree(spq)`` and ``tree(sqp)`` for every pair ``p ≠ q``.
+
+        After the reordering, the subtree rooted at ``sq`` contains exactly
+        the values received *from* ``q`` in the current round (``q``'s report
+        of every processor's level-2 value), which is what Algorithm C's
+        conversion votes over.
+        """
+        if self.num_levels < 3:
+            raise ValueError("reordering requires a populated third level")
+        level3 = self._levels[3]
+        reordered: Dict[LabelSequence, Value] = {}
+        for seq, value in level3.items():
+            s, p, q = seq
+            reordered[(s, q, p)] = value
+            self._meter.charge()
+        self._levels[3] = reordered
+
+    def convert_intermediate(self, resolver) -> None:
+        """``shift_{3→2}``: set ``tree(sq) = resolver(sq)`` for every q, drop level 3.
+
+        *resolver* is called with each intermediate sequence ``(s, q)`` and
+        must return its converted value (normally ``resolve`` over the current
+        three-level tree).
+        """
+        if self.num_levels < 3:
+            raise ValueError("conversion requires a populated third level")
+        new_level2 = {seq: resolver(seq) for seq in self.level_sequences(2)}
+        self.overwrite_level(2, new_level2)
+        self.truncate_to_level(2)

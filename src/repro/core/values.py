@@ -1,0 +1,85 @@
+"""Value domain used by all Byzantine-agreement protocols in this package.
+
+The paper assumes the initial value of the source is drawn from a finite set
+``V`` that contains 0, and it uses two distinguished values:
+
+* ``DEFAULT_VALUE`` (0) — stored whenever a processor fails to send a
+  legitimate value, and used by the Fault Masking Rule.
+* ``BOTTOM`` (written ``⊥`` in the paper) — produced only by the threshold
+  conversion function ``resolve'`` of Algorithm A.  It never appears inside an
+  Information Gathering Tree; if a final conversion yields ``BOTTOM`` the
+  processor adopts ``DEFAULT_VALUE`` instead.
+
+Values are ordinary hashable Python objects (ints in all examples and tests),
+so the library works with any finite domain the caller chooses.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Tuple
+
+Value = Hashable
+
+#: The default value, element of ``V`` (the paper assumes ``0 ∈ V``).
+DEFAULT_VALUE: Value = 0
+
+
+class _Bottom:
+    """Singleton sentinel for the ``⊥`` value used by ``resolve'``.
+
+    ``BOTTOM`` compares equal only to itself, hashes consistently, and has a
+    stable ``repr`` so that it can be stored in counters and sets without
+    surprises.  It is deliberately *not* an element of ``V``.
+    """
+
+    _instance = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "BOTTOM"
+
+    def __reduce__(self):
+        return (_Bottom, ())
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The ``⊥`` sentinel produced by ``resolve'`` when no unique value reaches
+#: the ``t + 1`` threshold.
+BOTTOM = _Bottom()
+
+
+def is_bottom(value: Value) -> bool:
+    """Return ``True`` iff *value* is the ``⊥`` sentinel."""
+    return value is BOTTOM
+
+
+def default_domain(size: int = 2) -> Tuple[Value, ...]:
+    """Return the canonical value domain ``{0, 1, ..., size - 1}``.
+
+    The paper treats ``|V|`` as a constant and notes that larger domains can
+    be reduced to binary at the cost of two rounds; the simulator supports any
+    finite domain, but examples and benchmarks default to binary values.
+    """
+    if size < 2:
+        raise ValueError("a value domain needs at least two elements")
+    return tuple(range(size))
+
+
+def coerce_value(value: Value, domain: Iterable[Value]) -> Value:
+    """Validate *value* against *domain*, substituting the default.
+
+    This implements the paper's "a special default value of 0 ∈ V is stored if
+    the processor failed to send a legitimate value in V" rule: any value that
+    is not a member of the (finite) domain — including ``None`` for a missing
+    message and ``BOTTOM`` — is replaced by :data:`DEFAULT_VALUE`.
+    """
+    domain_set = set(domain)
+    if value in domain_set and not is_bottom(value):
+        return value
+    return DEFAULT_VALUE

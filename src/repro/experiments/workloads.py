@@ -1,0 +1,125 @@
+"""Workload (fault-scenario) generators for the experiment harness.
+
+A *scenario* bundles a faulty set with an adversary strategy.  The paper's
+theorems quantify over *every* adversary, which a simulation cannot do, so the
+harness approximates the worst case with a battery of named scenarios chosen
+to exercise the distinct branches of the analysis:
+
+* failure-free and benign-fault executions (validity / fast-path behaviour),
+* a faulty source that equivocates, with and without colluding relays
+  (the agreement-critical branch),
+* detection-avoiding and minimal-exposure strategies (the block-progress
+  dichotomy: persistent value or ``b − O(1)`` new global detections),
+* crash/omission patterns including the staggered one-crash-per-round worst
+  case for round counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterator, List, Optional, Sequence
+
+from ..adversary import (Adversary, BenignAdversary, ConsistentLiarAdversary,
+                         CrashAdversary, DelayedEquivocationAdversary,
+                         EchoSuppressorAdversary,
+                         EquivocatingSourceWithAlliesAdversary,
+                         MinimalExposureAdversary, RandomLiarAdversary,
+                         SilentAdversary, StaggeredCrashAdversary,
+                         StealthPathAdversary, TwoFacedAdversary,
+                         TwoFacedSourceAdversary)
+from ..core.sequences import ProcessorId
+from ..runtime.simulation import choose_faulty
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named (faulty set, adversary factory) pair."""
+
+    name: str
+    faulty: FrozenSet[ProcessorId]
+    adversary_factory: Callable[[], Adversary]
+
+    def adversary(self) -> Adversary:
+        return self.adversary_factory()
+
+    @property
+    def fault_count(self) -> int:
+        return len(self.faulty)
+
+
+def _named(name: str, faulty: FrozenSet[ProcessorId],
+           factory: Callable[[], Adversary]) -> Scenario:
+    return Scenario(name=name, faulty=faulty, adversary_factory=factory)
+
+
+def standard_scenarios(n: int, t: int, source: ProcessorId = 0) -> List[Scenario]:
+    """The default battery used by the correctness experiments.
+
+    Covers: no faults, benign faults, a crashing minority, every lying
+    strategy with a correct source, and every lying strategy with a faulty
+    (equivocating) source, always with exactly ``t`` faults unless stated.
+    """
+    full = choose_faulty(n, t, source_faulty=False, source=source)
+    with_source = choose_faulty(n, t, source_faulty=True, source=source)
+    scenarios = [
+        _named("fault-free", frozenset(), BenignAdversary),
+        _named("benign-faults", full, BenignAdversary),
+        _named("crash", full, lambda: CrashAdversary(crash_round=2,
+                                                     partial_deliveries=1)),
+        _named("staggered-crash", full, StaggeredCrashAdversary),
+        _named("silent", full, SilentAdversary),
+        _named("consistent-liar", full, ConsistentLiarAdversary),
+        _named("random-liar", full, RandomLiarAdversary),
+        _named("two-faced", full, TwoFacedAdversary),
+        _named("echo-suppressor", full, EchoSuppressorAdversary),
+        _named("stealth-path", full, StealthPathAdversary),
+        _named("minimal-exposure", full, MinimalExposureAdversary),
+        _named("faulty-source-two-faced", with_source, TwoFacedSourceAdversary),
+        _named("faulty-source-allies", with_source,
+               EquivocatingSourceWithAlliesAdversary),
+        _named("faulty-source-stealth", with_source, StealthPathAdversary),
+        _named("faulty-source-delayed", with_source, DelayedEquivocationAdversary),
+        _named("faulty-source-silent", with_source, SilentAdversary),
+    ]
+    return scenarios
+
+
+def adversarial_scenarios(n: int, t: int, source: ProcessorId = 0) -> List[Scenario]:
+    """The subset of :func:`standard_scenarios` that actually lies (used where
+    benign runs would not add information, e.g. round-bound stress)."""
+    benign = {"fault-free", "benign-faults"}
+    return [s for s in standard_scenarios(n, t, source) if s.name not in benign]
+
+
+def worst_case_scenarios(n: int, t: int, source: ProcessorId = 0) -> List[Scenario]:
+    """The strategies designed to push executions toward the worst-case bounds."""
+    with_source = choose_faulty(n, t, source_faulty=True, source=source)
+    full = choose_faulty(n, t, source_faulty=False, source=source)
+    return [
+        _named("faulty-source-allies", with_source,
+               EquivocatingSourceWithAlliesAdversary),
+        _named("faulty-source-stealth", with_source, StealthPathAdversary),
+        _named("minimal-exposure", full, MinimalExposureAdversary),
+        _named("staggered-crash", with_source, StaggeredCrashAdversary),
+    ]
+
+
+def fault_count_sweep(n: int, t: int, source_faulty: bool = True,
+                      source: ProcessorId = 0) -> Iterator[FrozenSet[ProcessorId]]:
+    """Faulty sets of every size from 0 to ``t`` (early-persistence experiments)."""
+    for count in range(t + 1):
+        yield choose_faulty(n, count, source_faulty=source_faulty and count > 0,
+                            source=source)
+
+
+def scenario_by_name(name: str, n: int, t: int,
+                     source: ProcessorId = 0) -> Optional[Scenario]:
+    """Look up one standard scenario by name (used by the examples' CLI)."""
+    for scenario in standard_scenarios(n, t, source):
+        if scenario.name == name:
+            return scenario
+    return None
+
+
+def scenario_names(n: int = 8, t: int = 2) -> Sequence[str]:
+    return [scenario.name for scenario in standard_scenarios(n, t)]

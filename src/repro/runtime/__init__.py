@@ -1,0 +1,31 @@
+"""The synchronous-system substrate: messages, network, metrics, and the driver."""
+
+from __future__ import annotations
+
+from .errors import (AdversaryError, ConfigurationError, ProtocolViolationError,
+                     ReproError, SimulationError)
+from .messages import Inbox, Message, Outbox, broadcast
+from .metrics import ComputationMeter, CostModelPoint, RunMetrics, entry_bits
+from .network import SynchronousNetwork
+from .simulation import RunResult, choose_faulty, run_agreement, run_many
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ProtocolViolationError",
+    "SimulationError",
+    "AdversaryError",
+    "Message",
+    "Inbox",
+    "Outbox",
+    "broadcast",
+    "RunMetrics",
+    "ComputationMeter",
+    "CostModelPoint",
+    "entry_bits",
+    "SynchronousNetwork",
+    "RunResult",
+    "run_agreement",
+    "run_many",
+    "choose_faulty",
+]

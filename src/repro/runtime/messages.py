@@ -1,0 +1,156 @@
+"""Message types exchanged over the synchronous network.
+
+Every protocol in this package exchanges *information-gathering messages*: a
+mapping from label sequences (paths in the sender's tree) to values.  The
+round-1 message from the source is the degenerate case of a single entry for
+the root.  Messages are immutable once constructed so the adversary cannot
+mutate a correct processor's outbox in place — it must construct new messages,
+exactly like a real Byzantine sender would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..core.sequences import LabelSequence, ProcessorId
+from ..core.values import Value
+from .metrics import entry_bits
+
+
+class Message:
+    """An immutable information-gathering message.
+
+    Parameters
+    ----------
+    entries:
+        Mapping from label sequence to the value the sender claims for that
+        node of its tree.
+    sender:
+        The (claimed) sender.  The model guarantees that a correct receiver
+        can identify the true source of a message, so the network stamps this
+        field; adversaries cannot spoof it.
+    round_number:
+        The communication round in which the message is sent.
+    """
+
+    __slots__ = ("_entries", "sender", "round_number")
+
+    def __init__(self, entries: Mapping[LabelSequence, Value],
+                 sender: ProcessorId, round_number: int) -> None:
+        self._entries: Dict[LabelSequence, Value] = {
+            tuple(seq): value for seq, value in entries.items()
+        }
+        self.sender = sender
+        self.round_number = round_number
+
+    # -- accessors -------------------------------------------------------
+    @property
+    def entries(self) -> Dict[LabelSequence, Value]:
+        """A defensive copy of the entry mapping."""
+        return dict(self._entries)
+
+    def value_for(self, seq: LabelSequence) -> Optional[Value]:
+        """The claimed value for *seq*, or ``None`` if the entry is missing.
+
+        A missing entry models "an inappropriate message was received"; the
+        receiver substitutes the default value per the paper.
+        """
+        return self._entries.get(tuple(seq))
+
+    def sequences(self) -> Iterable[LabelSequence]:
+        return self._entries.keys()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, seq: object) -> bool:
+        return seq in self._entries
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (self._entries == other._entries
+                and self.sender == other.sender
+                and self.round_number == other.round_number)
+
+    def __hash__(self) -> int:  # pragma: no cover - messages rarely hashed
+        return hash((frozenset(self._entries.items()), self.sender,
+                     self.round_number))
+
+    def __repr__(self) -> str:
+        return (f"Message(sender={self.sender}, round={self.round_number}, "
+                f"entries={len(self._entries)})")
+
+    # -- cost accounting ---------------------------------------------------
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    def size_bits(self, n: int, value_domain_size: int = 2) -> int:
+        """Encoded size in bits under the accounting of :mod:`..runtime.metrics`."""
+        return sum(entry_bits(len(seq), value_domain_size, n)
+                   for seq in self._entries)
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def single(cls, seq: LabelSequence, value: Value, sender: ProcessorId,
+               round_number: int) -> "Message":
+        """A one-entry message (the source's round-1 broadcast)."""
+        return cls({tuple(seq): value}, sender, round_number)
+
+    def replace_values(self, value: Value) -> "Message":
+        """A copy of this message with every entry replaced by *value*.
+
+        Used by the Fault Masking Rule, which substitutes the default value
+        for every entry of a discovered-faulty sender's message.
+        """
+        return Message({seq: value for seq in self._entries},
+                       self.sender, self.round_number)
+
+    def with_entries(self, entries: Mapping[LabelSequence, Value]) -> "Message":
+        """A copy with a different entry mapping (same sender and round)."""
+        return Message(entries, self.sender, self.round_number)
+
+
+Outbox = Dict[ProcessorId, Message]
+"""Messages produced by one processor in one round, keyed by destination."""
+
+Inbox = Dict[ProcessorId, Message]
+"""Messages delivered to one processor in one round, keyed by sender."""
+
+
+def broadcast(entries: Mapping[LabelSequence, Value], sender: ProcessorId,
+              round_number: int, destinations: Iterable[ProcessorId]) -> Outbox:
+    """Build an outbox sending the same entry mapping to every destination.
+
+    The sender itself is excluded: processors account for their own
+    contribution to their trees locally (storing ``tree(αp) = tree(α)``)
+    rather than by sending themselves a message.
+    """
+    message = Message(entries, sender, round_number)
+    return {dest: message for dest in destinations if dest != sender}
+
+
+def total_entries(outbox: Outbox) -> int:
+    return sum(message.entry_count() for message in outbox.values())
+
+
+def total_bits(outbox: Outbox, n: int, value_domain_size: int = 2) -> int:
+    return sum(message.size_bits(n, value_domain_size)
+               for message in outbox.values())
+
+
+def largest_message_entries(outbox: Outbox) -> int:
+    return max((message.entry_count() for message in outbox.values()), default=0)
+
+
+def stamp_sender(message: Message, true_sender: ProcessorId) -> Message:
+    """Return *message* with the sender field forced to *true_sender*.
+
+    The synchronous network calls this on every adversary-produced message so
+    that a faulty processor can never impersonate another processor — the
+    model's "a correct processor can always correctly identify the source of
+    any message it receives".
+    """
+    if message.sender == true_sender:
+        return message
+    return Message(message.entries, true_sender, message.round_number)

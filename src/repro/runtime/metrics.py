@@ -1,0 +1,193 @@
+"""Cost accounting for protocol executions.
+
+The paper's theorems bound three quantities per processor: the number of
+rounds of communication, the message length in bits, and the local computation
+time.  Wall-clock time of a Python simulation is not a faithful proxy for any
+of these, so the simulator counts abstract units instead:
+
+* **message values** — the number of (sequence, value) entries carried by a
+  message; the paper's ``O(n^b)``-bit bounds count exactly these entries
+  (times a constant for the value and the path encoding);
+* **message bits** — entries × (value bits + path bits), a deterministic
+  function of the entry count and the tree level, so growth *shapes* can be
+  compared with the theorems;
+* **local computation units** — one unit per tree-store operation and per
+  node visited by a conversion function or the Fault Discovery Rule.
+
+All counters are plain integers grouped per round and per processor so the
+benchmark harness can print both totals and maxima (the theorems are
+per-processor bounds).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.sequences import ProcessorId
+
+
+@dataclass
+class ComputationMeter:
+    """Per-processor counter of local computation units.
+
+    Protocol objects own one meter each and bump it from their hot paths
+    (tree stores, resolve visits, fault-discovery scans).  A meter can be
+    shared read-only with :class:`RunMetrics` at the end of a run.
+    """
+
+    units: int = 0
+
+    def charge(self, amount: int = 1) -> None:
+        """Add *amount* computation units (no-op if amount is zero)."""
+        self.units += amount
+
+
+@dataclass
+class MessageStats:
+    """Aggregate size statistics for one processor's traffic in one round."""
+
+    messages: int = 0
+    value_entries: int = 0
+    bits: int = 0
+
+    def add(self, entries: int, bits: int) -> None:
+        self.messages += 1
+        self.value_entries += entries
+        self.bits += bits
+
+
+def entry_bits(path_length: int, value_domain_size: int = 2, n: int = 2) -> int:
+    """Bits needed to encode one (path, value) entry of a message.
+
+    A path of ``path_length`` labels over ``n`` processors costs
+    ``path_length · ⌈log2 n⌉`` bits and the value costs ``⌈log2 |V|⌉`` bits
+    (at least 1).  This is the accounting used for the ``O(n^b)`` message-size
+    claims; absolute constants do not matter, growth does.
+    """
+    label_bits = max(1, math.ceil(math.log2(max(2, n))))
+    value_bits = max(1, math.ceil(math.log2(max(2, value_domain_size))))
+    return path_length * label_bits + value_bits
+
+
+class RunMetrics:
+    """All counters collected while simulating a single protocol execution."""
+
+    def __init__(self) -> None:
+        self.rounds_executed: int = 0
+        #: round -> sender -> MessageStats
+        self.sent: Dict[int, Dict[ProcessorId, MessageStats]] = defaultdict(
+            lambda: defaultdict(MessageStats))
+        #: pid -> local computation units (filled at the end of the run)
+        self.computation_units: Dict[ProcessorId, int] = {}
+        #: pid -> set size of discovered faults at decision time
+        self.discovered_faults: Dict[ProcessorId, int] = {}
+
+    # -- recording -----------------------------------------------------
+    def record_round(self, round_number: int) -> None:
+        self.rounds_executed = max(self.rounds_executed, round_number)
+
+    def record_message(self, round_number: int, sender: ProcessorId,
+                       entries: int, bits: int) -> None:
+        self.sent[round_number][sender].add(entries, bits)
+
+    def record_computation(self, pid: ProcessorId, units: int) -> None:
+        self.computation_units[pid] = units
+
+    def record_discoveries(self, pid: ProcessorId, count: int) -> None:
+        self.discovered_faults[pid] = count
+
+    # -- queries -------------------------------------------------------
+    def total_messages(self) -> int:
+        return sum(stats.messages
+                   for per_round in self.sent.values()
+                   for stats in per_round.values())
+
+    def total_value_entries(self) -> int:
+        return sum(stats.value_entries
+                   for per_round in self.sent.values()
+                   for stats in per_round.values())
+
+    def total_bits(self) -> int:
+        return sum(stats.bits
+                   for per_round in self.sent.values()
+                   for stats in per_round.values())
+
+    def max_message_entries(self) -> int:
+        """The largest single-round, single-sender entry count.
+
+        The theorems bound the length of the *largest* message, so this is the
+        number compared against ``O(n^b)``.
+        """
+        best = 0
+        for per_round in self.sent.values():
+            for stats in per_round.values():
+                if stats.messages:
+                    best = max(best, stats.value_entries // stats.messages)
+        return best
+
+    def max_message_bits(self) -> int:
+        best = 0
+        for per_round in self.sent.values():
+            for stats in per_round.values():
+                if stats.messages:
+                    best = max(best, stats.bits // stats.messages)
+        return best
+
+    def per_round_entries(self) -> List[int]:
+        """Total value entries sent by correct processors, indexed by round."""
+        if not self.sent:
+            return []
+        horizon = max(self.sent)
+        return [sum(stats.value_entries for stats in self.sent.get(r, {}).values())
+                for r in range(1, horizon + 1)]
+
+    def max_computation_units(self) -> int:
+        return max(self.computation_units.values(), default=0)
+
+    def total_computation_units(self) -> int:
+        return sum(self.computation_units.values())
+
+    def summary(self) -> Dict[str, int]:
+        """A flat dictionary suitable for tabular reporting."""
+        return {
+            "rounds": self.rounds_executed,
+            "total_messages": self.total_messages(),
+            "total_value_entries": self.total_value_entries(),
+            "total_bits": self.total_bits(),
+            "max_message_entries": self.max_message_entries(),
+            "max_message_bits": self.max_message_bits(),
+            "max_computation_units": self.max_computation_units(),
+        }
+
+
+@dataclass
+class CostModelPoint:
+    """One point of an analytic or measured cost curve (used for figures)."""
+
+    parameter: float
+    rounds: float
+    message_bits: float
+    computation: float
+    label: str = ""
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, float]:
+        row = {
+            "parameter": self.parameter,
+            "rounds": self.rounds,
+            "message_bits": self.message_bits,
+            "computation": self.computation,
+        }
+        row.update(self.extra)
+        return row
+
+
+def geometric_mean(values: List[float]) -> Optional[float]:
+    """Geometric mean helper used by the reporting layer (None for empty)."""
+    cleaned = [v for v in values if v > 0]
+    if not cleaned:
+        return None
+    return math.exp(sum(math.log(v) for v in cleaned) / len(cleaned))

@@ -1,0 +1,78 @@
+"""The synchronous, fully reliable, complete network of the paper's model.
+
+Every processor is connected to every other; communication proceeds in
+lock-step rounds; messages sent in a round are delivered in the same round;
+and a correct processor can always identify the true sender of a message
+(faulty processors cannot forge sender identities).  The network is also
+where message-size metrics are recorded, because "bits on the wire" is a
+property of delivery, not of protocol state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Set
+
+from ..core.sequences import ProcessorId
+from .errors import SimulationError
+from .messages import Inbox, Message, Outbox, stamp_sender
+from .metrics import RunMetrics
+
+
+class SynchronousNetwork:
+    """Delivers one round of messages between processors.
+
+    Parameters
+    ----------
+    processors:
+        All processor identifiers.
+    metrics:
+        The :class:`RunMetrics` collector for this execution.
+    value_domain_size:
+        Size of the value set, used for the bit-accounting of message sizes.
+    """
+
+    def __init__(self, processors: Iterable[ProcessorId], metrics: RunMetrics,
+                 value_domain_size: int = 2) -> None:
+        self.processors: Set[ProcessorId] = set(processors)
+        self.n = len(self.processors)
+        self.metrics = metrics
+        self.value_domain_size = value_domain_size
+
+    def deliver(self, round_number: int,
+                outboxes: Mapping[ProcessorId, Outbox],
+                count_senders: Iterable[ProcessorId]) -> Dict[ProcessorId, Inbox]:
+        """Deliver all outboxes for *round_number* and return per-processor inboxes.
+
+        ``outboxes`` maps each sender to its outbox (destination → message).
+        Only messages from ``count_senders`` are charged to the metrics — the
+        theorems bound the traffic of *correct* processors, and Byzantine
+        processors could otherwise inflate the measured totals arbitrarily.
+        """
+        self.metrics.record_round(round_number)
+        counted = set(count_senders)
+        inboxes: Dict[ProcessorId, Inbox] = {pid: {} for pid in self.processors}
+        for sender, outbox in outboxes.items():
+            if sender not in self.processors:
+                raise SimulationError(f"unknown sender {sender}")
+            for dest, message in outbox.items():
+                if dest not in self.processors:
+                    raise SimulationError(
+                        f"message from {sender} addressed to unknown processor {dest}")
+                if dest == sender:
+                    continue
+                if not isinstance(message, Message):
+                    raise SimulationError(
+                        f"sender {sender} produced a non-message payload for {dest}")
+                delivered = stamp_sender(message, sender)
+                if dest in inboxes[dest]:
+                    raise SimulationError(
+                        f"duplicate message from {sender} to {dest} in round {round_number}")
+                if sender in inboxes[dest]:
+                    raise SimulationError(
+                        f"sender {sender} delivered twice to {dest} in round {round_number}")
+                inboxes[dest][sender] = delivered
+                if sender in counted:
+                    self.metrics.record_message(
+                        round_number, sender, delivered.entry_count(),
+                        delivered.size_bits(self.n, self.value_domain_size))
+        return inboxes

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite (helpers live in tests/helpers.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import ProtocolConfig
+
+
+@pytest.fixture
+def small_config() -> ProtocolConfig:
+    """The smallest interesting Exponential-Algorithm configuration."""
+    return ProtocolConfig(n=7, t=2, initial_value=1)
+
+
+@pytest.fixture
+def algorithm_b_config() -> ProtocolConfig:
+    """n ≥ 4t + 1 so Algorithm B applies."""
+    return ProtocolConfig(n=13, t=3, initial_value=1)
+
+
+@pytest.fixture
+def algorithm_c_config() -> ProtocolConfig:
+    """n large enough that Algorithm C tolerates 3 faults."""
+    return ProtocolConfig(n=20, t=3, initial_value=1)
+
+
+@pytest.fixture
+def hybrid_config() -> ProtocolConfig:
+    """n ≥ 3t + 1 with t ≥ 3 so the hybrid applies."""
+    return ProtocolConfig(n=13, t=4, initial_value=1)

@@ -1,0 +1,43 @@
+"""Shared helpers for protocol-level tests (importable as ``tests.helpers``)."""
+
+from __future__ import annotations
+
+from repro.core.protocol import ProtocolConfig
+from repro.experiments.workloads import standard_scenarios
+from repro.runtime.simulation import run_agreement
+
+
+def run_battery(spec_factory, n: int, t: int, initial_value=1, scenarios=None):
+    """Run a protocol under the standard scenario battery and yield results.
+
+    ``spec_factory`` is called once per scenario so protocols with per-run
+    state on the spec (e.g. Dolev–Strong's signature ledger) stay isolated.
+    """
+    config = ProtocolConfig(n=n, t=t, initial_value=initial_value)
+    scenario_list = scenarios if scenarios is not None else standard_scenarios(n, t)
+    for scenario in scenario_list:
+        result = run_agreement(spec_factory(), config, scenario.faulty,
+                               scenario.adversary())
+        yield scenario, result
+
+
+def assert_battery_correct(spec_factory, n: int, t: int, initial_value=1,
+                           scenarios=None) -> int:
+    """Assert agreement + validity + discovery soundness for every scenario.
+
+    Returns the number of scenarios exercised so callers can sanity-check the
+    battery was not empty.
+    """
+    count = 0
+    for scenario, result in run_battery(spec_factory, n, t, initial_value,
+                                        scenarios):
+        assert result.agreement, (
+            f"agreement violated under {scenario.name}: {result.decisions}")
+        if result.validity is not None:
+            assert result.validity, (
+                f"validity violated under {scenario.name}: {result.decisions}")
+        assert result.soundness_of_discovery(), (
+            f"a correct processor was incriminated under {scenario.name}")
+        count += 1
+    assert count > 0
+    return count

@@ -1,0 +1,148 @@
+"""Tests for the adversary strategies and the shadow machinery."""
+
+import pytest
+
+from repro.adversary import (AdversaryContext, BenignAdversary, CrashAdversary,
+                             ConsistentLiarAdversary, EchoSuppressorAdversary,
+                             RandomLiarAdversary, SilentAdversary,
+                             StaggeredCrashAdversary, StealthPathAdversary,
+                             TwoFacedAdversary, TwoFacedSourceAdversary,
+                             adversary_registry, another_value,
+                             standard_adversaries)
+from repro.core.exponential import ExponentialSpec
+from repro.core.protocol import ProtocolConfig
+from repro.runtime.errors import AdversaryError
+
+
+def bind(adversary, n=7, t=2, faulty=(5, 6), seed=0):
+    config = ProtocolConfig(n=n, t=t, initial_value=1)
+    context = AdversaryContext(config=config, spec=ExponentialSpec(),
+                               faulty=frozenset(faulty), seed=seed)
+    adversary.bind(context)
+    return adversary, config
+
+
+class TestContext:
+    def test_correct_set_is_complement(self):
+        adversary, config = bind(BenignAdversary())
+        assert adversary.context.correct == frozenset(range(5))
+
+    def test_source_is_faulty_flag(self):
+        adversary, _ = bind(BenignAdversary(), faulty=(0, 6))
+        assert adversary.context.source_is_faulty
+
+    def test_unbound_adversary_rejected(self):
+        with pytest.raises(AdversaryError):
+            BenignAdversary().round_messages(1, {})
+
+
+class TestShadowMechanics:
+    def test_benign_round_one_only_source_speaks(self):
+        adversary, _ = bind(BenignAdversary(), faulty=(0, 6))
+        messages = adversary.round_messages(1, {})
+        assert len(messages[0]) == 6          # the faulty source still broadcasts
+        assert messages[6] == {}
+
+    def test_benign_faulty_relay_mirrors_correct_protocol(self):
+        adversary, _ = bind(BenignAdversary(), faulty=(5, 6))
+        assert adversary.round_messages(1, {}) == {5: {}, 6: {}}
+
+    def test_silent_adversary_sends_nothing_to_correct_processors(self):
+        adversary, _ = bind(SilentAdversary(), faulty=(0, 6))
+        messages = adversary.round_messages(1, {})
+        # Traffic between faulty processors is internal to the adversary; what
+        # matters is that no correct processor receives anything.
+        correct = adversary.context.correct
+        assert all(dest not in correct for dest in messages[0])
+        assert all(dest not in correct for dest in messages[6])
+
+    def test_observe_delivery_feeds_shadows(self):
+        adversary, config = bind(BenignAdversary(), faulty=(5, 6))
+        adversary.round_messages(1, {})
+        from repro.runtime.messages import Message
+        adversary.observe_delivery(1, {5: {0: Message({(0,): 1}, 0, 1)},
+                                       6: {0: Message({(0,): 1}, 0, 1)}})
+        outbox = adversary.round_messages(2, {})
+        # After hearing the source, the benign shadows relay its value.
+        assert outbox[5][1].value_for((0,)) == 1
+
+
+class TestCrashFamilies:
+    def test_crash_round_schedule(self):
+        adversary, _ = bind(CrashAdversary(crash_round={5: 2, 6: 3}), faulty=(5, 6))
+        assert adversary.crash_round_of(5) == 2
+        assert adversary.crash_round_of(6) == 3
+
+    def test_suppression_before_and_after_crash(self):
+        adversary, _ = bind(CrashAdversary(crash_round=2, partial_deliveries=1),
+                            faulty=(5, 6))
+        assert not adversary.suppress(1, 5, 1)
+        assert adversary.suppress(3, 5, 1)
+        # crash round: only the first correct destination still gets the message
+        assert not adversary.suppress(2, 5, 0)
+        assert adversary.suppress(2, 5, 4)
+
+    def test_staggered_crash_spreads_rounds(self):
+        adversary, _ = bind(StaggeredCrashAdversary(), faulty=(4, 5, 6), t=3, n=10)
+        rounds = {adversary.crash_round_of(pid) for pid in (4, 5, 6)}
+        assert len(rounds) == 3
+
+
+class TestLiars:
+    def test_another_value_differs(self):
+        assert another_value(0, (0, 1)) == 1
+        assert another_value(1, (0, 1)) == 0
+        assert another_value(2, (2,)) == 2   # degenerate single-value domain
+
+    def test_consistent_liar_flips_everything(self):
+        adversary, _ = bind(ConsistentLiarAdversary(), faulty=(0, 6))
+        messages = adversary.round_messages(1, {})
+        correct = adversary.context.correct
+        assert all(m.value_for((0,)) == 0 for dest, m in messages[0].items()
+                   if dest in correct)
+
+    def test_two_faced_depends_on_destination_parity(self):
+        adversary, _ = bind(TwoFacedAdversary(), faulty=(0, 6))
+        messages = adversary.round_messages(1, {})
+        assert messages[0][2].value_for((0,)) == 1
+        assert messages[0][1].value_for((0,)) == 0
+
+    def test_two_faced_source_only_tampers_the_source_round_one(self):
+        adversary, _ = bind(TwoFacedSourceAdversary(), faulty=(0, 6))
+        messages = adversary.round_messages(1, {})
+        assert messages[0][1].value_for((0,)) == 0
+        assert messages[0][2].value_for((0,)) == 1
+
+    def test_echo_suppressor_zeroes_values(self):
+        adversary, _ = bind(EchoSuppressorAdversary(), faulty=(0, 6))
+        messages = adversary.round_messages(1, {})
+        correct = adversary.context.correct
+        assert all(m.value_for((0,)) == 0 for dest, m in messages[0].items()
+                   if dest in correct)
+
+    def test_random_liar_stays_in_domain(self):
+        adversary, config = bind(RandomLiarAdversary(), faulty=(0, 6))
+        messages = adversary.round_messages(1, {})
+        assert all(m.value_for((0,)) in config.domain
+                   for m in messages[0].values())
+
+    def test_stealth_only_lies_on_all_faulty_paths(self):
+        adversary, _ = bind(StealthPathAdversary(), faulty=(0, 6))
+        messages = adversary.round_messages(1, {})
+        # The sequence (0,) consists solely of the faulty source, so odd
+        # destinations see the flipped value while even ones see the truth.
+        assert messages[0][1].value_for((0,)) == 0
+        assert messages[0][2].value_for((0,)) == 1
+
+
+class TestRegistry:
+    def test_registry_builds_every_strategy(self):
+        registry = adversary_registry()
+        assert len(registry) >= 12
+        for factory in registry.values():
+            assert factory() is not None
+
+    def test_standard_adversaries_are_fresh_instances(self):
+        first = standard_adversaries()
+        second = standard_adversaries()
+        assert all(a is not b for a, b in zip(first, second))

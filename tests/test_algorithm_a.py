@@ -1,0 +1,103 @@
+"""Tests for Algorithm A (Theorem 2): schedules, bounds, and agreement."""
+
+import pytest
+
+from tests.helpers import assert_battery_correct, run_battery
+
+from repro.core.algorithm_a import (AlgorithmASpec, algorithm_a_blocks,
+                                    algorithm_a_max_message_entries,
+                                    algorithm_a_resilience, algorithm_a_rounds,
+                                    algorithm_a_schedule)
+from repro.runtime.errors import ConfigurationError
+
+
+class TestBlocks:
+    def test_b_equals_t_is_exponential(self):
+        assert algorithm_a_blocks(4, 4) == [4]
+
+    def test_full_and_partial_blocks(self):
+        # t = 4, b = 3: (t−1)/(b−2) = 3 full blocks, remainder 0.
+        assert algorithm_a_blocks(4, 3) == [3, 3, 3]
+        # t = 5, b = 3: x = 4 full blocks, remainder 0.
+        assert algorithm_a_blocks(5, 3) == [3, 3, 3, 3]
+        # t = 5, b = 4: x = 2 blocks of 4, remainder 0.
+        assert algorithm_a_blocks(5, 4) == [4, 4]
+        # t = 6, b = 4: x = 2, remainder 1 → final block of 3 rounds.
+        assert algorithm_a_blocks(6, 4) == [4, 4, 3]
+
+    def test_invalid_b_rejected(self):
+        with pytest.raises(ConfigurationError):
+            algorithm_a_blocks(4, 2)
+        with pytest.raises(ConfigurationError):
+            algorithm_a_blocks(4, 5)
+
+    def test_blocks_cover_exactly_the_information_gathering_rounds(self):
+        for t in range(3, 9):
+            for b in range(3, t + 1):
+                blocks = algorithm_a_blocks(t, b)
+                assert 1 + sum(blocks) == algorithm_a_rounds(t, b)
+
+
+class TestRoundFormula:
+    def test_theorem2_round_count(self):
+        # t + 2 + 2⌊(t−1)/(b−2)⌋ when (b−2) does not divide (t−1).
+        assert algorithm_a_rounds(6, 4) == 6 + 2 + 2 * 2
+        # When (b−2) | (t−1) the count is 1 + b·x.
+        assert algorithm_a_rounds(5, 4) == 1 + 4 * 2
+
+    def test_b_equals_t_matches_exponential(self):
+        assert algorithm_a_rounds(4, 4) == 5
+
+    def test_rounds_decrease_with_larger_blocks(self):
+        t = 7
+        rounds = [algorithm_a_rounds(t, b) for b in range(3, t + 1)]
+        assert rounds == sorted(rounds, reverse=True)
+
+    def test_algorithm_a_never_faster_than_algorithm_b(self):
+        # The price of resilience: at equal b, A uses at least as many rounds as B.
+        from repro.core.algorithm_b import algorithm_b_rounds
+        for t in range(3, 9):
+            for b in range(3, t + 1):
+                assert algorithm_a_rounds(t, b) >= algorithm_b_rounds(t, b)
+
+    def test_resilience(self):
+        assert algorithm_a_resilience(10) == 3
+        assert algorithm_a_resilience(13) == 4
+
+    def test_message_bound(self):
+        assert algorithm_a_max_message_entries(10, 3) == 9 * 8
+
+    def test_schedule_uses_resolve_prime_with_conversion_discovery(self):
+        schedule = algorithm_a_schedule(5, 3)
+        assert all(segment.conversion == "resolve_prime"
+                   for segment in schedule.segments)
+        assert all(segment.conversion_discovery for segment in schedule.segments)
+
+
+class TestAgreement:
+    def test_standard_battery_n10_t3(self):
+        assert_battery_correct(lambda: AlgorithmASpec(3), n=10, t=3)
+
+    def test_standard_battery_n13_t4_b3(self):
+        assert_battery_correct(lambda: AlgorithmASpec(3), n=13, t=4)
+
+    def test_standard_battery_n13_t4_b4(self):
+        assert_battery_correct(lambda: AlgorithmASpec(4), n=13, t=4)
+
+    def test_initial_value_zero(self):
+        assert_battery_correct(lambda: AlgorithmASpec(3), n=10, t=3,
+                               initial_value=0)
+
+    def test_round_and_message_bounds_hold(self):
+        for scenario, result in run_battery(lambda: AlgorithmASpec(3), n=13, t=4):
+            assert result.rounds == algorithm_a_rounds(4, 3)
+            assert (result.metrics.max_message_entries()
+                    <= algorithm_a_max_message_entries(13, 3))
+
+    def test_fewer_actual_faults_than_t(self):
+        from repro.adversary import EquivocatingSourceWithAlliesAdversary
+        from repro.experiments.workloads import Scenario
+        scenarios = [Scenario("two-faults", frozenset({0, 9}),
+                              EquivocatingSourceWithAlliesAdversary)]
+        assert_battery_correct(lambda: AlgorithmASpec(3), n=10, t=3,
+                               scenarios=scenarios)

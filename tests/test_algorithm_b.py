@@ -1,0 +1,93 @@
+"""Tests for Algorithm B (Theorem 3): schedules, bounds, and agreement."""
+
+import pytest
+
+from tests.helpers import assert_battery_correct, run_battery
+
+from repro.core.algorithm_b import (AlgorithmBSpec, algorithm_b_blocks,
+                                    algorithm_b_max_message_entries,
+                                    algorithm_b_resilience, algorithm_b_rounds,
+                                    algorithm_b_schedule)
+from repro.runtime.errors import ConfigurationError
+
+
+class TestBlocks:
+    def test_b_equals_t_is_exponential(self):
+        assert algorithm_b_blocks(3, 3) == [3]
+
+    def test_full_and_partial_blocks(self):
+        # t = 5, b = 3: (t−1)/(b−1) = 2 full blocks, remainder 0 → no tail block.
+        assert algorithm_b_blocks(5, 3) == [3, 3]
+        # t = 6, b = 3: 2 full blocks and a final block of 6 − 2·2 = 2 rounds.
+        assert algorithm_b_blocks(6, 3) == [3, 3, 2]
+
+    def test_b_two_blocks_are_single_progress_rounds(self):
+        assert algorithm_b_blocks(4, 2) == [2, 2, 2]
+
+    def test_invalid_b_rejected(self):
+        with pytest.raises(ConfigurationError):
+            algorithm_b_blocks(3, 1)
+        with pytest.raises(ConfigurationError):
+            algorithm_b_blocks(3, 4)
+
+    def test_blocks_cover_exactly_the_information_gathering_rounds(self):
+        for t in range(2, 9):
+            for b in range(2, t + 1):
+                blocks = algorithm_b_blocks(t, b)
+                assert 1 + sum(blocks) == algorithm_b_rounds(t, b)
+
+
+class TestRoundFormula:
+    def test_theorem3_round_count(self):
+        # t + 1 + ⌊(t−1)/(b−1)⌋ when (b−1) does not divide (t−1).
+        assert algorithm_b_rounds(6, 3) == 6 + 1 + 2
+        # one fewer when (b−1) | (t−1)
+        assert algorithm_b_rounds(5, 3) == 5 + 2
+
+    def test_rounds_decrease_with_larger_blocks(self):
+        t = 6
+        rounds = [algorithm_b_rounds(t, b) for b in range(2, t + 1)]
+        assert rounds == sorted(rounds, reverse=True)
+
+    def test_b_equals_t_matches_exponential(self):
+        assert algorithm_b_rounds(4, 4) == 5
+
+    def test_resilience(self):
+        assert algorithm_b_resilience(13) == 3
+        assert algorithm_b_resilience(12) == 2
+
+    def test_message_bound_is_falling_factorial(self):
+        assert algorithm_b_max_message_entries(13, 2) == 12
+        assert algorithm_b_max_message_entries(13, 3) == 12 * 11
+
+    def test_schedule_uses_resolve_without_conversion_discovery(self):
+        schedule = algorithm_b_schedule(5, 3)
+        assert all(segment.conversion == "resolve" for segment in schedule.segments)
+        assert not any(segment.conversion_discovery for segment in schedule.segments)
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("b", [2, 3])
+    def test_standard_battery_n13_t3(self, b):
+        assert_battery_correct(lambda: AlgorithmBSpec(b), n=13, t=3)
+
+    def test_standard_battery_n9_t2(self):
+        assert_battery_correct(lambda: AlgorithmBSpec(2), n=9, t=2)
+
+    def test_initial_value_zero(self):
+        assert_battery_correct(lambda: AlgorithmBSpec(2), n=13, t=3,
+                               initial_value=0)
+
+    @pytest.mark.parametrize("b", [2, 3])
+    def test_round_and_message_bounds_hold(self, b):
+        for scenario, result in run_battery(lambda: AlgorithmBSpec(b), n=13, t=3):
+            assert result.rounds == algorithm_b_rounds(3, b)
+            assert (result.metrics.max_message_entries()
+                    <= algorithm_b_max_message_entries(13, b))
+
+    def test_fewer_actual_faults_than_t(self):
+        from repro.experiments.workloads import Scenario
+        from repro.adversary import TwoFacedSourceAdversary
+        scenarios = [Scenario("one-fault", frozenset({0}), TwoFacedSourceAdversary)]
+        assert_battery_correct(lambda: AlgorithmBSpec(2), n=13, t=3,
+                               scenarios=scenarios)

@@ -1,0 +1,115 @@
+"""Tests for Algorithm C (Theorem 4): resilience, structure, and agreement."""
+
+import pytest
+
+from tests.helpers import assert_battery_correct, run_battery
+
+from repro.core.algorithm_c import (AlgorithmCProcessor, AlgorithmCSpec,
+                                    algorithm_c_max_message_entries,
+                                    algorithm_c_resilience, algorithm_c_rounds)
+from repro.core.fault_discovery import FaultTracker
+from repro.core.protocol import ProtocolConfig
+from repro.runtime.errors import ConfigurationError
+from repro.runtime.messages import Message
+
+
+class TestResilience:
+    def test_resilience_grows_like_sqrt_n_over_2(self):
+        assert algorithm_c_resilience(14) == 2
+        assert algorithm_c_resilience(20) == 3
+        assert algorithm_c_resilience(32) == 4
+        assert algorithm_c_resilience(50) == 5
+
+    def test_resilience_is_monotone_in_n(self):
+        values = [algorithm_c_resilience(n) for n in range(8, 80)]
+        assert all(later >= earlier for earlier, later in zip(values, values[1:]))
+
+    def test_resilience_satisfies_proof_conditions(self):
+        for n in range(10, 120, 7):
+            t = algorithm_c_resilience(n)
+            if t < 1:
+                continue
+            assert (n - t - (t - 1) ** 2) * 2 > n
+            assert (n - 2 * t) * 2 > n
+
+    def test_rounds_and_message_bounds(self):
+        assert algorithm_c_rounds(3) == 4
+        assert algorithm_c_max_message_entries(20) == 20
+
+
+class TestSpec:
+    def test_spec_rejects_too_many_faults(self):
+        with pytest.raises(ConfigurationError):
+            AlgorithmCSpec().validate(ProtocolConfig(n=20, t=4))
+
+    def test_spec_total_rounds(self):
+        assert AlgorithmCSpec().total_rounds(ProtocolConfig(n=20, t=3)) == 4
+
+    def test_processor_requires_two_rounds(self):
+        config = ProtocolConfig(n=20, t=3)
+        with pytest.raises(ConfigurationError):
+            AlgorithmCProcessor(1, config, last_round=1)
+
+    def test_embedded_start_requires_initial_root(self):
+        config = ProtocolConfig(n=20, t=3)
+        with pytest.raises(ConfigurationError):
+            AlgorithmCProcessor(1, config, first_round=2, last_round=3)
+
+    def test_invalid_first_round_rejected(self):
+        config = ProtocolConfig(n=20, t=3)
+        with pytest.raises(ConfigurationError):
+            AlgorithmCProcessor(1, config, first_round=3)
+
+
+class TestStructure:
+    def test_round_three_messages_carry_n_entries(self):
+        # t = 2 so that round 2 is not the final round (the final round's
+        # conversion collapses the tree back to its root).
+        config = ProtocolConfig(n=8, t=2, initial_value=1)
+        processor = AlgorithmCProcessor(1, config)
+        processor.outgoing(1)
+        processor.incoming(1, {0: Message({(0,): 1}, 0, 1)})
+        outbox = processor.outgoing(2)
+        assert all(message.entry_count() == 1 for message in outbox.values())
+        inbox = {pid: Message({(0,): 1}, pid, 2) for pid in range(2, 8)}
+        processor.incoming(2, inbox)
+        assert processor.tree.level_size(2) == 8
+
+    def test_embedded_processor_starts_with_supplied_preference(self):
+        config = ProtocolConfig(n=20, t=3, initial_value=1)
+        tracker = FaultTracker(owner=1, t=3)
+        tracker.add(19, 1)
+        processor = AlgorithmCProcessor(1, config, first_round=2, last_round=3,
+                                        initial_root=1, tracker=tracker)
+        assert processor.tree.root_value() == 1
+        assert 19 in processor.tracker
+
+    def test_tree_never_exceeds_three_levels(self):
+        config = ProtocolConfig(n=6, t=1, initial_value=1)
+        processor = AlgorithmCProcessor(1, config)
+        processor.outgoing(1)
+        processor.incoming(1, {0: Message({(0,): 1}, 0, 1)})
+        processor.outgoing(2)
+        processor.incoming(2, {pid: Message({(0,): 1}, pid, 2)
+                               for pid in range(2, 6)})
+        assert processor.tree.num_levels <= 3
+
+
+class TestAgreement:
+    def test_standard_battery_n14_t2(self):
+        assert_battery_correct(AlgorithmCSpec, n=14, t=2)
+
+    def test_standard_battery_n20_t3(self):
+        assert_battery_correct(AlgorithmCSpec, n=20, t=3)
+
+    def test_initial_value_zero(self):
+        assert_battery_correct(AlgorithmCSpec, n=14, t=2, initial_value=0)
+
+    def test_round_and_message_bounds_hold(self):
+        for scenario, result in run_battery(AlgorithmCSpec, n=20, t=3):
+            assert result.rounds == algorithm_c_rounds(3)
+            assert (result.metrics.max_message_entries()
+                    <= algorithm_c_max_message_entries(20))
+
+    def test_single_fault_battery(self):
+        assert_battery_correct(AlgorithmCSpec, n=10, t=1)

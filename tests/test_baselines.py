@@ -1,0 +1,94 @@
+"""Tests for the baseline protocols (PSL, Phase King, Dolev–Strong)."""
+
+import pytest
+
+from tests.helpers import assert_battery_correct, run_battery
+
+from repro.baselines import (DolevStrongSpec, PeaseShostakLamportSpec, PhaseKingSpec,
+                             SignatureLedger, phase_king_resilience, phase_king_rounds,
+                             psl_max_message_entries, psl_resilience, psl_rounds)
+from repro.core.exponential import ExponentialSpec
+from repro.core.protocol import ProtocolConfig
+from repro.experiments.workloads import standard_scenarios
+from repro.runtime.errors import ConfigurationError
+from repro.runtime.simulation import run_agreement
+
+
+class TestPeaseShostakLamport:
+    def test_bounds_match_exponential(self):
+        assert psl_resilience(10) == 3
+        assert psl_rounds(3) == 4
+        assert psl_max_message_entries(7, 2) == 6
+
+    def test_battery_n7_t2(self):
+        assert_battery_correct(PeaseShostakLamportSpec, n=7, t=2)
+
+    def test_never_discovers_faults(self):
+        for scenario, result in run_battery(PeaseShostakLamportSpec, n=7, t=2):
+            assert all(found == () for found in result.discovered.values())
+
+    def test_decisions_match_modified_exponential(self):
+        """The simplified Exponential Algorithm is behaviourally equivalent to
+        PSL on the standard battery (same decisions, same costs)."""
+        config = ProtocolConfig(n=7, t=2, initial_value=1)
+        for scenario in standard_scenarios(7, 2):
+            psl = run_agreement(PeaseShostakLamportSpec(), config, scenario.faulty,
+                                scenario.adversary())
+            exp = run_agreement(ExponentialSpec(), config, scenario.faulty,
+                                scenario.adversary())
+            assert psl.decision_value == exp.decision_value, scenario.name
+            assert psl.rounds == exp.rounds
+            assert (psl.metrics.max_message_entries()
+                    == exp.metrics.max_message_entries())
+
+    def test_resilience_enforced(self):
+        with pytest.raises(ConfigurationError):
+            PeaseShostakLamportSpec().validate(ProtocolConfig(n=6, t=2))
+
+
+class TestPhaseKing:
+    def test_bounds(self):
+        assert phase_king_resilience(9) == 2
+        assert phase_king_rounds(2) == 7
+
+    def test_battery_n9_t2(self):
+        assert_battery_correct(PhaseKingSpec, n=9, t=2)
+
+    def test_battery_n13_t3(self):
+        assert_battery_correct(PhaseKingSpec, n=13, t=3)
+
+    def test_messages_are_constant_size(self):
+        for scenario, result in run_battery(PhaseKingSpec, n=9, t=2):
+            assert result.metrics.max_message_entries() == 1
+
+    def test_resilience_enforced(self):
+        with pytest.raises(ConfigurationError):
+            PhaseKingSpec().validate(ProtocolConfig(n=8, t=2))
+
+    def test_round_count_matches_formula(self):
+        for scenario, result in run_battery(PhaseKingSpec, n=9, t=2):
+            assert result.rounds == phase_king_rounds(2)
+
+
+class TestDolevStrong:
+    def test_battery_small(self):
+        assert_battery_correct(DolevStrongSpec, n=6, t=2)
+
+    def test_tolerates_half_the_processors_faulty(self):
+        assert_battery_correct(DolevStrongSpec, n=6, t=3)
+
+    def test_resilience_enforced(self):
+        with pytest.raises(ConfigurationError):
+            DolevStrongSpec().validate(ProtocolConfig(n=4, t=3))
+
+    def test_rounds_are_t_plus_one(self):
+        for scenario, result in run_battery(DolevStrongSpec, n=6, t=2):
+            assert result.rounds == 3
+
+    def test_ledger_rejects_forged_correct_signature(self):
+        ledger = SignatureLedger()
+        ledger.sign(1, (0, 1), 1)
+        assert ledger.verify(1, (0, 1), 1, correct_hint=True)
+        assert not ledger.verify(1, (0, 1), 0, correct_hint=True)
+        # Faulty signers are never checked.
+        assert ledger.verify(5, (0, 5), 0, correct_hint=False)

@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_spec, main
+
+
+class TestBuildSpec:
+    def test_known_protocols(self):
+        assert build_spec("exponential", 3).name == "exponential"
+        assert build_spec("hybrid", 3).name == "hybrid(b=3)"
+        assert build_spec("algorithm-b", 2).name == "algorithm-b(b=2)"
+
+    def test_unknown_protocol_exits(self):
+        with pytest.raises(SystemExit):
+            build_spec("raft", 3)
+
+
+class TestRunCommand:
+    def test_successful_run_returns_zero(self, capsys):
+        code = main(["run", "--protocol", "exponential", "--n", "7", "--t", "2",
+                     "--adversary", "two-faced-source", "--source-faulty"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "exponential" in out
+        assert "decisions" in out
+
+    def test_hybrid_run(self, capsys):
+        code = main(["run", "--protocol", "hybrid", "--n", "10", "--t", "3",
+                     "--b", "3", "--adversary", "stealth-path"])
+        assert code == 0
+        assert "hybrid(b=3)" in capsys.readouterr().out
+
+    def test_faults_flag_limits_fault_count(self, capsys):
+        code = main(["run", "--protocol", "exponential", "--n", "7", "--t", "2",
+                     "--faults", "1", "--adversary", "silent"])
+        assert code == 0
+
+
+class TestExperimentsCommand:
+    def test_only_filter_limits_output(self, capsys):
+        code = main(["experiments", "--scale", "small", "--only", "E8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "E8-dominance" in out
+        assert "E1-theorem1-hybrid" not in out

@@ -1,0 +1,153 @@
+"""Unit tests for the Fault Discovery Rules and the FaultTracker."""
+
+import pytest
+
+from repro.core.fault_discovery import (FaultTracker, discover_at_level,
+                                        discover_during_conversion,
+                                        majority_among_children,
+                                        node_triggers_discovery)
+from repro.core.resolve import resolve_all
+from repro.core.tree import InfoGatheringTree
+
+
+def two_level_tree(n, child_value):
+    tree = InfoGatheringTree(source=0, processors=range(n))
+    tree.set_root(0)
+    tree.grow_level(2, child_value)
+    return tree
+
+
+class TestMajorityAmongChildren:
+    def test_majority_present(self):
+        value, counter = majority_among_children([1, 1, 1, 0])
+        assert value == 1
+        assert counter[1] == 3
+
+    def test_no_majority(self):
+        value, _ = majority_among_children([1, 1, 0, 0])
+        assert value is None
+
+    def test_empty(self):
+        value, _ = majority_among_children([])
+        assert value is None
+
+
+class TestNodeTriggersDiscovery:
+    def test_no_majority_triggers(self):
+        child_values = {1: 0, 2: 1, 3: 0, 4: 1}
+        assert node_triggers_discovery(child_values, suspects=set(), t=2)
+
+    def test_small_deviation_does_not_trigger(self):
+        child_values = {1: 1, 2: 1, 3: 1, 4: 1, 5: 0, 6: 0}
+        assert not node_triggers_discovery(child_values, suspects=set(), t=2)
+
+    def test_deviation_beyond_budget_triggers(self):
+        child_values = {1: 1, 2: 1, 3: 1, 4: 1, 5: 0, 6: 0, 7: 0}
+        assert node_triggers_discovery(child_values, suspects=set(), t=2)
+
+    def test_suspect_deviations_are_not_counted(self):
+        # Three deviating children but two of them are already suspects, and the
+        # budget shrinks to t − |L| = 1, so exactly one unlisted deviation: no trigger.
+        child_values = {1: 1, 2: 1, 3: 1, 4: 1, 5: 0, 6: 0, 7: 0}
+        assert not node_triggers_discovery(child_values, suspects={5, 6}, t=3)
+
+    def test_budget_shrinks_with_suspects(self):
+        child_values = {1: 1, 2: 1, 3: 1, 4: 1, 5: 0}
+        # budget t − |L| = 2 − 2 = 0, one unlisted deviation → trigger.
+        assert node_triggers_discovery(child_values, suspects={8, 9}, t=2)
+
+
+class TestDiscoverAtLevel:
+    def test_consistent_children_discover_nothing(self):
+        tree = two_level_tree(7, lambda parent, child: 1)
+        assert discover_at_level(tree, 2, suspects=set(), t=2) == set()
+
+    def test_split_children_discover_the_parent(self):
+        # The root's corresponding processor is the source (0): an even split
+        # among its children has no majority → the source is discovered.
+        tree = two_level_tree(7, lambda parent, child: child % 2)
+        assert discover_at_level(tree, 2, suspects=set(), t=2) == {0}
+
+    def test_level_one_discovers_nothing(self):
+        tree = InfoGatheringTree(source=0, processors=range(5))
+        tree.set_root(1)
+        assert discover_at_level(tree, 1, suspects=set(), t=1) == set()
+
+    def test_already_suspected_parent_not_rediscovered(self):
+        tree = two_level_tree(7, lambda parent, child: child % 2)
+        assert discover_at_level(tree, 2, suspects={0}, t=2) == set()
+
+    def test_discovery_at_third_level_names_last_label(self):
+        tree = InfoGatheringTree(source=0, processors=range(7))
+        tree.set_root(1)
+        tree.grow_level(2, lambda parent, child: 1)
+        # Children of node (0, 3) disagree wildly (no majority value at all);
+        # every other node is unanimous.
+        def leaf(parent, child):
+            if parent == (0, 3):
+                return child
+            return 1
+        tree.grow_level(3, leaf)
+        assert discover_at_level(tree, 3, suspects=set(), t=2) == {3}
+
+
+class TestDiscoverDuringConversion:
+    def test_consistent_tree_discovers_nothing(self):
+        tree = InfoGatheringTree(source=0, processors=range(7))
+        tree.set_root(1)
+        tree.grow_level(2, lambda parent, child: 1)
+        tree.grow_level(3, lambda parent, child: 1)
+        converted = resolve_all(tree, "resolve_prime", t=2)
+        assert discover_during_conversion(tree, converted, set(), t=2) == set()
+
+    def test_split_converted_children_discover_parent(self):
+        tree = InfoGatheringTree(source=0, processors=range(7))
+        tree.set_root(1)
+        tree.grow_level(2, lambda parent, child: 1)
+
+        def leaf(parent, child):
+            if parent == (0, 5):
+                return child
+            return 1
+
+        tree.grow_level(3, leaf)
+        converted = resolve_all(tree, "resolve_prime", t=2)
+        discovered = discover_during_conversion(tree, converted, set(), t=2)
+        assert 5 in discovered
+
+
+class TestFaultTracker:
+    def test_add_and_membership(self):
+        tracker = FaultTracker(owner=1, t=3)
+        assert tracker.add(5, round_number=2)
+        assert 5 in tracker
+        assert len(tracker) == 1
+
+    def test_add_is_idempotent(self):
+        tracker = FaultTracker(owner=1, t=3)
+        tracker.add(5, 2)
+        assert not tracker.add(5, 4)
+        assert tracker.discovery_round(5) == 2
+
+    def test_add_all_returns_only_new(self):
+        tracker = FaultTracker(owner=1, t=3)
+        tracker.add(5, 2)
+        added = tracker.add_all([5, 6, 7], 3)
+        assert added == [6, 7]
+
+    def test_discovered_by_round(self):
+        tracker = FaultTracker(owner=1, t=3)
+        tracker.add(5, 2)
+        tracker.add(6, 4)
+        assert tracker.discovered_by_round(3) == {5}
+        assert tracker.discovered_by_round(4) == {5, 6}
+
+    def test_history_and_suspects_are_copies(self):
+        tracker = FaultTracker(owner=1, t=3)
+        tracker.add(5, 2)
+        suspects = tracker.suspects
+        suspects.add(99)
+        assert 99 not in tracker
+        history = tracker.history()
+        history[42] = 1
+        assert 42 not in tracker

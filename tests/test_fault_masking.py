@@ -1,0 +1,121 @@
+"""Unit tests for the Fault Masking Rule (repro.core.fault_masking)."""
+
+from repro.core.fault_discovery import FaultTracker
+from repro.core.fault_masking import (discover_and_mask, mask_inbox,
+                                      mask_level_entries, masked_claim)
+from repro.core.tree import InfoGatheringTree
+from repro.core.values import DEFAULT_VALUE
+from repro.runtime.messages import Message
+
+
+def make_inbox(round_number=2):
+    return {
+        1: Message({(0,): 1}, sender=1, round_number=round_number),
+        2: Message({(0,): 1}, sender=2, round_number=round_number),
+    }
+
+
+class TestMaskInbox:
+    def test_suspect_entries_are_zeroed(self):
+        inbox = make_inbox()
+        masked = mask_inbox(inbox, suspects={1})
+        assert masked[1].value_for((0,)) == DEFAULT_VALUE
+        assert masked[2].value_for((0,)) == 1
+
+    def test_no_suspects_is_identity(self):
+        inbox = make_inbox()
+        masked = mask_inbox(inbox, suspects=set())
+        assert masked == inbox
+
+    def test_original_inbox_untouched(self):
+        inbox = make_inbox()
+        mask_inbox(inbox, suspects={1})
+        assert inbox[1].value_for((0,)) == 1
+
+
+class TestMaskLevelEntries:
+    def test_only_sender_suffixed_nodes_rewritten(self):
+        tree = InfoGatheringTree(source=0, processors=range(5))
+        tree.set_root(1)
+        tree.grow_level(2, lambda parent, child: 1)
+        rewritten = mask_level_entries(tree, 2, senders={3})
+        assert rewritten == 1
+        assert tree.value((0, 3)) == DEFAULT_VALUE
+        assert tree.value((0, 2)) == 1
+
+    def test_empty_sender_set_is_noop(self):
+        tree = InfoGatheringTree(source=0, processors=range(5))
+        tree.set_root(1)
+        tree.grow_level(2, lambda parent, child: 1)
+        assert mask_level_entries(tree, 2, senders=set()) == 0
+
+
+class TestDiscoverAndMask:
+    def test_discovery_masks_the_discovered_senders_level(self):
+        tree = InfoGatheringTree(source=0, processors=range(7))
+        tree.set_root(1)
+        tree.grow_level(2, lambda parent, child: 1)
+
+        def leaf(parent, child):
+            if parent == (0, 4):
+                return child
+            return 1
+
+        tree.grow_level(3, leaf)
+        tracker = FaultTracker(owner=1, t=2)
+        newly = discover_and_mask(tree, 3, tracker, round_number=3)
+        assert newly == {4}
+        assert 4 in tracker
+        # Every level-3 node ending in 4 has been overwritten with the default.
+        for seq in tree.level_sequences(3):
+            if seq[-1] == 4:
+                assert tree.value(seq) == DEFAULT_VALUE
+
+    def test_no_discovery_changes_nothing(self):
+        tree = InfoGatheringTree(source=0, processors=range(7))
+        tree.set_root(1)
+        tree.grow_level(2, lambda parent, child: 1)
+        tracker = FaultTracker(owner=1, t=2)
+        assert discover_and_mask(tree, 2, tracker, round_number=2) == set()
+        assert len(tracker) == 0
+
+    def test_fixpoint_can_cascade(self):
+        # Masking processor 5's entries changes the children of other nodes;
+        # the fixpoint loop must pick up any discoveries that enables, and it
+        # must never incriminate more processors than actually misbehaved here.
+        tree = InfoGatheringTree(source=0, processors=range(9))
+        tree.set_root(1)
+        tree.grow_level(2, lambda parent, child: 1)
+
+        def leaf(parent, child):
+            if parent[-1] == 5:
+                return child % 2            # node (0,5): wild disagreement
+            if child == 5:
+                return 0                    # 5 also lies about everyone else
+            return 1
+
+        tree.grow_level(3, leaf)
+        tracker = FaultTracker(owner=1, t=2)
+        newly = discover_and_mask(tree, 3, tracker, round_number=3)
+        assert newly == {5}
+
+
+class TestMaskedClaim:
+    def test_suspect_sender_masked(self):
+        message = Message({(0,): 1}, sender=3, round_number=2)
+        value = masked_claim(message, (0,), sender=3, suspects={3}, domain=(0, 1))
+        assert value == DEFAULT_VALUE
+
+    def test_missing_message_masked(self):
+        assert masked_claim(None, (0,), sender=3, suspects=set(),
+                            domain=(0, 1)) == DEFAULT_VALUE
+
+    def test_out_of_domain_value_coerced(self):
+        message = Message({(0,): 9}, sender=3, round_number=2)
+        assert masked_claim(message, (0,), sender=3, suspects=set(),
+                            domain=(0, 1)) == DEFAULT_VALUE
+
+    def test_honest_value_passes(self):
+        message = Message({(0,): 1}, sender=3, round_number=2)
+        assert masked_claim(message, (0,), sender=3, suspects=set(),
+                            domain=(0, 1)) == 1

@@ -1,0 +1,143 @@
+"""Tests for the hybrid algorithm (Theorem 1): parameters, phases, agreement."""
+
+import pytest
+
+from tests.helpers import assert_battery_correct, run_battery
+
+from repro.core.algorithm_a import algorithm_a_rounds
+from repro.core.hybrid import (HybridProcessor, HybridSpec, hybrid_parameters,
+                               hybrid_rounds, hybrid_rounds_asymptotic,
+                               hybrid_rounds_closed_form, hybrid_schedule)
+from repro.core.protocol import ProtocolConfig
+from repro.runtime.errors import ConfigurationError
+
+
+class TestParameters:
+    def test_thresholds_satisfy_the_shift_conditions(self):
+        for n, t in [(13, 4), (16, 5), (22, 7), (31, 10)]:
+            for b in (3, 4):
+                if b > t:
+                    continue
+                params = hybrid_parameters(n, t, b)
+                # Shift into B: Corollary 1 must survive with t_AB detected faults.
+                assert n - 2 * t + params.t_ab > (n - 1) // 2
+                # Shift into C: Proposition 4's counting must survive.
+                assert (t - params.t_ac) ** 2 < n / 2 - t
+                assert (n - 2 * t + params.t_ac) * 2 > n
+                assert params.t_ab <= params.t_ac <= t
+
+    def test_round_identities(self):
+        for n, t, b in [(13, 4, 3), (16, 5, 3), (31, 10, 4), (31, 10, 5)]:
+            params = hybrid_parameters(n, t, b)
+            x = (params.t_ab - 1) // (b - 2)
+            assert params.k_ab == 2 + params.t_ab + 2 * x
+            x_prime = params.t_bc // (b - 1)
+            assert params.k_bc == 1 + params.t_bc + x_prime
+            assert params.total_rounds == params.k_ab + params.k_bc + params.c_rounds
+            assert params.c_rounds == t - params.t_ac + 1
+
+    def test_phase_boundaries(self):
+        params = hybrid_parameters(13, 4, 3)
+        a_end, b_end, total = params.phase_boundaries
+        assert a_end == params.k_ab
+        assert b_end == params.k_ab + params.k_bc
+        assert total == params.total_rounds
+
+    def test_constructive_and_closed_form_round_counts_agree(self):
+        for n, t in [(13, 4), (16, 5), (31, 10)]:
+            for b in range(3, min(t, 6) + 1):
+                assert hybrid_rounds(n, t, b) == hybrid_rounds_closed_form(n, t, b)
+
+    def test_asymptotic_shape_upper_bounds_loosely(self):
+        # The asymptotic t + t/(b−2) + 2(b−1) + √t should track the constructive
+        # count within a small additive constant for moderate parameters.
+        for n, t in [(31, 10), (61, 20)]:
+            for b in (3, 4, 5):
+                constructive = hybrid_rounds(n, t, b)
+                asymptotic = hybrid_rounds_asymptotic(t, b)
+                assert abs(constructive - asymptotic) <= 10
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hybrid_parameters(9, 3, 3)     # n < 3t + 1
+        with pytest.raises(ConfigurationError):
+            hybrid_parameters(10, 2, 3)    # t < 3
+        with pytest.raises(ConfigurationError):
+            hybrid_parameters(13, 4, 2)    # b ≤ 2
+        with pytest.raises(ConfigurationError):
+            hybrid_parameters(13, 4, 5)    # b > t
+
+
+class TestDominance:
+    def test_hybrid_never_materially_slower_than_algorithm_a(self):
+        # The dominance claim concerns the shifting family (b < t); at b = t
+        # Algorithm A degenerates to the round-optimal Exponential Algorithm.
+        # The constructive hybrid always pays for a final partial block in each
+        # of its A and B phases, so for small t and divisor-friendly b it can
+        # lose one round to standalone Algorithm A; it is never worse than that.
+        for n, t in [(13, 4), (16, 5), (22, 7), (31, 10), (61, 20)]:
+            for b in range(3, min(t - 1, 6) + 1):
+                assert hybrid_rounds(n, t, b) <= algorithm_a_rounds(t, b) + 1
+
+    def test_hybrid_dominates_at_smallest_block_parameter(self):
+        for n, t in [(13, 4), (16, 5), (22, 7), (31, 10), (61, 20)]:
+            assert hybrid_rounds(n, t, 3) <= algorithm_a_rounds(t, 3)
+
+    def test_hybrid_strictly_faster_somewhere(self):
+        savings = [algorithm_a_rounds(10, b) - hybrid_rounds(31, 10, b)
+                   for b in (3, 4)]
+        assert any(saving > 0 for saving in savings)
+
+
+class TestSchedule:
+    def test_schedule_switches_conversion_at_the_a_to_b_boundary(self):
+        params = hybrid_parameters(13, 4, 3)
+        schedule = hybrid_schedule(params)
+        conversions = [segment.conversion for segment in schedule.segments]
+        a_count = len(params.a_blocks)
+        assert all(c == "resolve_prime" for c in conversions[:a_count])
+        assert all(c == "resolve" for c in conversions[a_count:])
+        assert schedule.total_rounds == params.k_ab + params.k_bc
+
+    def test_phase_of_round(self):
+        config = ProtocolConfig(n=13, t=4, initial_value=1)
+        processor = HybridProcessor(1, config, b=3)
+        params = processor.params
+        assert processor.phase_of_round(1) == "A"
+        assert processor.phase_of_round(params.k_ab) == "A"
+        assert processor.phase_of_round(params.k_ab + 1) == "B"
+        assert processor.phase_of_round(params.total_rounds) == "C"
+
+
+class TestAgreement:
+    def test_standard_battery_n13_t4_b3(self):
+        assert_battery_correct(lambda: HybridSpec(3), n=13, t=4)
+
+    def test_standard_battery_n13_t4_b4(self):
+        assert_battery_correct(lambda: HybridSpec(4), n=13, t=4)
+
+    def test_standard_battery_n10_t3(self):
+        assert_battery_correct(lambda: HybridSpec(3), n=10, t=3)
+
+    def test_standard_battery_n16_t5(self):
+        assert_battery_correct(lambda: HybridSpec(3), n=16, t=5)
+
+    def test_initial_value_zero(self):
+        assert_battery_correct(lambda: HybridSpec(3), n=13, t=4, initial_value=0)
+
+    def test_round_and_message_bounds_hold(self):
+        from repro.core.algorithm_a import algorithm_a_max_message_entries
+        for scenario, result in run_battery(lambda: HybridSpec(3), n=13, t=4):
+            assert result.rounds == hybrid_rounds(13, 4, 3)
+            assert (result.metrics.max_message_entries()
+                    <= algorithm_a_max_message_entries(13, 3))
+
+    def test_discovery_log_spans_phases(self):
+        from repro.adversary import EquivocatingSourceWithAlliesAdversary
+        from repro.runtime.simulation import choose_faulty, run_agreement
+        config = ProtocolConfig(n=13, t=4, initial_value=1)
+        result = run_agreement(HybridSpec(3), config,
+                               choose_faulty(13, 4, source_faulty=True),
+                               EquivocatingSourceWithAlliesAdversary())
+        assert result.agreement
+        assert any(result.discovery_logs.values())

@@ -1,0 +1,90 @@
+"""Cross-protocol integration tests: every algorithm of the paper, run side by
+side on identical scenarios, must reach the same (correct) outcome."""
+
+import pytest
+
+from repro.baselines import DolevStrongSpec, PeaseShostakLamportSpec, PhaseKingSpec
+from repro.core.algorithm_a import AlgorithmASpec
+from repro.core.algorithm_b import AlgorithmBSpec
+from repro.core.algorithm_c import AlgorithmCSpec
+from repro.core.exponential import ExponentialSpec
+from repro.core.hybrid import HybridSpec
+from repro.core.protocol import ProtocolConfig
+from repro.experiments.workloads import standard_scenarios
+from repro.runtime.simulation import run_agreement
+
+
+def specs_for(n: int, t: int):
+    """Every spec applicable at the given (n, t)."""
+    from repro.core.algorithm_b import algorithm_b_resilience
+    from repro.core.algorithm_c import algorithm_c_resilience
+    from repro.baselines import phase_king_resilience
+    specs = [("exponential", ExponentialSpec), ("psl", PeaseShostakLamportSpec),
+             ("dolev-strong", DolevStrongSpec)]
+    if t >= 3:
+        specs.append(("algorithm-a", lambda: AlgorithmASpec(3)))
+        specs.append(("hybrid", lambda: HybridSpec(3)))
+    if t <= algorithm_b_resilience(n):
+        specs.append(("algorithm-b", lambda: AlgorithmBSpec(2)))
+    if t <= phase_king_resilience(n):
+        specs.append(("phase-king", PhaseKingSpec))
+    if t <= algorithm_c_resilience(n):
+        specs.append(("algorithm-c", AlgorithmCSpec))
+    return specs
+
+
+class TestCrossProtocolConsistency:
+    @pytest.mark.parametrize("n,t", [(13, 3)])
+    def test_all_protocols_valid_when_source_correct(self, n, t):
+        config = ProtocolConfig(n=n, t=t, initial_value=1)
+        scenarios = [s for s in standard_scenarios(n, t) if 0 not in s.faulty]
+        for name, factory in specs_for(n, t):
+            for scenario in scenarios:
+                result = run_agreement(factory(), config, scenario.faulty,
+                                       scenario.adversary())
+                assert result.agreement, (name, scenario.name)
+                assert result.decision_value == 1, (name, scenario.name)
+
+    @pytest.mark.parametrize("n,t", [(13, 3)])
+    def test_all_protocols_agree_when_source_faulty(self, n, t):
+        config = ProtocolConfig(n=n, t=t, initial_value=1)
+        scenarios = [s for s in standard_scenarios(n, t) if 0 in s.faulty]
+        assert scenarios
+        for name, factory in specs_for(n, t):
+            for scenario in scenarios:
+                result = run_agreement(factory(), config, scenario.faulty,
+                                       scenario.adversary())
+                assert result.agreement, (name, scenario.name)
+
+    def test_shifting_family_matches_exponential_decisions(self):
+        """Algorithms A and B and the hybrid may take more rounds than the
+        Exponential Algorithm, but with a correct source they must decide the
+        same value on every scenario."""
+        n, t = 13, 4
+        config = ProtocolConfig(n=n, t=t, initial_value=1)
+        scenarios = [s for s in standard_scenarios(n, t) if 0 not in s.faulty]
+        for scenario in scenarios:
+            reference = run_agreement(ExponentialSpec(), config, scenario.faulty,
+                                      scenario.adversary())
+            for factory in (lambda: AlgorithmASpec(3), lambda: AlgorithmASpec(4),
+                            lambda: HybridSpec(3)):
+                other = run_agreement(factory(), config, scenario.faulty,
+                                      scenario.adversary())
+                assert other.decision_value == reference.decision_value, scenario.name
+
+    def test_costs_reflect_the_design_space(self):
+        """One scenario, every algorithm: Algorithm C and phase king must use
+        the smallest messages, the exponential algorithm the largest."""
+        n, t = 13, 3
+        config = ProtocolConfig(n=n, t=t, initial_value=1)
+        scenario = [s for s in standard_scenarios(n, t)
+                    if s.name == "faulty-source-allies"][0]
+        entries = {}
+        for name, factory in specs_for(n, t):
+            result = run_agreement(factory(), config, scenario.faulty,
+                                   scenario.adversary())
+            entries[name] = result.metrics.max_message_entries()
+        assert entries["phase-king"] <= entries["algorithm-b"]
+        assert entries["algorithm-b"] <= entries["exponential"]
+        if "algorithm-c" in entries:
+            assert entries["algorithm-c"] <= entries["exponential"]

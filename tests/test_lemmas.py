@@ -1,0 +1,92 @@
+"""The paper's lemmas, checked on trees produced by real adversarial executions."""
+
+import pytest
+
+from repro.adversary import (AdversaryContext, EquivocatingSourceWithAlliesAdversary,
+                             StealthPathAdversary, TwoFacedSourceAdversary)
+from repro.analysis.lemmas import (common_nodes, correctness_lemma_holds,
+                                   frontier_lemma_holds, has_common_frontier,
+                                   hidden_fault_lemma_holds,
+                                   persistence_lemma_holds)
+from repro.core.exponential import ExponentialSpec, exponential_rounds
+from repro.core.protocol import ProtocolConfig
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.network import SynchronousNetwork
+
+
+def final_trees(adversary, faulty, n=7, t=2, initial_value=1, rounds=None):
+    """Drive one execution and return the correct non-source processors' trees,
+    suspect lists, and the configuration (before data conversion)."""
+    config = ProtocolConfig(n=n, t=t, initial_value=initial_value)
+    spec = ExponentialSpec()
+    correct = [p for p in config.processors if p not in faulty]
+    processors = {pid: spec.build(pid, config) for pid in correct}
+    adversary.bind(AdversaryContext(config=config, spec=ExponentialSpec(),
+                                    faulty=frozenset(faulty), seed=0))
+    network = SynchronousNetwork(config.processors, RunMetrics())
+    total = rounds if rounds is not None else exponential_rounds(t)
+    for round_number in range(1, total + 1):
+        outboxes = {pid: processors[pid].outgoing(round_number) for pid in correct}
+        outboxes.update(adversary.round_messages(round_number, outboxes))
+        inboxes = network.deliver(round_number, outboxes, count_senders=correct)
+        for pid in correct:
+            processors[pid].incoming(round_number, inboxes[pid])
+        adversary.observe_delivery(round_number,
+                                   {pid: inboxes[pid] for pid in faulty})
+    observers = {pid: proc for pid, proc in processors.items()
+                 if pid != config.source}
+    trees = {pid: proc.tree for pid, proc in observers.items()}
+    suspects = {pid: proc.tracker.suspects for pid, proc in observers.items()}
+    return config, trees, suspects
+
+
+SCENARIOS = [
+    ("faulty-relays-two-faced", TwoFacedSourceAdversary, frozenset({5, 6})),
+    ("faulty-source-allies", EquivocatingSourceWithAlliesAdversary, frozenset({0, 6})),
+    ("faulty-source-stealth", StealthPathAdversary, frozenset({0, 6})),
+]
+
+
+class TestLemmasOnRealExecutions:
+    """The trees here come from executions interrupted just before the final
+    conversion (the schedule is a single t-round segment, so the last
+    information-gathering round is the last round of the run)."""
+
+    @pytest.mark.parametrize("name,adversary_factory,faulty", SCENARIOS)
+    @pytest.mark.parametrize("conversion", ["resolve", "resolve_prime"])
+    def test_correctness_lemma(self, name, adversary_factory, faulty, conversion):
+        config, trees, _ = final_trees(adversary_factory(), faulty, rounds=2)
+        correct = [p for p in config.processors if p not in faulty]
+        assert correctness_lemma_holds(trees, correct, conversion, config.t)
+
+    @pytest.mark.parametrize("name,adversary_factory,faulty", SCENARIOS)
+    @pytest.mark.parametrize("conversion", ["resolve", "resolve_prime"])
+    def test_frontier_lemma_and_agreement_on_the_root(self, name, adversary_factory,
+                                                      faulty, conversion):
+        config, trees, _ = final_trees(adversary_factory(), faulty, rounds=3)
+        # After t + 1 rounds every path holds a correct processor, so the full
+        # tree must have a common frontier, and then the root must be common.
+        assert has_common_frontier(trees, conversion, config.t)
+        assert frontier_lemma_holds(trees, conversion, config.t)
+        assert (0,) in common_nodes(trees, conversion, config.t)
+
+    @pytest.mark.parametrize("conversion", ["resolve", "resolve_prime"])
+    def test_persistence_lemma_with_correct_source(self, conversion):
+        # A correct source means every correct processor prefers its value from
+        # round 1 on, so conversion at any later point must return that value.
+        config, trees, _ = final_trees(StealthPathAdversary(), frozenset({5, 6}),
+                                       rounds=3)
+        assert persistence_lemma_holds(trees, conversion, config.t) is True
+
+    def test_persistence_lemma_vacuous_when_preferences_split(self):
+        config, trees, _ = final_trees(TwoFacedSourceAdversary(), frozenset({0, 6}),
+                                       rounds=2)
+        roots = {tree.root_value() for tree in trees.values()}
+        if len(roots) > 1:
+            assert persistence_lemma_holds(trees, "resolve", config.t) is None
+
+    @pytest.mark.parametrize("name,adversary_factory,faulty", SCENARIOS)
+    def test_hidden_fault_lemma(self, name, adversary_factory, faulty):
+        config, trees, suspects = final_trees(adversary_factory(), faulty, rounds=3)
+        correct = [p for p in config.processors if p not in faulty]
+        assert hidden_fault_lemma_holds(trees, suspects, faulty, correct, config.t)

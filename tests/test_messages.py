@@ -1,0 +1,98 @@
+"""Unit tests for messages and outbox helpers (repro.runtime.messages)."""
+
+import pytest
+
+from repro.runtime.messages import (Message, broadcast, largest_message_entries,
+                                    stamp_sender, total_bits, total_entries)
+
+
+class TestMessage:
+    def test_entries_are_copied_defensively(self):
+        message = Message({(0,): 1}, sender=2, round_number=1)
+        entries = message.entries
+        entries[(0, 1)] = 0
+        assert (0, 1) not in message
+
+    def test_value_for_known_sequence(self):
+        message = Message({(0, 1): 1}, sender=2, round_number=2)
+        assert message.value_for((0, 1)) == 1
+
+    def test_value_for_missing_sequence_is_none(self):
+        message = Message({(0, 1): 1}, sender=2, round_number=2)
+        assert message.value_for((0, 3)) is None
+
+    def test_len_and_contains(self):
+        message = Message({(0,): 1, (0, 1): 0}, sender=2, round_number=2)
+        assert len(message) == 2
+        assert (0,) in message
+
+    def test_equality(self):
+        a = Message({(0,): 1}, sender=2, round_number=1)
+        b = Message({(0,): 1}, sender=2, round_number=1)
+        c = Message({(0,): 0}, sender=2, round_number=1)
+        assert a == b
+        assert a != c
+        assert a != "not a message"
+
+    def test_single_constructor(self):
+        message = Message.single((0,), 1, sender=0, round_number=1)
+        assert message.entry_count() == 1
+        assert message.value_for((0,)) == 1
+
+    def test_replace_values(self):
+        message = Message({(0,): 1, (0, 1): 1}, sender=2, round_number=2)
+        masked = message.replace_values(0)
+        assert set(masked.entries.values()) == {0}
+        assert masked.sender == 2
+
+    def test_with_entries_keeps_identity(self):
+        message = Message({(0,): 1}, sender=2, round_number=3)
+        rewritten = message.with_entries({(0,): 0})
+        assert rewritten.sender == 2
+        assert rewritten.round_number == 3
+        assert rewritten.value_for((0,)) == 0
+
+    def test_size_bits_grows_with_entries_and_depth(self):
+        shallow = Message({(0,): 1}, sender=2, round_number=1)
+        deep = Message({(0, 1, 2): 1, (0, 1, 3): 0}, sender=2, round_number=3)
+        assert deep.size_bits(n=8) > shallow.size_bits(n=8)
+
+    def test_repr_contains_sender_and_round(self):
+        message = Message({(0,): 1}, sender=2, round_number=1)
+        assert "sender=2" in repr(message)
+
+
+class TestBroadcastHelpers:
+    def test_broadcast_excludes_sender(self):
+        outbox = broadcast({(0,): 1}, sender=2, round_number=1,
+                           destinations=range(4))
+        assert set(outbox) == {0, 1, 3}
+
+    def test_broadcast_shares_one_message_object(self):
+        outbox = broadcast({(0,): 1}, sender=2, round_number=1,
+                           destinations=range(4))
+        assert len({id(message) for message in outbox.values()}) == 1
+
+    def test_total_entries_and_bits(self):
+        outbox = broadcast({(0,): 1, (0, 1): 0}, sender=2, round_number=2,
+                           destinations=range(4))
+        assert total_entries(outbox) == 2 * 3
+        assert total_bits(outbox, n=4) > 0
+
+    def test_largest_message_entries(self):
+        outbox = broadcast({(0,): 1, (0, 1): 0}, sender=2, round_number=2,
+                           destinations=range(4))
+        assert largest_message_entries(outbox) == 2
+        assert largest_message_entries({}) == 0
+
+
+class TestStampSender:
+    def test_spoofed_sender_is_corrected(self):
+        forged = Message({(0,): 1}, sender=5, round_number=1)
+        stamped = stamp_sender(forged, true_sender=3)
+        assert stamped.sender == 3
+        assert stamped.entries == forged.entries
+
+    def test_honest_sender_untouched(self):
+        honest = Message({(0,): 1}, sender=3, round_number=1)
+        assert stamp_sender(honest, true_sender=3) is honest

@@ -1,0 +1,94 @@
+"""Unit tests for cost accounting (repro.runtime.metrics)."""
+
+import pytest
+
+from repro.runtime.metrics import (ComputationMeter, CostModelPoint, RunMetrics,
+                                   entry_bits, geometric_mean)
+
+
+class TestComputationMeter:
+    def test_charge_accumulates(self):
+        meter = ComputationMeter()
+        meter.charge()
+        meter.charge(5)
+        assert meter.units == 6
+
+    def test_zero_charge_is_noop(self):
+        meter = ComputationMeter()
+        meter.charge(0)
+        assert meter.units == 0
+
+
+class TestEntryBits:
+    def test_longer_paths_cost_more(self):
+        assert entry_bits(3, 2, 8) > entry_bits(1, 2, 8)
+
+    def test_larger_networks_cost_more(self):
+        assert entry_bits(2, 2, 64) > entry_bits(2, 2, 4)
+
+    def test_minimum_one_bit_for_value(self):
+        assert entry_bits(0, 2, 2) >= 1
+
+
+class TestRunMetrics:
+    def make_metrics(self):
+        metrics = RunMetrics()
+        metrics.record_round(1)
+        metrics.record_round(2)
+        metrics.record_message(1, sender=0, entries=1, bits=4)
+        metrics.record_message(2, sender=1, entries=6, bits=30)
+        metrics.record_message(2, sender=2, entries=6, bits=30)
+        metrics.record_computation(1, 100)
+        metrics.record_computation(2, 250)
+        metrics.record_discoveries(1, 2)
+        return metrics
+
+    def test_rounds_executed_is_max(self):
+        metrics = self.make_metrics()
+        assert metrics.rounds_executed == 2
+
+    def test_totals(self):
+        metrics = self.make_metrics()
+        assert metrics.total_messages() == 3
+        assert metrics.total_value_entries() == 13
+        assert metrics.total_bits() == 64
+
+    def test_max_message_entries(self):
+        metrics = self.make_metrics()
+        assert metrics.max_message_entries() == 6
+
+    def test_max_message_bits(self):
+        metrics = self.make_metrics()
+        assert metrics.max_message_bits() == 30
+
+    def test_per_round_entries(self):
+        metrics = self.make_metrics()
+        assert metrics.per_round_entries() == [1, 12]
+
+    def test_per_round_entries_empty(self):
+        assert RunMetrics().per_round_entries() == []
+
+    def test_computation_aggregates(self):
+        metrics = self.make_metrics()
+        assert metrics.max_computation_units() == 250
+        assert metrics.total_computation_units() == 350
+
+    def test_summary_keys(self):
+        summary = self.make_metrics().summary()
+        for key in ("rounds", "total_messages", "max_message_entries",
+                    "max_computation_units"):
+            assert key in summary
+
+
+class TestSmallHelpers:
+    def test_cost_model_point_as_row(self):
+        point = CostModelPoint(parameter=3, rounds=10, message_bits=100,
+                               computation=1000, extra={"saving": 2})
+        row = point.as_row()
+        assert row["parameter"] == 3
+        assert row["saving"] == 2
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+        assert geometric_mean([]) is None
+        assert geometric_mean([0.0]) is None

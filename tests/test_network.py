@@ -1,0 +1,75 @@
+"""Unit tests for the synchronous network (repro.runtime.network)."""
+
+import pytest
+
+from repro.runtime.errors import SimulationError
+from repro.runtime.messages import Message
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.network import SynchronousNetwork
+
+
+def make_network(n=4):
+    metrics = RunMetrics()
+    return SynchronousNetwork(range(n), metrics), metrics
+
+
+class TestDelivery:
+    def test_messages_reach_their_destinations(self):
+        network, _ = make_network()
+        outboxes = {0: {1: Message({(0,): 1}, 0, 1), 2: Message({(0,): 1}, 0, 1)}}
+        inboxes = network.deliver(1, outboxes, count_senders=[0])
+        assert inboxes[1][0].value_for((0,)) == 1
+        assert inboxes[2][0].value_for((0,)) == 1
+        assert inboxes[3] == {}
+
+    def test_self_addressed_messages_are_dropped(self):
+        network, _ = make_network()
+        outboxes = {0: {0: Message({(0,): 1}, 0, 1)}}
+        inboxes = network.deliver(1, outboxes, count_senders=[0])
+        assert inboxes[0] == {}
+
+    def test_sender_identity_is_stamped(self):
+        network, _ = make_network()
+        forged = Message({(0,): 1}, sender=3, round_number=1)
+        inboxes = network.deliver(1, {2: {1: forged}}, count_senders=[])
+        assert inboxes[1][2].sender == 2
+
+    def test_unknown_sender_rejected(self):
+        network, _ = make_network()
+        with pytest.raises(SimulationError):
+            network.deliver(1, {9: {1: Message({(0,): 1}, 9, 1)}}, count_senders=[])
+
+    def test_unknown_destination_rejected(self):
+        network, _ = make_network()
+        with pytest.raises(SimulationError):
+            network.deliver(1, {0: {9: Message({(0,): 1}, 0, 1)}}, count_senders=[])
+
+    def test_non_message_payload_rejected(self):
+        network, _ = make_network()
+        with pytest.raises(SimulationError):
+            network.deliver(1, {0: {1: "hello"}}, count_senders=[])
+
+
+class TestMetricsRecording:
+    def test_only_counted_senders_are_charged(self):
+        network, metrics = make_network()
+        outboxes = {
+            0: {1: Message({(0,): 1}, 0, 1)},
+            3: {1: Message({(0,): 1}, 3, 1)},
+        }
+        network.deliver(1, outboxes, count_senders=[0])
+        assert metrics.total_messages() == 1
+        assert 0 in metrics.sent[1]
+        assert 3 not in metrics.sent[1]
+
+    def test_round_number_recorded(self):
+        network, metrics = make_network()
+        network.deliver(5, {}, count_senders=[])
+        assert metrics.rounds_executed == 5
+
+    def test_bits_accounting_positive(self):
+        network, metrics = make_network()
+        outboxes = {0: {1: Message({(0,): 1, (0, 2): 0}, 0, 2)}}
+        network.deliver(2, outboxes, count_senders=[0])
+        assert metrics.total_bits() > 0
+        assert metrics.total_value_entries() == 2

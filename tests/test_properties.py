@@ -1,0 +1,79 @@
+"""Property-based, end-to-end tests: agreement must hold for randomly chosen
+faulty sets, adversary strategies, and source values."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import adversary_registry
+from repro.core.algorithm_b import AlgorithmBSpec
+from repro.core.algorithm_c import AlgorithmCSpec
+from repro.core.exponential import ExponentialSpec
+from repro.core.hybrid import HybridSpec
+from repro.core.protocol import ProtocolConfig
+from repro.runtime.simulation import run_agreement
+
+ADVERSARY_NAMES = sorted(adversary_registry())
+
+_settings = settings(max_examples=20, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def random_faulty(draw, n, t, source=0):
+    count = draw(st.integers(min_value=0, max_value=t))
+    faulty = draw(st.sets(st.integers(min_value=0, max_value=n - 1),
+                          min_size=count, max_size=count))
+    return frozenset(faulty)
+
+
+def check_run(spec, n, t, faulty, adversary_name, value, seed):
+    adversary = adversary_registry()[adversary_name]()
+    config = ProtocolConfig(n=n, t=t, initial_value=value)
+    result = run_agreement(spec, config, faulty, adversary, seed=seed)
+    assert result.agreement, (adversary_name, sorted(faulty), result.decisions)
+    if result.validity is not None:
+        assert result.validity, (adversary_name, sorted(faulty), result.decisions)
+    assert result.soundness_of_discovery()
+
+
+class TestExponentialProperties:
+    @_settings
+    @given(data=st.data())
+    def test_agreement_for_random_faulty_sets_and_adversaries(self, data):
+        faulty = random_faulty(data.draw, n=7, t=2)
+        adversary_name = data.draw(st.sampled_from(ADVERSARY_NAMES))
+        value = data.draw(st.integers(min_value=0, max_value=1))
+        seed = data.draw(st.integers(min_value=0, max_value=10))
+        check_run(ExponentialSpec(), 7, 2, faulty, adversary_name, value, seed)
+
+
+class TestAlgorithmBProperties:
+    @_settings
+    @given(data=st.data())
+    def test_agreement_for_random_faulty_sets_and_adversaries(self, data):
+        faulty = random_faulty(data.draw, n=9, t=2)
+        adversary_name = data.draw(st.sampled_from(ADVERSARY_NAMES))
+        value = data.draw(st.integers(min_value=0, max_value=1))
+        seed = data.draw(st.integers(min_value=0, max_value=10))
+        check_run(AlgorithmBSpec(2), 9, 2, faulty, adversary_name, value, seed)
+
+
+class TestAlgorithmCProperties:
+    @_settings
+    @given(data=st.data())
+    def test_agreement_for_random_faulty_sets_and_adversaries(self, data):
+        faulty = random_faulty(data.draw, n=14, t=2)
+        adversary_name = data.draw(st.sampled_from(ADVERSARY_NAMES))
+        value = data.draw(st.integers(min_value=0, max_value=1))
+        seed = data.draw(st.integers(min_value=0, max_value=10))
+        check_run(AlgorithmCSpec(), 14, 2, faulty, adversary_name, value, seed)
+
+
+class TestHybridProperties:
+    @_settings
+    @given(data=st.data())
+    def test_agreement_for_random_faulty_sets_and_adversaries(self, data):
+        faulty = random_faulty(data.draw, n=10, t=3)
+        adversary_name = data.draw(st.sampled_from(ADVERSARY_NAMES))
+        value = data.draw(st.integers(min_value=0, max_value=1))
+        seed = data.draw(st.integers(min_value=0, max_value=10))
+        check_run(HybridSpec(3), 10, 3, faulty, adversary_name, value, seed)

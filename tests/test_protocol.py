@@ -1,0 +1,123 @@
+"""Unit tests for ProtocolConfig, spec validation, and round bookkeeping."""
+
+import pytest
+
+from repro.core.algorithm_a import AlgorithmASpec
+from repro.core.algorithm_b import AlgorithmBSpec
+from repro.core.algorithm_c import AlgorithmCSpec
+from repro.core.exponential import ExponentialSpec, exponential_schedule
+from repro.core.hybrid import HybridSpec
+from repro.core.protocol import ProtocolConfig
+from repro.core.shifting import ShiftingEIGProcessor
+from repro.runtime.errors import ConfigurationError, ProtocolViolationError
+
+
+class TestProtocolConfig:
+    def test_valid_config(self):
+        config = ProtocolConfig(n=7, t=2, initial_value=1)
+        assert config.processors == tuple(range(7))
+        assert config.others(0) == tuple(range(1, 7))
+
+    def test_too_few_processors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig(n=3, t=1)
+
+    def test_zero_resilience_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig(n=7, t=0)
+
+    def test_source_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig(n=7, t=2, source=9)
+
+    def test_domain_must_contain_default(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig(n=7, t=2, domain=(1, 2))
+
+    def test_initial_value_must_be_in_domain(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig(n=7, t=2, initial_value=9)
+
+    def test_non_default_source(self):
+        config = ProtocolConfig(n=7, t=2, source=3)
+        assert 3 in config.processors
+
+    def test_larger_domain_accepted(self):
+        config = ProtocolConfig(n=7, t=2, initial_value=3, domain=(0, 1, 2, 3))
+        assert config.initial_value == 3
+
+
+class TestSpecValidation:
+    def test_exponential_resilience_enforced(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialSpec().validate(ProtocolConfig(n=6, t=2))
+
+    def test_algorithm_a_resilience_and_block_range(self):
+        with pytest.raises(ConfigurationError):
+            AlgorithmASpec(b=3).validate(ProtocolConfig(n=9, t=3))
+        with pytest.raises(ConfigurationError):
+            AlgorithmASpec(b=2).validate(ProtocolConfig(n=10, t=3))
+        with pytest.raises(ConfigurationError):
+            AlgorithmASpec(b=4).validate(ProtocolConfig(n=10, t=3))
+        AlgorithmASpec(b=3).validate(ProtocolConfig(n=10, t=3))
+
+    def test_algorithm_b_resilience_and_block_range(self):
+        with pytest.raises(ConfigurationError):
+            AlgorithmBSpec(b=2).validate(ProtocolConfig(n=12, t=3))
+        with pytest.raises(ConfigurationError):
+            AlgorithmBSpec(b=1).validate(ProtocolConfig(n=13, t=3))
+        AlgorithmBSpec(b=2).validate(ProtocolConfig(n=13, t=3))
+
+    def test_algorithm_c_resilience(self):
+        with pytest.raises(ConfigurationError):
+            AlgorithmCSpec().validate(ProtocolConfig(n=14, t=3))
+        AlgorithmCSpec().validate(ProtocolConfig(n=20, t=3))
+
+    def test_hybrid_requirements(self):
+        with pytest.raises(ConfigurationError):
+            HybridSpec(b=3).validate(ProtocolConfig(n=9, t=3))
+        with pytest.raises(ConfigurationError):
+            HybridSpec(b=3).validate(ProtocolConfig(n=10, t=2))
+        HybridSpec(b=3).validate(ProtocolConfig(n=10, t=3))
+
+    def test_total_rounds_reported_by_spec(self):
+        config = ProtocolConfig(n=10, t=3)
+        assert ExponentialSpec().total_rounds(config) == 4
+        assert AlgorithmASpec(b=3).total_rounds(config) == 4
+
+    def test_describe_strings(self):
+        assert "rounds" in ExponentialSpec().describe()
+        assert "b=3" in AlgorithmASpec(b=3).name
+        assert repr(HybridSpec(b=3)).startswith("<ProtocolSpec")
+
+
+class TestRoundBookkeeping:
+    def make_processor(self):
+        config = ProtocolConfig(n=7, t=2, initial_value=1)
+        return ShiftingEIGProcessor(1, config, exponential_schedule(2))
+
+    def test_rounds_must_be_in_range(self):
+        processor = self.make_processor()
+        with pytest.raises(ProtocolViolationError):
+            processor.outgoing(0)
+        with pytest.raises(ProtocolViolationError):
+            processor.outgoing(99)
+
+    def test_rounds_cannot_go_backwards(self):
+        processor = self.make_processor()
+        processor.outgoing(2)
+        with pytest.raises(ProtocolViolationError):
+            processor.outgoing(1)
+
+    def test_decision_before_deciding_raises(self):
+        processor = self.make_processor()
+        with pytest.raises(ProtocolViolationError):
+            processor.decision()
+
+    def test_decision_cannot_change(self):
+        processor = self.make_processor()
+        processor._decide(1)
+        with pytest.raises(ProtocolViolationError):
+            processor._decide(0)
+        processor._decide(1)  # re-deciding the same value is fine
+        assert processor.decision() == 1

@@ -1,0 +1,158 @@
+"""Unit tests for shift schedules and the generic shifting EIG processor."""
+
+import pytest
+
+from repro.core.exponential import exponential_schedule
+from repro.core.protocol import ProtocolConfig
+from repro.core.shifting import (Segment, ShiftSchedule, ShiftingEIGProcessor,
+                                 run_rounds_for_blocks)
+from repro.runtime.errors import ConfigurationError
+from repro.runtime.messages import Message
+
+
+class TestSegment:
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Segment(rounds=0)
+
+    def test_unknown_conversion_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Segment(rounds=2, conversion="vote-twice")
+
+    def test_valid_segment(self):
+        segment = Segment(rounds=3, conversion="resolve_prime",
+                          conversion_discovery=True)
+        assert segment.rounds == 3
+
+
+class TestShiftSchedule:
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShiftSchedule(())
+
+    def test_total_rounds_counts_initial_round(self):
+        schedule = ShiftSchedule.uniform([3, 3, 2], "resolve")
+        assert schedule.total_rounds == 9
+        assert run_rounds_for_blocks([3, 3, 2]) == 9
+
+    def test_segment_end_rounds(self):
+        schedule = ShiftSchedule.uniform([3, 2], "resolve")
+        ends = schedule.segment_end_rounds()
+        assert set(ends) == {4, 6}
+
+    def test_block_lengths(self):
+        schedule = ShiftSchedule.uniform([3, 2], "resolve")
+        assert schedule.block_lengths() == [3, 2]
+
+    def test_uniform_applies_conversion_to_all(self):
+        schedule = ShiftSchedule.uniform([2, 2], "resolve_prime", True)
+        assert all(segment.conversion == "resolve_prime"
+                   for segment in schedule.segments)
+        assert all(segment.conversion_discovery for segment in schedule.segments)
+
+
+class TestShiftingProcessor:
+    def drive_rounds(self, processor, claims_by_round):
+        """Feed the processor synthetic inboxes round by round."""
+        config = processor.config
+        for round_number, claims in claims_by_round.items():
+            processor.outgoing(round_number)
+            inbox = {sender: Message(entries, sender, round_number)
+                     for sender, entries in claims.items()}
+            processor.incoming(round_number, inbox)
+
+    def test_tree_shrinks_after_each_segment(self):
+        config = ProtocolConfig(n=7, t=2, initial_value=1)
+        schedule = ShiftSchedule.uniform([1, 1], "resolve")
+        processor = ShiftingEIGProcessor(3, config, schedule)
+        # Round 1: source value; rounds 2 and 3 each grow one level and then shift.
+        self.drive_rounds(processor, {
+            1: {0: {(0,): 1}},
+            2: {pid: {(0,): 1} for pid in range(1, 7) if pid != 3},
+        })
+        assert processor.tree.num_levels == 1
+        assert processor.tree.root_value() == 1
+        self.drive_rounds(processor, {
+            3: {pid: {(0,): 1} for pid in range(1, 7) if pid != 3},
+        })
+        assert processor.decided
+        assert processor.decision() == 1
+
+    def test_preferred_log_records_each_conversion(self):
+        config = ProtocolConfig(n=7, t=2, initial_value=1)
+        schedule = ShiftSchedule.uniform([1, 1], "resolve")
+        processor = ShiftingEIGProcessor(3, config, schedule)
+        self.drive_rounds(processor, {
+            1: {0: {(0,): 1}},
+            2: {pid: {(0,): 1} for pid in range(1, 7) if pid != 3},
+            3: {pid: {(0,): 1} for pid in range(1, 7) if pid != 3},
+        })
+        assert set(processor.preferred_log) == {2, 3}
+        assert set(processor.preferred_log.values()) == {1}
+
+    def test_decide_at_end_false_keeps_undecided(self):
+        config = ProtocolConfig(n=7, t=2, initial_value=1)
+        processor = ShiftingEIGProcessor(3, config, exponential_schedule(1),
+                                         decide_at_end=False)
+        self.drive_rounds(processor, {
+            1: {0: {(0,): 1}},
+            2: {pid: {(0,): 1} for pid in range(1, 7) if pid != 3},
+        })
+        assert not processor.decided
+        assert processor.preferred_value() == 1
+
+    def test_missing_source_message_defaults_root(self):
+        config = ProtocolConfig(n=7, t=2, initial_value=1)
+        processor = ShiftingEIGProcessor(3, config, exponential_schedule(2))
+        processor.outgoing(1)
+        processor.incoming(1, {})
+        assert processor.tree.root_value() == 0
+
+    def test_malformed_source_value_defaults_root(self):
+        config = ProtocolConfig(n=7, t=2, initial_value=1)
+        processor = ShiftingEIGProcessor(3, config, exponential_schedule(2))
+        processor.outgoing(1)
+        processor.incoming(1, {0: Message({(0,): "junk"}, 0, 1)})
+        assert processor.tree.root_value() == 0
+
+    def test_fault_discovery_can_be_disabled(self):
+        # A wide value domain lets the senders' reports about node (0, 6) be
+        # pairwise distinct, so that node has no majority value at all and the
+        # Fault Discovery Rule must fire (when it is enabled).
+        config = ProtocolConfig(n=7, t=2, initial_value=1,
+                                domain=tuple(range(7)))
+        enabled = ShiftingEIGProcessor(3, config, exponential_schedule(2))
+        disabled = ShiftingEIGProcessor(3, config, exponential_schedule(2),
+                                        enable_fault_discovery=False)
+        claims = {
+            1: {0: {(0,): 1}},
+            # Processor 6 reports nonsense about the root in round 2 -> its
+            # children later disagree, which only the enabled processor records.
+        }
+        for processor in (enabled, disabled):
+            self.drive_rounds(processor, claims)
+        round2 = {pid: {(0,): 1} for pid in range(1, 7) if pid != 3}
+        round3_enabled = {}
+        round3_disabled = {}
+        level2 = [(0, pid) for pid in range(1, 7)]
+        for pid in range(1, 7):
+            if pid == 3:
+                continue
+            entries = {seq: (seq[-1] % 2 if seq == (0, 6) else 1) for seq in level2}
+            round3_enabled[pid] = dict(entries)
+            round3_disabled[pid] = dict(entries)
+        # make reports about node (0,6) wildly inconsistent across senders
+        for sender in round3_enabled:
+            round3_enabled[sender][(0, 6)] = sender
+            round3_disabled[sender][(0, 6)] = sender
+        self.drive_rounds(enabled, {2: round2, 3: round3_enabled})
+        self.drive_rounds(disabled, {2: round2, 3: round3_disabled})
+        assert 6 in enabled.discovered_faults()
+        assert disabled.discovered_faults() == ()
+
+    def test_computation_units_grow_with_execution(self):
+        config = ProtocolConfig(n=7, t=2, initial_value=1)
+        processor = ShiftingEIGProcessor(3, config, exponential_schedule(2))
+        before = processor.computation_units()
+        self.drive_rounds(processor, {1: {0: {(0,): 1}}})
+        assert processor.computation_units() > before

@@ -1,0 +1,194 @@
+"""Unit tests for the Information Gathering Trees (repro.core.tree)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sequences import count_sequences_of_length
+from repro.core.tree import InfoGatheringTree, RepetitionTree
+from repro.core.values import DEFAULT_VALUE
+
+
+def build_full_tree(n=5, levels=3, value_fn=None) -> InfoGatheringTree:
+    """Grow a tree to the requested number of levels with a deterministic fill."""
+    value_fn = value_fn or (lambda parent, child: (len(parent) + child) % 2)
+    tree = InfoGatheringTree(source=0, processors=range(n))
+    tree.set_root(1)
+    for level in range(2, levels + 1):
+        tree.grow_level(level, value_fn)
+    return tree
+
+
+class TestBasicStructure:
+    def test_source_must_be_a_processor(self):
+        with pytest.raises(ValueError):
+            InfoGatheringTree(source=9, processors=range(4))
+
+    def test_empty_tree_height(self):
+        tree = InfoGatheringTree(source=0, processors=range(4))
+        assert tree.num_levels == 0
+        assert tree.height == -1
+
+    def test_root_only_tree_height(self):
+        tree = InfoGatheringTree(source=0, processors=range(4))
+        tree.set_root(1)
+        assert tree.height == 0
+        assert tree.root_value() == 1
+
+    def test_store_and_read_back(self):
+        tree = InfoGatheringTree(source=0, processors=range(4))
+        tree.store((0,), 1)
+        tree.store((0, 2), 0)
+        assert tree.value((0, 2)) == 0
+        assert tree.has((0, 2))
+        assert not tree.has((0, 3))
+
+    def test_missing_node_returns_default(self):
+        tree = InfoGatheringTree(source=0, processors=range(4))
+        assert tree.value((0, 1)) == DEFAULT_VALUE
+
+    def test_child_labels_exclude_path(self):
+        tree = InfoGatheringTree(source=0, processors=range(5))
+        assert tree.child_labels((0, 3)) == [1, 2, 4]
+
+    def test_repr_mentions_level_sizes(self):
+        tree = build_full_tree(n=5, levels=2)
+        assert "levels" in repr(tree)
+
+
+class TestGrowth:
+    def test_grow_level_populates_expected_nodes(self):
+        tree = build_full_tree(n=5, levels=3)
+        assert tree.level_size(1) == 1
+        assert tree.level_size(2) == 4
+        assert tree.level_size(3) == 4 * 3
+
+    def test_level_sizes_match_paper_count(self):
+        n, levels = 6, 4
+        tree = build_full_tree(n=n, levels=levels)
+        for level in range(1, levels + 1):
+            assert tree.level_size(level) == count_sequences_of_length(level, n)
+
+    def test_grow_out_of_order_rejected(self):
+        tree = InfoGatheringTree(source=0, processors=range(4))
+        tree.set_root(1)
+        with pytest.raises(ValueError):
+            tree.grow_level(3, lambda parent, child: 0)
+
+    def test_leaves_are_deepest_level(self):
+        tree = build_full_tree(n=5, levels=3)
+        leaves = tree.leaves()
+        assert all(len(seq) == 3 for seq in leaves)
+        assert len(leaves) == tree.level_size(3)
+
+    def test_is_leaf(self):
+        tree = build_full_tree(n=5, levels=2)
+        assert tree.is_leaf((0, 1))
+        assert not tree.is_leaf((0,))
+
+    def test_node_count_sums_levels(self):
+        tree = build_full_tree(n=5, levels=3)
+        assert tree.node_count() == 1 + 4 + 12
+
+    def test_sequences_iterates_all_levels(self):
+        tree = build_full_tree(n=4, levels=2)
+        assert len(list(tree.sequences())) == tree.node_count()
+
+    def test_meter_charges_on_growth(self):
+        tree = build_full_tree(n=5, levels=3)
+        assert tree.meter.units > 0
+
+
+class TestShiftOperations:
+    def test_reset_to_root(self):
+        tree = build_full_tree(n=5, levels=3)
+        tree.reset_to_root(1)
+        assert tree.num_levels == 1
+        assert tree.root_value() == 1
+
+    def test_truncate_to_level(self):
+        tree = build_full_tree(n=5, levels=3)
+        tree.truncate_to_level(2)
+        assert tree.num_levels == 2
+        assert tree.level_size(2) == 4
+
+    def test_copy_is_independent(self):
+        tree = build_full_tree(n=5, levels=2)
+        clone = tree.copy()
+        clone.store((0, 1), 1 - tree.value((0, 1)))
+        assert clone.value((0, 1)) != tree.value((0, 1))
+
+    def test_overwrite_level(self):
+        tree = build_full_tree(n=5, levels=2)
+        tree.overwrite_level(2, {seq: 1 for seq in tree.level_sequences(2)})
+        assert all(value == 1 for value in tree.level(2).values())
+
+    @given(st.integers(min_value=4, max_value=7), st.integers(min_value=2, max_value=4))
+    def test_reset_after_any_growth_leaves_single_level(self, n, levels):
+        tree = build_full_tree(n=n, levels=min(levels, n - 1))
+        tree.reset_to_root(0)
+        assert tree.num_levels == 1
+        assert tree.leaves() == {(0,): 0}
+
+
+class TestRepetitionTree:
+    def test_children_include_every_processor(self):
+        tree = RepetitionTree(source=0, processors=range(4))
+        assert tree.child_labels((0, 2)) == [0, 1, 2, 3]
+
+    def test_level_sizes_are_powers_of_n(self):
+        n = 5
+        tree = RepetitionTree(source=0, processors=range(n))
+        tree.set_root(1)
+        tree.grow_level(2, lambda parent, child: 0)
+        tree.grow_level(3, lambda parent, child: 0)
+        assert tree.level_size(2) == n
+        assert tree.level_size(3) == n * n
+
+    def test_reorder_swaps_leaf_pairs(self):
+        n = 4
+        tree = RepetitionTree(source=0, processors=range(n))
+        tree.set_root(0)
+        tree.grow_level(2, lambda parent, child: 0)
+        tree.grow_level(3, lambda parent, child: child)  # tree(s, p, q) = q
+        tree.reorder_leaves()
+        # After the swap, tree(s, q, p) holds the old tree(s, p, q) = q ... i.e.
+        # the value at (s, x, y) is now x for every pair.
+        for x in range(n):
+            for y in range(n):
+                assert tree.value((0, x, y)) == x
+
+    def test_reorder_requires_three_levels(self):
+        tree = RepetitionTree(source=0, processors=range(4))
+        tree.set_root(0)
+        tree.grow_level(2, lambda parent, child: 0)
+        with pytest.raises(ValueError):
+            tree.reorder_leaves()
+
+    def test_reorder_is_an_involution(self):
+        n = 4
+        tree = RepetitionTree(source=0, processors=range(n))
+        tree.set_root(0)
+        tree.grow_level(2, lambda parent, child: 0)
+        tree.grow_level(3, lambda parent, child: (child * 7 + len(parent)) % 2)
+        before = tree.level(3)
+        tree.reorder_leaves()
+        tree.reorder_leaves()
+        assert tree.level(3) == before
+
+    def test_convert_intermediate_drops_third_level(self):
+        n = 4
+        tree = RepetitionTree(source=0, processors=range(n))
+        tree.set_root(0)
+        tree.grow_level(2, lambda parent, child: 0)
+        tree.grow_level(3, lambda parent, child: 1)
+        tree.convert_intermediate(lambda seq: 1)
+        assert tree.num_levels == 2
+        assert all(value == 1 for value in tree.level(2).values())
+
+    def test_convert_requires_three_levels(self):
+        tree = RepetitionTree(source=0, processors=range(4))
+        tree.set_root(0)
+        tree.grow_level(2, lambda parent, child: 0)
+        with pytest.raises(ValueError):
+            tree.convert_intermediate(lambda seq: 0)

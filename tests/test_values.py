@@ -1,0 +1,77 @@
+"""Unit tests for the value domain (repro.core.values)."""
+
+import pickle
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.values import (BOTTOM, DEFAULT_VALUE, coerce_value, default_domain,
+                               is_bottom)
+
+
+class TestBottom:
+    def test_bottom_is_singleton(self):
+        assert BOTTOM is type(BOTTOM)()
+
+    def test_bottom_is_not_default(self):
+        assert BOTTOM != DEFAULT_VALUE
+        assert not is_bottom(DEFAULT_VALUE)
+
+    def test_is_bottom_recognises_sentinel(self):
+        assert is_bottom(BOTTOM)
+
+    def test_bottom_is_falsy(self):
+        assert not BOTTOM
+
+    def test_bottom_repr(self):
+        assert repr(BOTTOM) == "BOTTOM"
+
+    def test_bottom_survives_pickling_as_singleton(self):
+        assert pickle.loads(pickle.dumps(BOTTOM)) is BOTTOM
+
+    def test_bottom_not_in_default_domain(self):
+        assert BOTTOM not in default_domain()
+
+
+class TestDefaultDomain:
+    def test_binary_domain(self):
+        assert default_domain() == (0, 1)
+
+    def test_larger_domain(self):
+        assert default_domain(5) == (0, 1, 2, 3, 4)
+
+    def test_domain_contains_default_value(self):
+        assert DEFAULT_VALUE in default_domain(3)
+
+    def test_domain_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            default_domain(1)
+
+
+class TestCoerceValue:
+    def test_valid_value_passes_through(self):
+        assert coerce_value(1, (0, 1)) == 1
+
+    def test_missing_value_becomes_default(self):
+        assert coerce_value(None, (0, 1)) == DEFAULT_VALUE
+
+    def test_out_of_domain_value_becomes_default(self):
+        assert coerce_value(7, (0, 1)) == DEFAULT_VALUE
+
+    def test_bottom_becomes_default(self):
+        assert coerce_value(BOTTOM, (0, 1)) == DEFAULT_VALUE
+
+    def test_garbage_type_becomes_default(self):
+        assert coerce_value("junk", (0, 1)) == DEFAULT_VALUE
+
+    @given(st.integers(min_value=2, max_value=12), st.integers())
+    def test_coercion_always_lands_in_domain(self, size, value):
+        domain = default_domain(size)
+        assert coerce_value(value, domain) in domain
+
+    @given(st.integers(min_value=2, max_value=12))
+    def test_coercion_is_identity_on_domain(self, size):
+        domain = default_domain(size)
+        for value in domain:
+            assert coerce_value(value, domain) == value
