@@ -1,0 +1,136 @@
+"""Perf — end-to-end wall-clock of the flat-array EIG engine vs the seed engine.
+
+Unlike the table benchmarks (which count abstract units), this benchmark
+measures *interpreter* time: one full ``run_agreement`` per cell, under the
+worst-case equivocating-source adversary, once with the ``"fast"`` engine
+(interned sequences, flat level-major buffers, batched resolve, by-reference
+level messages) and once with the ``"reference"`` engine (the seed's
+dict-of-tuples implementation, kept verbatim as the executable
+specification).
+
+Running ``python benchmarks/bench_perf.py`` writes ``BENCH_perf.json`` at the
+repository root with per-cell timings and speedups plus the headline cell
+(Exponential at ``n=13, t=4``), which is the acceptance gate for the engine:
+it must be at least 5× faster end-to-end than the reference.  The perf smoke
+test (``benchmarks/test_perf_smoke.py``) re-checks a small grid against this
+recording.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.algorithm_a import AlgorithmASpec
+from repro.core.algorithm_b import AlgorithmBSpec
+from repro.core.algorithm_c import AlgorithmCSpec
+from repro.core.engine import use_engine
+from repro.core.exponential import ExponentialSpec
+from repro.core.hybrid import HybridSpec
+from repro.core.protocol import ProtocolConfig, ProtocolSpec
+from repro.experiments.workloads import worst_case_scenarios
+from repro.runtime.simulation import run_agreement
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+#: The acceptance-criterion cell: Exponential Information Gathering at the
+#: largest (n, t) the seed engine handles in around a second.
+HEADLINE = ("exponential", 13, 4)
+
+#: (label, spec factory, [(n, t), ...]) — every algorithm family of the paper.
+CELLS: List[Tuple[str, type, tuple, List[Tuple[int, int]]]] = [
+    ("exponential", ExponentialSpec, (), [(7, 2), (10, 3), (13, 4)]),
+    ("algorithm-a(b=3)", AlgorithmASpec, (3,), [(10, 3), (13, 4)]),
+    ("algorithm-b(b=2)", AlgorithmBSpec, (2,), [(9, 2), (13, 3)]),
+    ("algorithm-c", AlgorithmCSpec, (), [(14, 2), (20, 3)]),
+    ("hybrid(b=3)", HybridSpec, (3,), [(10, 3), (13, 4)]),
+]
+
+
+def time_run(spec: ProtocolSpec, n: int, t: int, engine: str,
+             repetitions: int = 3) -> Tuple[float, object]:
+    """Best-of-*repetitions* wall-clock of one run under *engine*.
+
+    Returns ``(seconds, decision_value)`` so callers can cross-check that
+    both engines decided identically.
+    """
+    scenario = worst_case_scenarios(n, t)[0]
+    config = ProtocolConfig(n=n, t=t, initial_value=1)
+    best = float("inf")
+    decision = None
+    for _ in range(repetitions):
+        with use_engine(engine):
+            start = time.perf_counter()
+            result = run_agreement(spec, config, scenario.faulty,
+                                   scenario.adversary())
+            elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        if not result.agreement:
+            raise AssertionError(
+                f"{spec.name} at (n={n}, t={t}) violated agreement under "
+                f"{scenario.name} with engine {engine!r}")
+        decision = result.decision_value
+    return best, decision
+
+
+def run_benchmark(repetitions: int = 3,
+                  cells=CELLS) -> Dict[str, object]:
+    """Measure every cell under both engines and return the report dict."""
+    rows: List[Dict[str, object]] = []
+    headline: Optional[Dict[str, object]] = None
+    for label, spec_cls, args, grid in cells:
+        for n, t in grid:
+            spec_fast, spec_ref = spec_cls(*args), spec_cls(*args)
+            fast_s, fast_decision = time_run(spec_fast, n, t, "fast",
+                                             repetitions)
+            ref_s, ref_decision = time_run(spec_ref, n, t, "reference",
+                                           repetitions)
+            if fast_decision != ref_decision:
+                raise AssertionError(
+                    f"{label} at (n={n}, t={t}): engines decided differently "
+                    f"({fast_decision!r} vs {ref_decision!r})")
+            row = {
+                "protocol": label,
+                "n": n,
+                "t": t,
+                "scenario": worst_case_scenarios(n, t)[0].name,
+                "fast_seconds": round(fast_s, 6),
+                "reference_seconds": round(ref_s, 6),
+                "speedup": round(ref_s / fast_s, 2) if fast_s > 0 else None,
+            }
+            rows.append(row)
+            if (label, n, t) == HEADLINE:
+                headline = row
+            print(f"{label:18s} n={n:3d} t={t}  "
+                  f"reference {ref_s:8.3f}s   fast {fast_s:8.3f}s   "
+                  f"speedup {row['speedup']:6.1f}x")
+    report = {
+        "benchmark": "bench_perf",
+        "description": ("End-to-end run_agreement wall-clock, worst-case "
+                        "equivocating-source scenario, best of "
+                        f"{repetitions} repetitions per engine."),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "headline": headline,
+        "rows": rows,
+    }
+    return report
+
+
+def main() -> None:
+    report = run_benchmark()
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    headline = report["headline"]
+    print(f"\nwrote {BENCH_PATH}")
+    if headline is not None:
+        print(f"headline: Exponential n={headline['n']} t={headline['t']} "
+              f"speedup {headline['speedup']}x "
+              f"({'PASS' if headline['speedup'] >= 5 else 'FAIL'} vs the 5x gate)")
+
+
+if __name__ == "__main__":
+    main()

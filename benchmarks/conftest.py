@@ -6,11 +6,42 @@ under pytest-benchmark (``pedantic`` with one round — the interesting output
 is the table, not the wall-clock), prints the "paper bound vs measured" rows,
 and asserts the shape claims (agreement everywhere, measured costs within the
 theorem's bounds, the right growth direction).
+
+The perf benchmark (``bench_perf.py``) and its smoke test
+(``test_perf_smoke.py``) share the recorded-baseline helpers below:
+``BENCH_perf.json`` at the repository root is the perf trajectory's record,
+and the smoke test compares a fresh small-grid measurement against it.
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PERF_PATH = REPO_ROOT / "BENCH_perf.json"
 
 
 def run_once(benchmark, fn):
     """Execute *fn* exactly once under pytest-benchmark and return its result."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def load_recorded_perf() -> Optional[Dict[str, object]]:
+    """The recorded ``BENCH_perf.json`` report, or ``None`` when absent."""
+    if not BENCH_PERF_PATH.exists():
+        return None
+    try:
+        return json.loads(BENCH_PERF_PATH.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def recorded_perf_row(report: Dict[str, object], protocol: str,
+                      n: int, t: int) -> Optional[Dict[str, object]]:
+    """Look up one recorded perf row by (protocol label, n, t)."""
+    for row in report.get("rows", []):
+        if (row.get("protocol"), row.get("n"), row.get("t")) == (protocol, n, t):
+            return row
+    return None

@@ -1,0 +1,104 @@
+"""Perf smoke: the fast engine must stay fast and must match the oracle.
+
+Collected by the tier-1 pytest run (unlike the ``bench_*`` table benchmarks,
+which only run under pytest-benchmark), so every change to the engine is
+gated on:
+
+1. **Oracle agreement** — on a small ``(n, t)`` grid the fast engine produces
+   the same decisions, discoveries, and metrics (including computation
+   units) as the reference engine, scenario by scenario.
+2. **Relative speed** — the fast engine is not slower than 1.5× the
+   reference engine on the same grid (in practice it is several times
+   *faster*; 1.5× headroom keeps the assert robust to scheduler noise).
+3. **Recorded baseline** — when ``BENCH_perf.json`` exists, the recording
+   itself must show the acceptance-gate speedup (≥ 5× on the Exponential
+   headline cell), and with ``REPRO_PERF_STRICT=1`` a fresh measurement of
+   the smoke grid must come in under 1.5× its recorded fast-engine baseline
+   (opt-in because absolute times are machine-dependent).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from conftest import load_recorded_perf, recorded_perf_row
+
+from repro.core.algorithm_b import AlgorithmBSpec
+from repro.core.algorithm_c import AlgorithmCSpec
+from repro.core.engine import use_engine
+from repro.core.exponential import ExponentialSpec
+from repro.core.protocol import ProtocolConfig
+from repro.experiments.workloads import worst_case_scenarios
+from repro.runtime.simulation import run_agreement
+
+#: The small grid: one representative of each tree flavour / conversion.
+SMOKE_CELLS = [
+    ("exponential", ExponentialSpec, (), 10, 3),
+    ("algorithm-b(b=2)", AlgorithmBSpec, (2,), 9, 2),
+    ("algorithm-c", AlgorithmCSpec, (), 14, 2),
+]
+
+
+def _run(spec_cls, args, n, t, engine, scenario):
+    config = ProtocolConfig(n=n, t=t, initial_value=1)
+    with use_engine(engine):
+        start = time.perf_counter()
+        result = run_agreement(spec_cls(*args), config, scenario.faulty,
+                               scenario.adversary())
+        elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+@pytest.mark.parametrize("label, spec_cls, args, n, t", SMOKE_CELLS)
+def test_fast_engine_matches_oracle(label, spec_cls, args, n, t):
+    for scenario in worst_case_scenarios(n, t):
+        fast, _ = _run(spec_cls, args, n, t, "fast", scenario)
+        reference, _ = _run(spec_cls, args, n, t, "reference", scenario)
+        assert fast.decisions == reference.decisions, (label, scenario.name)
+        assert fast.discovered == reference.discovered, (label, scenario.name)
+        assert fast.metrics.summary() == reference.metrics.summary(), (
+            label, scenario.name)
+
+
+@pytest.mark.parametrize("label, spec_cls, args, n, t", SMOKE_CELLS)
+def test_fast_engine_not_slower_than_reference(label, spec_cls, args, n, t):
+    scenario = worst_case_scenarios(n, t)[0]
+    fast_s = min(_run(spec_cls, args, n, t, "fast", scenario)[1]
+                 for _ in range(3))
+    reference_s = min(_run(spec_cls, args, n, t, "reference", scenario)[1]
+                      for _ in range(3))
+    assert fast_s <= 1.5 * reference_s, (
+        f"{label}: fast engine took {fast_s:.4f}s vs reference "
+        f"{reference_s:.4f}s (> 1.5x)")
+
+
+def test_recorded_baseline_shows_acceptance_speedup():
+    report = load_recorded_perf()
+    if report is None:
+        pytest.skip("BENCH_perf.json not recorded yet (run benchmarks/bench_perf.py)")
+    headline = report.get("headline")
+    assert headline is not None, "recorded report lacks the headline cell"
+    assert headline["speedup"] >= 5, (
+        f"recorded Exponential n={headline['n']} t={headline['t']} speedup "
+        f"{headline['speedup']}x is below the 5x acceptance gate")
+
+
+def test_fresh_measurement_within_recorded_baseline():
+    if os.environ.get("REPRO_PERF_STRICT") != "1":
+        pytest.skip("strict wall-clock comparison is opt-in (REPRO_PERF_STRICT=1)")
+    report = load_recorded_perf()
+    if report is None:
+        pytest.skip("BENCH_perf.json not recorded yet")
+    for label, spec_cls, args, n, t in SMOKE_CELLS:
+        recorded = recorded_perf_row(report, label, n, t)
+        if recorded is None:
+            continue
+        scenario = worst_case_scenarios(n, t)[0]
+        fresh = min(_run(spec_cls, args, n, t, "fast", scenario)[1]
+                    for _ in range(3))
+        assert fresh <= 1.5 * recorded["fast_seconds"], (
+            f"{label} at (n={n}, t={t}): fresh fast-engine time {fresh:.4f}s "
+            f"exceeds 1.5x the recorded baseline {recorded['fast_seconds']}s")

@@ -42,7 +42,7 @@ class ConsistentLiarAdversary(ShadowAdversary):
                correct_outboxes: Mapping[ProcessorId, Outbox]) -> Message:
         domain = self._require_context().config.domain
         flipped = {seq: another_value(value, domain)
-                   for seq, value in message.entries.items()}
+                   for seq, value in message.items()}
         return message.with_entries(flipped)
 
 
@@ -62,7 +62,7 @@ class RandomLiarAdversary(ShadowAdversary):
                correct_outboxes: Mapping[ProcessorId, Outbox]) -> Message:
         domain = self._require_context().config.domain
         noisy = {seq: self.rng.choice(domain)
-                 for seq in message.entries}
+                 for seq in message.sequences()}
         return message.with_entries(noisy)
 
 
@@ -85,7 +85,7 @@ class TwoFacedAdversary(ShadowAdversary):
         if dest % 2 == 0:
             return message
         flipped = {seq: another_value(value, domain)
-                   for seq, value in message.entries.items()}
+                   for seq, value in message.items()}
         return message.with_entries(flipped)
 
 
@@ -104,5 +104,5 @@ class EchoSuppressorAdversary(ShadowAdversary):
     def tamper(self, round_number: int, sender: ProcessorId, dest: ProcessorId,
                message: Message,
                correct_outboxes: Mapping[ProcessorId, Outbox]) -> Message:
-        zeros = {seq: DEFAULT_VALUE for seq in message.entries}
+        zeros = {seq: DEFAULT_VALUE for seq in message.sequences()}
         return message.with_entries(zeros)

@@ -39,7 +39,7 @@ class TwoFacedSourceAdversary(ShadowAdversary):
             return message
         domain = context.config.domain
         flipped = {seq: another_value(value, domain)
-                   for seq, value in message.entries.items()}
+                   for seq, value in message.items()}
         return message.with_entries(flipped)
 
 
@@ -72,12 +72,12 @@ class EquivocatingSourceWithAlliesAdversary(ShadowAdversary):
             if round_number != 1:
                 return message
             flipped = {seq: self._side_value(dest, value)
-                       for seq, value in message.entries.items()}
+                       for seq, value in message.items()}
             return message.with_entries(flipped)
         # Accomplices: bias every relayed entry toward the destination's side.
         initial = context.config.initial_value
         biased = {seq: self._side_value(dest, initial)
-                  for seq in message.entries}
+                  for seq in message.sequences()}
         return message.with_entries(biased)
 
 
@@ -108,5 +108,5 @@ class DelayedEquivocationAdversary(ShadowAdversary):
         if dest % 2 == 0:
             return message
         flipped = {seq: another_value(value, domain)
-                   for seq, value in message.entries.items()}
+                   for seq, value in message.items()}
         return message.with_entries(flipped)

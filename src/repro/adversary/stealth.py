@@ -39,9 +39,9 @@ class StealthPathAdversary(ShadowAdversary):
         context = self._require_context()
         faulty = context.faulty
         domain = context.config.domain
-        entries = message.entries
+        entries = message.items()
         tampered = {}
-        for seq, value in entries.items():
+        for seq, value in entries:
             path_all_faulty = all(pid in faulty for pid in seq)
             if path_all_faulty and dest % 2 == 1:
                 tampered[seq] = another_value(value, domain)
@@ -84,5 +84,5 @@ class MinimalExposureAdversary(ShadowAdversary):
         if dest % 2 == 0:
             return message
         flipped = {seq: another_value(value, domain)
-                   for seq, value in message.entries.items()}
+                   for seq, value in message.items()}
         return message.with_entries(flipped)

@@ -138,7 +138,7 @@ class DolevStrongProcessor(AgreementProtocol):
                 self._decide(self.config.initial_value)
             return
         for sender, message in inbox.items():
-            for chain, value in message.entries.items():
+            for chain, value in message.items():
                 chain = tuple(chain)
                 if not chain or chain[-1] != sender:
                     continue

@@ -11,6 +11,8 @@ from .algorithm_b import (AlgorithmBSpec, algorithm_b_blocks,
 from .algorithm_c import (AlgorithmCProcessor, AlgorithmCSpec,
                           algorithm_c_max_message_entries, algorithm_c_resilience,
                           algorithm_c_rounds)
+from .engine import (get_default_engine, set_default_engine, use_engine,
+                     validate_engine)
 from .exponential import (ExponentialSpec, exponential_max_message_entries,
                           exponential_resilience, exponential_rounds,
                           exponential_schedule)
@@ -21,11 +23,13 @@ from .hybrid import (HybridParameters, HybridProcessor, HybridSpec,
                      hybrid_rounds_closed_form, hybrid_schedule)
 from .protocol import AgreementProtocol, ProtocolConfig, ProtocolSpec
 from .resolve import make_resolve_prime, resolve, resolve_all, resolve_prime
-from .sequences import (LabelSequence, ProcessorId, child_labels,
-                        corresponding_processor, count_sequences_of_length,
+from .sequences import (LabelSequence, ProcessorId, SequenceIndex,
+                        child_labels, corresponding_processor,
+                        count_sequences_of_length, sequence_index,
                         sequences_of_length)
 from .shifting import Segment, ShiftSchedule, ShiftingEIGProcessor
-from .tree import InfoGatheringTree, RepetitionTree
+from .tree import (FlatEIGTree, FlatRepetitionTree, InfoGatheringTree,
+                   RepetitionTree, make_tree)
 from .values import BOTTOM, DEFAULT_VALUE, Value, coerce_value, default_domain, is_bottom
 
 __all__ = [
@@ -33,8 +37,12 @@ __all__ = [
     "Value", "DEFAULT_VALUE", "BOTTOM", "is_bottom", "coerce_value", "default_domain",
     "ProcessorId", "LabelSequence", "child_labels", "corresponding_processor",
     "sequences_of_length", "count_sequences_of_length",
+    # engines
+    "get_default_engine", "set_default_engine", "use_engine", "validate_engine",
+    "SequenceIndex", "sequence_index",
     # trees & conversions
-    "InfoGatheringTree", "RepetitionTree",
+    "InfoGatheringTree", "RepetitionTree", "FlatEIGTree", "FlatRepetitionTree",
+    "make_tree",
     "resolve", "resolve_prime", "make_resolve_prime", "resolve_all",
     # discovery & masking
     "FaultTracker", "discover_at_level", "discover_during_conversion",

@@ -39,17 +39,19 @@ in DESIGN.md.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
-from .fault_discovery import FaultTracker
-from .fault_masking import discover_and_mask, mask_inbox
+from .engine import validate_engine
+from .fault_discovery import FaultTracker, window_majority
+from .fault_masking import discover_and_mask, gather_level_flat, mask_inbox
 from .protocol import AgreementProtocol, ProtocolConfig, ProtocolSpec
-from .resolve import resolve
+from .resolve import flat_resolve_levels, resolve
 from .sequences import LabelSequence, ProcessorId
-from .tree import RepetitionTree
-from .values import DEFAULT_VALUE, Value, coerce_value
+from .tree import make_tree
+from .values import DEFAULT_VALUE, Value, coerce_value, is_bottom
 from ..runtime.errors import ConfigurationError
-from ..runtime.messages import Inbox, Message, Outbox, broadcast
+from ..runtime.messages import (Inbox, LevelMessage, Message, Outbox,
+                                broadcast, broadcast_message)
 
 
 def algorithm_c_resilience(n: int) -> int:
@@ -91,7 +93,8 @@ class AlgorithmCProcessor(AgreementProtocol):
     def __init__(self, pid: ProcessorId, config: ProtocolConfig,
                  first_round: int = 1, last_round: Optional[int] = None,
                  initial_root: Optional[Value] = None,
-                 tracker: Optional[FaultTracker] = None) -> None:
+                 tracker: Optional[FaultTracker] = None,
+                 engine: Optional[str] = None) -> None:
         super().__init__(pid, config)
         if first_round not in (1, 2):
             raise ConfigurationError("Algorithm C can only start at round 1 or 2")
@@ -100,7 +103,12 @@ class AlgorithmCProcessor(AgreementProtocol):
         if self.last_round < max(2, first_round):
             raise ConfigurationError(
                 f"Algorithm C needs at least two rounds (got last_round={self.last_round})")
-        self.tree = RepetitionTree(config.source, config.processors)
+        self.engine = validate_engine(engine)
+        self._fast = self.engine == "fast"
+        self.tree = make_tree(config.source, config.processors, self.engine,
+                              repetitions=True)
+        self._domain_set = frozenset(v for v in config.domain
+                                     if not is_bottom(v))
         self.tracker = tracker if tracker is not None else FaultTracker(pid, config.t)
         self.discovery_log: Dict[int, int] = {}
         self.preferred_log: Dict[int, Value] = {}
@@ -127,6 +135,10 @@ class AlgorithmCProcessor(AgreementProtocol):
             return {}
         if round_number == 2:
             entries = {self.tree.root: self.tree.root_value()}
+        elif self._fast:
+            message = LevelMessage(self.tree.index, 2, self.tree.raw_level(2),
+                                   self.pid, round_number)
+            return broadcast_message(message, self.config.processors)
         else:
             entries = self.tree.level(2)
         return broadcast(entries, self.pid, round_number, self.config.processors)
@@ -160,38 +172,90 @@ class AlgorithmCProcessor(AgreementProtocol):
         processor's stored value for *parent*; every other child comes from
         the (masked) inbox with the default-value substitution for missing or
         malformed entries.
+
+        The substitution stands in for the source's (never sent) message, so
+        the Fault Masking Rule applies to it exactly as to a real message:
+        once the source is in ``L_p`` its substituted values are the default.
+        Without this, each side of a round-1 equivocation keeps re-injecting
+        its own world view through the source-labelled children after the
+        source has been discovered, and the sides never reconverge.
         """
-        if child == self.pid or child == self.config.source:
+        if child == self.pid:
+            return self.tree.value(parent)
+        if child == self.config.source:
+            if self.config.source in self.tracker:
+                return DEFAULT_VALUE
             return self.tree.value(parent)
         message = masked_inbox.get(child)
         if message is None:
             return DEFAULT_VALUE
         return coerce_value(message.value_for(parent), self.config.domain)
 
+    def _grow_level(self, level: int, inbox: Inbox) -> None:
+        """Populate *level* from the round's inbox (engine-dispatched)."""
+        if self._fast:
+            self._gather_level_fast(level, inbox)
+        else:
+            masked = mask_inbox(inbox, self.tracker.suspects)
+            self.tree.grow_level(
+                level, lambda parent, child: self._claim(masked, parent, child))
+
+    def _gather_level_fast(self, level: int, inbox: Inbox) -> None:
+        """Flat-buffer gathering via
+        :func:`~repro.core.fault_masking.gather_level_flat`.  The special
+        labels mirror :meth:`_claim`: the processor's own children and the
+        silent source's children echo its own stored values, and once the
+        source is in ``L_p`` its substitution is masked to the default."""
+        source = self.config.source
+        if source in self.tracker:
+            echo_labels, masked_labels = (self.pid,), (source,)
+        else:
+            echo_labels, masked_labels = (self.pid, source), ()
+        gather_level_flat(self.tree, level, inbox, self.tracker,
+                          self._domain_set, echo_labels=echo_labels,
+                          masked_labels=masked_labels)
+
     def _gather_intermediate(self, round_number: int, inbox: Inbox) -> None:
         """Round 2: populate the intermediate vertices ``sq`` and discover faults."""
-        masked = mask_inbox(inbox, self.tracker.suspects)
-        self.tree.grow_level(
-            2, lambda parent, child: self._claim(masked, parent, child))
+        self._grow_level(2, inbox)
         newly = discover_and_mask(self.tree, 2, self.tracker, round_number)
         if newly:
             self.discovery_log[round_number] = len(newly)
 
     def _gather_leaves(self, round_number: int, inbox: Inbox) -> None:
         """Rounds ≥ 3: populate the leaves, discover, mask, reorder, convert."""
-        masked = mask_inbox(inbox, self.tracker.suspects)
-        self.tree.grow_level(
-            3, lambda parent, child: self._claim(masked, parent, child))
+        self._grow_level(3, inbox)
         newly = discover_and_mask(self.tree, 3, self.tracker, round_number)
         if newly:
             self.discovery_log[round_number] = len(newly)
         self.tree.reorder_leaves()
-        self.tree.convert_intermediate(lambda seq: resolve(self.tree, seq))
+        if self._fast:
+            self._convert_intermediate_fast()
+        else:
+            self.tree.convert_intermediate(lambda seq: resolve(self.tree, seq))
         self.preferred_log[round_number] = self._current_preference()
+
+    def _convert_intermediate_fast(self) -> None:
+        """``shift_{3→2}`` over the flat buffers: the level-3 slice of each
+        intermediate vertex is a contiguous window, so the conversion is one
+        majority pass with no per-node resolver call."""
+        tree = self.tree
+        n = self.config.n
+        leaves = tree.raw_level(3)
+        new_level2: List[Value] = [DEFAULT_VALUE] * n
+        for i in range(n):
+            majority = window_majority(leaves[i * n:(i + 1) * n], n)
+            if majority is not None:
+                new_level2[i] = majority
+        # Visit parity with the per-vertex reference resolver: two units per
+        # leaf plus one per child of each intermediate vertex.
+        tree.meter.charge(3 * n * n)
+        tree.replace_level(2, new_level2)
+        tree.truncate_to_level(2)
 
     def _finish(self) -> None:
         """``shift_{2→1}``: the decision is ``resolve(s)`` over the 2-level tree."""
-        decision = resolve(self.tree, self.tree.root)
+        decision = self._current_preference()
         self.tree.reset_to_root(decision)
         self._decide(decision)
 
@@ -199,6 +263,9 @@ class AlgorithmCProcessor(AgreementProtocol):
         """The value ``resolve(s)`` *would* return now (the paper's "preferred
         value at the end of round k"); the algorithm does not act on it except
         at the very end, but experiments track it to observe persistence."""
+        if self._fast:
+            return flat_resolve_levels(self.tree, "resolve",
+                                       self.config.t)[0][0]
         return resolve(self.tree, self.tree.root)
 
     # -- introspection -------------------------------------------------------------------

@@ -1,0 +1,70 @@
+"""EIG engine selection: the flat-array fast engine vs the dict reference.
+
+The package ships two interchangeable implementations of the Exponential
+Information Gathering substrate:
+
+* ``"fast"`` — interned label sequences (dense integer node-ids), flat
+  level-major value buffers, a single bottom-up conversion pass with inlined
+  majority counting, and by-reference level-slice messages.  This is the
+  default engine; it exists purely for speed.
+* ``"reference"`` — the original ``Dict[LabelSequence, Value]`` trees with the
+  recursive-specification conversion functions.  It is kept verbatim as the
+  executable specification: property tests assert that both engines produce
+  identical decisions, discoveries and conversions, and the perf benchmarks
+  use it as the before/after baseline.
+
+The engine is chosen per processor at construction time.  The default can be
+set process-wide (:func:`set_default_engine`), temporarily
+(:func:`use_engine`), or via the ``REPRO_EIG_ENGINE`` environment variable —
+the latter is how the parallel experiment runner propagates the choice to its
+worker processes.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+FAST = "fast"
+REFERENCE = "reference"
+
+ENGINES = (FAST, REFERENCE)
+
+_ENV_VAR = "REPRO_EIG_ENGINE"
+
+_default_engine = os.environ.get(_ENV_VAR, FAST)
+if _default_engine not in ENGINES:  # pragma: no cover - env misconfiguration
+    _default_engine = FAST
+
+
+def get_default_engine() -> str:
+    """The engine used by processors that do not request one explicitly."""
+    return _default_engine
+
+
+def set_default_engine(engine: str) -> None:
+    """Set the process-wide default engine (``"fast"`` or ``"reference"``)."""
+    global _default_engine
+    _default_engine = validate_engine(engine)
+
+
+def validate_engine(engine: Optional[str]) -> str:
+    """Normalise an engine name, substituting the default for ``None``."""
+    if engine is None:
+        return _default_engine
+    if engine not in ENGINES:
+        raise ValueError(f"unknown EIG engine {engine!r}; expected one of {ENGINES}")
+    return engine
+
+
+@contextmanager
+def use_engine(engine: str) -> Iterator[str]:
+    """Temporarily switch the default engine (used by benchmarks and tests)."""
+    global _default_engine
+    previous = _default_engine
+    _default_engine = validate_engine(engine)
+    try:
+        yield _default_engine
+    finally:
+        _default_engine = previous

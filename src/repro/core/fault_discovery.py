@@ -31,9 +31,10 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, Iterable, List, Sequence, Set
 
-from .sequences import LabelSequence, ProcessorId, corresponding_processor
-from .tree import InfoGatheringTree
-from .values import Value
+from .sequences import (LabelSequence, ProcessorId, SequenceIndex,
+                        corresponding_processor)
+from .tree import MISSING, FlatEIGTree, InfoGatheringTree
+from .values import DEFAULT_VALUE, Value
 from ..runtime.metrics import ComputationMeter
 
 
@@ -96,6 +97,124 @@ def discover_at_level(tree: InfoGatheringTree, level: int,
             meter.charge(len(child_values))
         if node_triggers_discovery(child_values, suspects, t):
             discovered.add(r)
+    return discovered
+
+
+def window_majority(window: List[Value], branch: int):
+    """The strict-majority value of a child window, or ``None``.
+
+    At most one value can hold a strict majority, so scanning the distinct
+    values with C-speed ``list.count`` is equivalent to the reference
+    ``Counter.most_common`` check while allocating no per-node counter.
+    """
+    for value in set(window):
+        if 2 * window.count(value) > branch:
+            return value
+    return None
+
+
+def discover_at_level_flat(tree: FlatEIGTree, level: int,
+                           suspects: Set[ProcessorId], t: int,
+                           meter: ComputationMeter = None) -> Set[ProcessorId]:
+    """Flat-buffer counterpart of :func:`discover_at_level`.
+
+    Operates directly on the level's value buffer and the interned child
+    tables: the children of parent ``i`` are the contiguous slice
+    ``[i·b, (i+1)·b)`` and their labels come from the shared index, so no
+    per-node dictionary or tuple key is built.  Charges the meter in bulk
+    with the reference totals (two units per child of every examined parent).
+    """
+    discovered: Set[ProcessorId] = set()
+    if level < 2 or level > tree.num_levels:
+        return discovered
+    index = tree.index
+    child_buffer = tree.raw_level(level)
+    parent_buffer = tree.raw_level(level - 1)
+    parent_labels = index.last_labels(level - 1)
+    child_labels_flat = index.last_labels(level)
+    branch = index.branch(level - 1)
+    budget = t - len(suspects)
+    charge = 0
+    cleaned = child_buffer
+    if MISSING in child_buffer:
+        cleaned = [DEFAULT_VALUE if v is MISSING else v for v in child_buffer]
+    single_value = len(set(cleaned)) == 1
+    for i in range(index.level_size(level - 1)):
+        if parent_buffer[i] is MISSING:
+            continue
+        r = parent_labels[i]
+        if r in suspects or r in discovered:
+            continue
+        charge += 2 * branch
+        if single_value:
+            # One distinct value ⇒ it is the majority and nothing deviates
+            # (still triggers when the budget went negative, as the spec does).
+            if budget < 0:
+                discovered.add(r)
+            continue
+        base = i * branch
+        window = cleaned[base:base + branch]
+        majority = window_majority(window, branch)
+        if majority is None:
+            discovered.add(r)
+            continue
+        deviating = 0
+        for offset in range(branch):
+            if (window[offset] != majority
+                    and child_labels_flat[base + offset] not in suspects):
+                deviating += 1
+        if deviating > budget:
+            discovered.add(r)
+    if meter is not None:
+        meter.charge(charge)
+    return discovered
+
+
+def discover_during_conversion_flat(index: SequenceIndex,
+                                    converted_levels: List[List[Value]],
+                                    num_levels: int,
+                                    suspects: Set[ProcessorId], t: int,
+                                    meter: ComputationMeter = None
+                                    ) -> Set[ProcessorId]:
+    """Flat-buffer counterpart of :func:`discover_during_conversion`.
+
+    ``converted_levels`` is the output of
+    :func:`repro.core.resolve.flat_resolve_levels` (``converted_levels[ℓ-1]``
+    holds the converted values of level ``ℓ``).
+    """
+    discovered: Set[ProcessorId] = set()
+    budget = t - len(suspects)
+    charge = 0
+    for level in range(1, num_levels):
+        parent_labels = index.last_labels(level)
+        child_values = converted_levels[level]
+        child_labels_flat = index.last_labels(level + 1)
+        branch = index.branch(level)
+        single_value = len(set(child_values)) == 1
+        for i in range(index.level_size(level)):
+            r = parent_labels[i]
+            if r in suspects or r in discovered:
+                continue
+            charge += branch
+            if single_value:
+                if budget < 0:
+                    discovered.add(r)
+                continue
+            base = i * branch
+            window = child_values[base:base + branch]
+            majority = window_majority(window, branch)
+            if majority is None:
+                discovered.add(r)
+                continue
+            deviating = 0
+            for offset in range(branch):
+                if (window[offset] != majority
+                        and child_labels_flat[base + offset] not in suspects):
+                    deviating += 1
+            if deviating > budget:
+                discovered.add(r)
+    if meter is not None:
+        meter.charge(charge)
     return discovered
 
 

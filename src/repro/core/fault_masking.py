@@ -21,13 +21,14 @@ nodes, steps 2–3 are iterated to a fixpoint.
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, FrozenSet, Iterable, List, Set
 
-from .fault_discovery import FaultTracker, discover_at_level
+from .fault_discovery import (FaultTracker, discover_at_level,
+                              discover_at_level_flat)
 from .sequences import ProcessorId
-from .tree import InfoGatheringTree
+from .tree import MISSING, FlatEIGTree, InfoGatheringTree
 from .values import DEFAULT_VALUE, Value
-from ..runtime.messages import Inbox, Message
+from ..runtime.messages import Inbox, LevelMessage, Message
 
 
 def mask_inbox(inbox: Inbox, suspects: Set[ProcessorId],
@@ -72,7 +73,13 @@ def discover_and_mask(tree: InfoGatheringTree, level: int,
     """Steps 2–3 of the rule, iterated to a fixpoint.
 
     Returns the set of processors newly added to ``L_p`` during this round.
+    Flat-engine trees take a buffer-level path with identical semantics and
+    meter accounting (discovery scans the level slice in place; masking
+    rewrites exactly the slots of the freshly discovered senders).
     """
+    if isinstance(tree, FlatEIGTree):
+        return _discover_and_mask_flat(tree, level, tracker, round_number,
+                                       masked_value)
     newly_discovered: Set[ProcessorId] = set()
     while True:
         fresh = discover_at_level(tree, level, tracker.suspects, tracker.t,
@@ -84,6 +91,99 @@ def discover_and_mask(tree: InfoGatheringTree, level: int,
         newly_discovered |= fresh
         mask_level_entries(tree, level, fresh, masked_value)
     return newly_discovered
+
+
+def _discover_and_mask_flat(tree: FlatEIGTree, level: int,
+                            tracker: FaultTracker, round_number: int,
+                            masked_value: Value = DEFAULT_VALUE
+                            ) -> Set[ProcessorId]:
+    """Fixpoint of flat discovery and in-place slot masking (fast engine)."""
+    newly_discovered: Set[ProcessorId] = set()
+    if level < 2 or level > tree.num_levels:
+        return newly_discovered
+    buffer = tree.raw_level(level)
+    slots_table = tree.index.slots_for(level)
+    while True:
+        fresh = discover_at_level_flat(tree, level, tracker.suspects,
+                                       tracker.t, meter=tree.meter)
+        fresh = {pid for pid in fresh if pid not in tracker}
+        if not fresh:
+            break
+        tracker.add_all(fresh, round_number)
+        newly_discovered |= fresh
+        rewritten = 0
+        for pid in fresh:
+            entry = slots_table.get(pid)
+            if entry is None:
+                continue
+            for slot in entry[0]:
+                if buffer[slot] is not MISSING:
+                    buffer[slot] = masked_value
+                    rewritten += 1
+        tree.meter.charge(rewritten)
+    return newly_discovered
+
+
+def gather_level_flat(tree: FlatEIGTree, level: int, inbox: Inbox,
+                      tracker: FaultTracker,
+                      domain_set: FrozenSet[Value],
+                      echo_labels: Iterable[ProcessorId],
+                      masked_labels: Iterable[ProcessorId] = ()) -> None:
+    """Populate *level* of a flat tree directly from a round's inbox.
+
+    The fast-engine counterpart of ``grow_level`` + a per-node claim
+    callback, shared by the shifting EIG processor and Algorithm C: one pass
+    per sender label over the interned ``(slots, parents)`` tables.  The
+    value stored at slot ``(parent i, child c)`` is sender ``c``'s claim for
+    parent ``i`` — when the sender shares the tree shape, that is its level
+    buffer at index ``i``.
+
+    ``echo_labels`` are filled from the processor's *own* previous level
+    (its own name, and Algorithm C's silent-source substitution);
+    ``masked_labels`` collapse to the default outright (the substitution
+    once the source is in ``L_p``).  Suspect senders, missing messages, and
+    out-of-domain or missing entries likewise become the preinitialised
+    default — exactly the Fault Masking / default-substitution semantics of
+    the reference path.
+    """
+    index = tree.index
+    previous = tree.raw_level(level - 1)
+    new_level: List[Value] = [DEFAULT_VALUE] * index.level_size(level)
+    echo_labels = set(echo_labels)
+    masked_labels = set(masked_labels)
+    previous_sequences = None
+    for label, (slots, parents) in index.slots_for(level).items():
+        if label in masked_labels:
+            continue
+        if label in echo_labels:
+            for slot, parent_id in zip(slots, parents):
+                value = previous[parent_id]
+                if value is not MISSING:
+                    new_level[slot] = value
+            tree.meter.charge(len(slots))
+            continue
+        if label in tracker:
+            continue  # masked sender: every claim becomes the default
+        message = inbox.get(label)
+        if message is None:
+            continue
+        if isinstance(message, LevelMessage) and message.matches(index,
+                                                                 level - 1):
+            source_values = message.level_values()
+            for slot, parent_id in zip(slots, parents):
+                value = source_values[parent_id]
+                if value in domain_set:
+                    new_level[slot] = value
+            continue
+        # Foreign layout (round-1 style or adversary-built message): fall
+        # back to per-entry lookup with domain coercion.
+        if previous_sequences is None:
+            previous_sequences = index.sequences(level - 1)
+        for slot, parent_id in zip(slots, parents):
+            value = message.value_for(previous_sequences[parent_id])
+            if value in domain_set:
+                new_level[slot] = value
+    tree.append_level(new_level)
 
 
 def masked_claim(message: Message, seq, sender: ProcessorId,

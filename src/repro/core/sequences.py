@@ -16,7 +16,7 @@ the helpers for generating and validating them.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 ProcessorId = int
 LabelSequence = Tuple[ProcessorId, ...]
@@ -120,6 +120,172 @@ def is_prefix(prefix: Sequence[ProcessorId], seq: Sequence[ProcessorId]) -> bool
     prefix = tuple(prefix)
     seq = tuple(seq)
     return len(prefix) <= len(seq) and seq[:len(prefix)] == prefix
+
+
+class SequenceIndex:
+    """Interned label sequences with level-major integer node-ids.
+
+    The fast EIG engine never uses tuples as dictionary keys on its hot paths.
+    Instead, every valid sequence of a given tree shape is assigned a dense
+    integer *node-id* within its level, and the per-level tables below are
+    computed **once** per ``(source, processors, allow_repetitions)`` and
+    shared by every processor of every run with that shape (the tables depend
+    only on the tree's combinatorics, not on any execution).
+
+    Level ``ℓ`` (1-based, sequences of length ``ℓ``) is laid out
+    *parent-major*: the children of the node with id ``i`` at level ``ℓ``
+    occupy the contiguous id range ``[i·b, (i+1)·b)`` at level ``ℓ + 1``,
+    where ``b = branch(ℓ)`` is the uniform branching factor of the level
+    (``n − ℓ`` without repetitions, ``n`` with).  Within a parent, children
+    appear in processor-id order — exactly the enumeration order of
+    :func:`child_labels` — so the flat layout reproduces the reference tree's
+    deterministic shape.  Parent ids are pure arithmetic:
+    ``parent_of(ℓ + 1, j) == j // branch(ℓ)``.
+
+    Tables per level:
+
+    * ``sequences(ℓ)`` — node-id → label sequence (tuple), for interop with
+      dict-based messages and for reporting;
+    * ``id_map(ℓ)`` — label sequence → node-id (the interning direction);
+    * ``last_labels(ℓ)`` — node-id → last label (the *corresponding
+      processor* of the node), used by fault discovery and masking;
+    * ``slots_for(ℓ)`` — label ``c`` → ``(slots, parents)`` arrays: the level
+      ``ℓ`` node-ids whose last label is ``c`` and their parent ids at level
+      ``ℓ − 1``.  Gathering a round's level from the network is one zip-copy
+      per sender over these arrays; masking a discovered sender rewrites
+      exactly ``slots``.
+    """
+
+    def __init__(self, source: ProcessorId, processors: Sequence[ProcessorId],
+                 allow_repetitions: bool = False) -> None:
+        self.source = source
+        self.processors: Tuple[ProcessorId, ...] = tuple(processors)
+        if source not in self.processors:
+            raise ValueError("the source must be one of the processors")
+        self.n = len(self.processors)
+        self.allow_repetitions = allow_repetitions
+        self._seqs: List[List[LabelSequence]] = [[(source,)]]
+        self._id_of: List[Dict[LabelSequence, int]] = [{(source,): 0}]
+        self._last: List[List[ProcessorId]] = [[source]]
+        self._slots: List[Dict[ProcessorId, Tuple[List[int], List[int]]]] = [{}]
+
+    # -- shape ---------------------------------------------------------------
+    def branch(self, level: int) -> int:
+        """Children per node at *level* (uniform within a level)."""
+        if self.allow_repetitions:
+            return self.n
+        return max(0, self.n - level)
+
+    def max_levels(self) -> int:
+        """Deepest buildable level (unbounded with repetitions)."""
+        if self.allow_repetitions:
+            return 1 << 30
+        return self.n
+
+    def ensure_level(self, level: int) -> None:
+        """Materialise the tables for every level up to *level* (idempotent)."""
+        if level > self.max_levels():
+            raise ValueError(
+                f"a tree without repetitions over {self.n} processors has no "
+                f"level {level}")
+        while len(self._seqs) < level:
+            self._grow_one_level()
+
+    def _grow_one_level(self) -> None:
+        parent_level = len(self._seqs)
+        parents = self._seqs[parent_level - 1]
+        seqs: List[LabelSequence] = []
+        last: List[ProcessorId] = []
+        id_of: Dict[LabelSequence, int] = {}
+        slots: Dict[ProcessorId, Tuple[List[int], List[int]]] = {}
+        append_seq = seqs.append
+        append_last = last.append
+        for parent_id, parent in enumerate(parents):
+            for child in child_labels(parent, self.processors,
+                                      self.allow_repetitions):
+                node_id = len(seqs)
+                seq = parent + (child,)
+                append_seq(seq)
+                append_last(child)
+                id_of[seq] = node_id
+                entry = slots.get(child)
+                if entry is None:
+                    entry = slots[child] = ([], [])
+                entry[0].append(node_id)
+                entry[1].append(parent_id)
+        self._seqs.append(seqs)
+        self._id_of.append(id_of)
+        self._last.append(last)
+        self._slots.append(slots)
+
+    # -- per-level tables ------------------------------------------------------
+    def level_size(self, level: int) -> int:
+        self.ensure_level(level)
+        return len(self._seqs[level - 1])
+
+    def sequences(self, level: int) -> List[LabelSequence]:
+        """Node-id → sequence table for *level* (do not mutate)."""
+        self.ensure_level(level)
+        return self._seqs[level - 1]
+
+    def id_map(self, level: int) -> Dict[LabelSequence, int]:
+        """Sequence → node-id table for *level* (do not mutate)."""
+        self.ensure_level(level)
+        return self._id_of[level - 1]
+
+    def last_labels(self, level: int) -> List[ProcessorId]:
+        """Node-id → last label (corresponding processor) for *level*."""
+        self.ensure_level(level)
+        return self._last[level - 1]
+
+    def slots_for(self, level: int) -> Dict[ProcessorId,
+                                            Tuple[List[int], List[int]]]:
+        """Label → ``(slots, parents)`` arrays for *level* (do not mutate)."""
+        self.ensure_level(level)
+        return self._slots[level - 1]
+
+    def node_id(self, seq: Sequence[ProcessorId]) -> int:
+        """The node-id of *seq* within its level (raises for invalid sequences)."""
+        seq = tuple(seq)
+        self.ensure_level(len(seq))
+        try:
+            return self._id_of[len(seq) - 1][seq]
+        except KeyError:
+            raise ValueError(f"{seq!r} is not a node of this tree shape") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "with" if self.allow_repetitions else "without"
+        return (f"SequenceIndex(n={self.n}, source={self.source}, "
+                f"{kind} repetitions, built_levels={len(self._seqs)})")
+
+
+#: Shared per-shape index cache.  Keyed by the full shape so arbitrary
+#: processor-id sets (used in tests) get their own tables; in simulation use
+#: the processors are always ``range(n)`` so one entry serves every processor
+#: of every run at a given ``(n, source)``.
+_INDEX_CACHE: Dict[Tuple[ProcessorId, Tuple[ProcessorId, ...], bool],
+                   "SequenceIndex"] = {}
+
+
+def sequence_index(source: ProcessorId, processors: Sequence[ProcessorId],
+                   allow_repetitions: bool = False) -> SequenceIndex:
+    """The shared :class:`SequenceIndex` for a tree shape (built on demand)."""
+    key = (source, tuple(processors), allow_repetitions)
+    index = _INDEX_CACHE.get(key)
+    if index is None:
+        index = _INDEX_CACHE[key] = SequenceIndex(source, key[1],
+                                                  allow_repetitions)
+    return index
+
+
+def clear_sequence_index_cache() -> None:
+    """Drop every cached index (their tables are O(n^levels) tuples each).
+
+    Long-lived processes sweeping many distinct ``(n, source)`` shapes can
+    call this between sweeps to release the retained tables; live trees keep
+    their own references, so clearing is always safe.
+    """
+    _INDEX_CACHE.clear()
 
 
 def all_faulty(seq: Sequence[ProcessorId], faulty: Iterable[ProcessorId]) -> bool:

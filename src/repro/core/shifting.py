@@ -21,15 +21,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .fault_discovery import FaultTracker, discover_during_conversion
-from .fault_masking import discover_and_mask, mask_inbox
+from .engine import validate_engine
+from .fault_discovery import (FaultTracker, discover_during_conversion,
+                              discover_during_conversion_flat)
+from .fault_masking import discover_and_mask, gather_level_flat, mask_inbox
 from .protocol import AgreementProtocol, ProtocolConfig
-from .resolve import resolve_all
+from .resolve import flat_resolve_levels, resolve_all
 from .sequences import LabelSequence, ProcessorId
-from .tree import InfoGatheringTree
+from .tree import InfoGatheringTree, make_tree
 from .values import DEFAULT_VALUE, Value, coerce_value, is_bottom
 from ..runtime.errors import ConfigurationError, ProtocolViolationError
-from ..runtime.messages import Inbox, Message, Outbox, broadcast
+from ..runtime.messages import (Inbox, LevelMessage, Message, Outbox,
+                                broadcast, broadcast_message)
 
 #: Conversion function names accepted by a :class:`Segment`.
 CONVERSIONS = ("resolve", "resolve_prime")
@@ -115,16 +118,27 @@ class ShiftingEIGProcessor(AgreementProtocol):
         irreversible decision after the final conversion.  The hybrid embeds
         this machine as its first phase and sets this to ``False`` so the
         preferred value can be handed to Algorithm C instead.
+    engine:
+        ``"fast"`` (flat-array buffers, batched conversion, by-reference
+        level messages) or ``"reference"`` (the dict-based executable
+        specification).  ``None`` selects the process default
+        (:func:`repro.core.engine.get_default_engine`).  Both engines produce
+        identical decisions, discoveries and metrics.
     """
 
     def __init__(self, pid: ProcessorId, config: ProtocolConfig,
                  schedule: ShiftSchedule, decide_at_end: bool = True,
-                 enable_fault_discovery: bool = True) -> None:
+                 enable_fault_discovery: bool = True,
+                 engine: Optional[str] = None) -> None:
         super().__init__(pid, config)
         self.schedule = schedule
         self.decide_at_end = decide_at_end
         self.enable_fault_discovery = enable_fault_discovery
-        self.tree = InfoGatheringTree(config.source, config.processors)
+        self.engine = validate_engine(engine)
+        self._fast = self.engine == "fast"
+        self.tree = make_tree(config.source, config.processors, self.engine)
+        self._domain_set = frozenset(v for v in config.domain
+                                     if not is_bottom(v))
         self.tracker = FaultTracker(pid, config.t)
         self._segment_ends = schedule.segment_end_rounds()
         #: round -> number of newly discovered faults (for block-progress experiments)
@@ -148,6 +162,16 @@ class ShiftingEIGProcessor(AgreementProtocol):
         if self.pid == self.config.source:
             # The source decides in round 1 and halts (it never sends again).
             return {}
+        if self._fast and self.tree.num_levels > 0:
+            # Wrap the leaf level by reference: one LevelMessage object is
+            # shared by every destination and the level buffer is never
+            # copied (the tree installs a fresh list on every later rewrite,
+            # so the wrapped buffer is immutable from here on).
+            leaf_level = self.tree.num_levels
+            message = LevelMessage(self.tree.index, leaf_level,
+                                   self.tree.raw_level(leaf_level),
+                                   self.pid, round_number)
+            return broadcast_message(message, self.config.processors)
         return broadcast(self.tree.leaves(), self.pid, round_number,
                          self.config.processors)
 
@@ -174,6 +198,19 @@ class ShiftingEIGProcessor(AgreementProtocol):
         """Add one level to the tree from the round's inbox, then run the
         Fault Discovery and Fault Masking Rules to a fixpoint."""
         level = self.tree.num_levels + 1
+        if self._fast:
+            self._gather_fast(level, inbox)
+        else:
+            self._gather_reference(level, inbox)
+        if not self.enable_fault_discovery:
+            return
+        newly = discover_and_mask(self.tree, level, self.tracker, round_number)
+        if newly:
+            self.discovery_log[round_number] = (
+                self.discovery_log.get(round_number, 0) + len(newly))
+
+    def _gather_reference(self, level: int, inbox: Inbox) -> None:
+        """The executable specification: grow via a per-node claim callback."""
         suspects = self.tracker.suspects
         masked = mask_inbox(inbox, suspects)
         domain = self.config.domain
@@ -189,28 +226,45 @@ class ShiftingEIGProcessor(AgreementProtocol):
             return coerce_value(message.value_for(parent), domain)
 
         self.tree.grow_level(level, claimed_value)
-        if not self.enable_fault_discovery:
-            return
-        newly = discover_and_mask(self.tree, level, self.tracker, round_number)
-        if newly:
-            self.discovery_log[round_number] = (
-                self.discovery_log.get(round_number, 0) + len(newly))
+
+    def _gather_fast(self, level: int, inbox: Inbox) -> None:
+        """Populate the new level's flat buffer directly from the inbox
+        (see :func:`~repro.core.fault_masking.gather_level_flat`); the only
+        special label is the processor's own, whose children echo its own
+        stored values (no self-message)."""
+        gather_level_flat(self.tree, level, inbox, self.tracker,
+                          self._domain_set, echo_labels=(self.pid,))
 
     # -- shifting ---------------------------------------------------------------
     def _maybe_convert(self, round_number: int) -> None:
         segment = self._segment_ends.get(round_number)
         if segment is None:
             return
-        converted = resolve_all(self.tree, segment.conversion, self.config.t)
-        if segment.conversion_discovery and self.enable_fault_discovery:
-            fresh = discover_during_conversion(
-                self.tree, converted, self.tracker.suspects, self.config.t,
-                meter=self.tree.meter)
-            added = self.tracker.add_all(fresh, round_number)
-            if added:
-                self.discovery_log[round_number] = (
-                    self.discovery_log.get(round_number, 0) + len(added))
-        new_root = converted[self.tree.root]
+        if self._fast:
+            converted_levels = flat_resolve_levels(
+                self.tree, segment.conversion, self.config.t)
+            if segment.conversion_discovery and self.enable_fault_discovery:
+                fresh = discover_during_conversion_flat(
+                    self.tree.index, converted_levels, self.tree.num_levels,
+                    self.tracker.suspects, self.config.t,
+                    meter=self.tree.meter)
+                added = self.tracker.add_all(fresh, round_number)
+                if added:
+                    self.discovery_log[round_number] = (
+                        self.discovery_log.get(round_number, 0) + len(added))
+            new_root = converted_levels[0][0]
+        else:
+            converted = resolve_all(self.tree, segment.conversion,
+                                    self.config.t)
+            if segment.conversion_discovery and self.enable_fault_discovery:
+                fresh = discover_during_conversion(
+                    self.tree, converted, self.tracker.suspects, self.config.t,
+                    meter=self.tree.meter)
+                added = self.tracker.add_all(fresh, round_number)
+                if added:
+                    self.discovery_log[round_number] = (
+                        self.discovery_log.get(round_number, 0) + len(added))
+            new_root = converted[self.tree.root]
         if is_bottom(new_root):
             new_root = DEFAULT_VALUE
         self.tree.reset_to_root(new_root)

@@ -22,9 +22,15 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from .sequences import LabelSequence, ProcessorId, child_labels
+from .sequences import (LabelSequence, ProcessorId, SequenceIndex,
+                        child_labels, sequence_index)
 from .values import DEFAULT_VALUE, Value
 from ..runtime.metrics import ComputationMeter
+
+#: Sentinel marking an absent node in a flat level buffer.  Never visible
+#: through the public API: reads substitute the caller's default, exactly as
+#: a missing dictionary key does in the reference trees.
+MISSING = object()
 
 
 class InfoGatheringTree:
@@ -234,3 +240,242 @@ class RepetitionTree(InfoGatheringTree):
         new_level2 = {seq: resolver(seq) for seq in self.level_sequences(2)}
         self.overwrite_level(2, new_level2)
         self.truncate_to_level(2)
+
+
+class FlatEIGTree(InfoGatheringTree):
+    """Information Gathering Tree stored as flat level-major buffers.
+
+    Drop-in replacement for :class:`InfoGatheringTree` (same public API, same
+    deterministic shape, same meter accounting) backed by the fast engine's
+    data layout: one Python list per level, indexed by the dense node-ids of
+    the shared :class:`~repro.core.sequences.SequenceIndex`.  No dictionary
+    keyed by label-sequence tuples exists on any hot path; the dict-returning
+    accessors (:meth:`level`, :meth:`leaves`) materialise views on demand and
+    are intended for tests, reporting, and the reference engine only.
+
+    The flat buffers are exposed by reference through :meth:`raw_level` so
+    that messages can wrap a level slice without copying.  The aliasing
+    discipline is: a level buffer may be mutated only during the
+    ``incoming()`` call that created it (gathering + masking); every later
+    rewrite (conversion, reordering, reset) installs a **new** list, so a
+    buffer captured by an outgoing message is immutable from the moment it is
+    sent.
+    """
+
+    def __init__(self, source: ProcessorId,
+                 processors: Sequence[ProcessorId],
+                 meter: Optional[ComputationMeter] = None) -> None:
+        super().__init__(source, processors, meter)
+        self._index: SequenceIndex = sequence_index(
+            source, self.processors, self.allow_repetitions)
+        #: level ℓ values live in _flat[ℓ - 1]; absent nodes hold MISSING
+        self._flat: List[List[Value]] = []
+        #: number of non-MISSING nodes per level (kept exact for level_size)
+        self._stored: List[int] = []
+
+    # -- engine interface -----------------------------------------------------
+    @property
+    def index(self) -> SequenceIndex:
+        return self._index
+
+    def raw_level(self, level: int) -> List[Value]:
+        """The flat value buffer of *level*, by reference (no meter charge)."""
+        return self._flat[level - 1]
+
+    def append_level(self, values: List[Value]) -> None:
+        """Install *values* as the next level (fast-path sibling of
+        :meth:`grow_level`; charges one unit per stored node)."""
+        level = len(self._flat) + 1
+        expected = self._index.level_size(level)
+        if len(values) != expected:
+            raise ValueError(
+                f"level {level} of this tree shape has {expected} nodes, "
+                f"got {len(values)} values")
+        self._flat.append(values)
+        self._stored.append(len(values))
+        self._meter.charge(len(values))
+
+    def replace_level(self, level: int, values: List[Value]) -> None:
+        """Replace the buffer of an existing *level* (fast-path sibling of
+        :meth:`overwrite_level`; installs the new list by reference)."""
+        if not 1 <= level <= len(self._flat):
+            raise ValueError(f"level {level} is not populated")
+        if len(values) != self._index.level_size(level):
+            raise ValueError("replacement buffer has the wrong size")
+        self._flat[level - 1] = values
+        self._stored[level - 1] = len(values)
+        self._meter.charge(len(values))
+
+    def _ensure_levels(self, level: int) -> None:
+        while len(self._flat) < level:
+            new_level = len(self._flat) + 1
+            self._flat.append([MISSING] * self._index.level_size(new_level))
+            self._stored.append(0)
+
+    # -- basic structure -------------------------------------------------------
+    @property
+    def num_levels(self) -> int:
+        return len(self._flat)
+
+    # -- storage ---------------------------------------------------------------
+    def store(self, seq: Sequence[ProcessorId], value: Value) -> None:
+        seq = tuple(seq)
+        level = len(seq)
+        node_id = self._index.node_id(seq)
+        self._ensure_levels(level)
+        buffer = self._flat[level - 1]
+        if buffer[node_id] is MISSING:
+            self._stored[level - 1] += 1
+        buffer[node_id] = value
+        self._meter.charge()
+
+    def value(self, seq: Sequence[ProcessorId],
+              default: Value = DEFAULT_VALUE) -> Value:
+        seq = tuple(seq)
+        self._meter.charge()
+        level = len(seq)
+        if not 1 <= level <= len(self._flat):
+            return default
+        node_id = self._index.id_map(level).get(seq)
+        if node_id is None:
+            return default
+        stored = self._flat[level - 1][node_id]
+        return default if stored is MISSING else stored
+
+    def has(self, seq: Sequence[ProcessorId]) -> bool:
+        seq = tuple(seq)
+        level = len(seq)
+        if not 1 <= level <= len(self._flat):
+            return False
+        node_id = self._index.id_map(level).get(seq)
+        return node_id is not None and self._flat[level - 1][node_id] is not MISSING
+
+    # -- level access ----------------------------------------------------------
+    def level(self, index: int) -> Dict[LabelSequence, Value]:
+        if not 1 <= index <= len(self._flat):
+            return {}
+        sequences = self._index.sequences(index)
+        return {seq: value
+                for seq, value in zip(sequences, self._flat[index - 1])
+                if value is not MISSING}
+
+    def level_sequences(self, index: int) -> List[LabelSequence]:
+        if not 1 <= index <= len(self._flat):
+            return []
+        buffer = self._flat[index - 1]
+        if self._stored[index - 1] == len(buffer):
+            return list(self._index.sequences(index))
+        return [seq for seq, value in zip(self._index.sequences(index), buffer)
+                if value is not MISSING]
+
+    def leaves(self) -> Dict[LabelSequence, Value]:
+        if not self._flat:
+            return {}
+        return self.level(len(self._flat))
+
+    def level_size(self, index: int) -> int:
+        if not 1 <= index <= len(self._flat):
+            return 0
+        return self._stored[index - 1]
+
+    def node_count(self) -> int:
+        return sum(self._stored)
+
+    def sequences(self) -> Iterator[LabelSequence]:
+        for index in range(1, len(self._flat) + 1):
+            yield from self.level_sequences(index)
+
+    # -- growing the tree ------------------------------------------------------
+    def grow_level(self, level: int, claimed_value) -> None:
+        if level != self.num_levels + 1:
+            raise ValueError(
+                f"cannot grow level {level}: tree currently has "
+                f"{self.num_levels} level(s)")
+        index = self._index
+        size = index.level_size(level)
+        buffer: List[Value] = [MISSING] * size
+        stored = 0
+        if level > 1:
+            branch = index.branch(level - 1)
+            labels = index.last_labels(level)
+            parent_buffer = self._flat[level - 2]
+            for parent_id, parent in enumerate(index.sequences(level - 1)):
+                if parent_buffer[parent_id] is MISSING:
+                    continue
+                base = parent_id * branch
+                for offset in range(branch):
+                    slot = base + offset
+                    buffer[slot] = claimed_value(parent, labels[slot])
+                    stored += 1
+        self._flat.append(buffer)
+        self._stored.append(stored)
+        self._meter.charge(stored)
+
+    # -- shifting ----------------------------------------------------------------
+    def truncate_to_level(self, level: int) -> None:
+        if level < len(self._flat):
+            del self._flat[level:]
+            del self._stored[level:]
+
+    def reset_to_root(self, value: Value) -> None:
+        self._flat = [[value]]
+        self._stored = [1]
+        self._meter.charge()
+
+    def overwrite_level(self, index: int,
+                        values: Dict[LabelSequence, Value]) -> None:
+        if not 1 <= index <= len(self._flat):
+            raise KeyError(index)
+        id_map = self._index.id_map(index)
+        buffer: List[Value] = [MISSING] * self._index.level_size(index)
+        for seq, value in values.items():
+            buffer[id_map[tuple(seq)]] = value
+        self._flat[index - 1] = buffer
+        self._stored[index - 1] = len(values)
+        self._meter.charge(len(values))
+
+    # -- misc ----------------------------------------------------------------------
+    def copy(self) -> "FlatEIGTree":
+        clone = type(self)(self.source, self.processors)
+        clone._flat = [list(buffer) for buffer in self._flat]
+        clone._stored = list(self._stored)
+        return clone
+
+
+class FlatRepetitionTree(FlatEIGTree):
+    """Flat-buffer counterpart of :class:`RepetitionTree` (Algorithm C)."""
+
+    allow_repetitions = True
+
+    def reorder_leaves(self) -> None:
+        """Swap ``tree(spq)`` and ``tree(sqp)`` for every pair ``p ≠ q``.
+
+        With the parent-major layout the level-3 buffer is an ``n × n``
+        matrix (row = intermediate vertex, column = reporting child), so the
+        reordering is a transpose.
+        """
+        if self.num_levels < 3:
+            raise ValueError("reordering requires a populated third level")
+        n = self.n
+        old = self._flat[2]
+        self._flat[2] = [old[(i % n) * n + i // n] for i in range(n * n)]
+        self._meter.charge(n * n)
+
+    def convert_intermediate(self, resolver) -> None:
+        """``shift_{3→2}`` — see :meth:`RepetitionTree.convert_intermediate`."""
+        if self.num_levels < 3:
+            raise ValueError("conversion requires a populated third level")
+        new_level2 = {seq: resolver(seq) for seq in self.level_sequences(2)}
+        self.overwrite_level(2, new_level2)
+        self.truncate_to_level(2)
+
+
+def make_tree(source: ProcessorId, processors: Sequence[ProcessorId],
+              engine: str, repetitions: bool = False,
+              meter: Optional[ComputationMeter] = None) -> InfoGatheringTree:
+    """Build the tree flavour for an engine (``"fast"`` → flat buffers)."""
+    if engine == "fast":
+        cls = FlatRepetitionTree if repetitions else FlatEIGTree
+    else:
+        cls = RepetitionTree if repetitions else InfoGatheringTree
+    return cls(source, processors, meter)

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
-from .harness import (experiment_baselines, experiment_block_progress,
-                      experiment_dominance, experiment_exponential_growth,
-                      experiment_theorem1, experiment_theorem2, experiment_theorem3,
-                      experiment_theorem4, experiment_tradeoff, measure,
-                      run_all_experiments)
+from .harness import (ExperimentCell, experiment_baselines,
+                      experiment_block_progress, experiment_dominance,
+                      experiment_exponential_growth, experiment_theorem1,
+                      experiment_theorem2, experiment_theorem3,
+                      experiment_theorem4, experiment_tradeoff, grid_cells,
+                      measure, run_all_experiments, run_cell, run_cells,
+                      run_grid_parallel)
 from .workloads import (Scenario, adversarial_scenarios, fault_count_sweep,
                         scenario_by_name, scenario_names, standard_scenarios,
                         worst_case_scenarios)
@@ -19,4 +21,5 @@ __all__ = [
     "experiment_theorem4", "experiment_exponential_growth", "experiment_tradeoff",
     "experiment_block_progress", "experiment_dominance", "experiment_baselines",
     "run_all_experiments",
+    "ExperimentCell", "grid_cells", "run_cell", "run_cells", "run_grid_parallel",
 ]

@@ -10,7 +10,11 @@ instances quickly while the examples run the larger sweeps.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
 
 from ..analysis.bounds import (algorithm_c_local_computation, exponential_bound,
                                theorem1_bound, theorem2_bound, theorem3_bound,
@@ -21,12 +25,14 @@ from ..baselines import DolevStrongSpec, PeaseShostakLamportSpec, PhaseKingSpec
 from ..core.algorithm_a import AlgorithmASpec, algorithm_a_resilience
 from ..core.algorithm_b import AlgorithmBSpec, algorithm_b_resilience
 from ..core.algorithm_c import AlgorithmCSpec, algorithm_c_resilience
+from ..core.engine import get_default_engine, set_default_engine
 from ..core.exponential import ExponentialSpec
 from ..core.hybrid import HybridSpec, hybrid_parameters
 from ..core.protocol import ProtocolConfig, ProtocolSpec
-from ..core.values import DEFAULT_VALUE
+from ..core.values import DEFAULT_VALUE, Value
 from ..runtime.simulation import RunResult, run_agreement
-from .workloads import Scenario, standard_scenarios, worst_case_scenarios
+from .workloads import (Scenario, adversarial_scenarios, standard_scenarios,
+                        worst_case_scenarios)
 
 
 def measure(spec: ProtocolSpec, n: int, t: int, scenario: Scenario,
@@ -302,6 +308,143 @@ def experiment_baselines(n: int, t: int,
             "all_scenarios_agree": ok,
         })
     return rows
+
+
+# ---------------------------------------------------------------------------
+# The parallel experiment runner: one worker per (spec, scenario) cell
+# ---------------------------------------------------------------------------
+
+#: Named scenario batteries a cell can reference.  Cells carry the battery
+#: *name* plus the scenario *name* instead of the scenario object because the
+#: batteries contain lambdas (adversary factories) that cannot cross a
+#: process boundary; workers regenerate the battery deterministically.
+SCENARIO_BATTERIES: Dict[str, Callable[[int, int], Sequence[Scenario]]] = {
+    "standard": standard_scenarios,
+    "adversarial": adversarial_scenarios,
+    "worst-case": worst_case_scenarios,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One unit of parallel work: run *spec* at ``(n, t)`` under one scenario.
+
+    Everything in a cell is picklable, so cells can be shipped to process-pool
+    workers as-is.  ``battery``/``scenario`` name a scenario of one of the
+    :data:`SCENARIO_BATTERIES`, which the worker regenerates locally.
+    """
+
+    spec: ProtocolSpec
+    n: int
+    t: int
+    battery: str = "standard"
+    scenario: str = "fault-free"
+    initial_value: Value = 1
+    seed: int = 0
+
+    def resolve_scenario(self) -> Scenario:
+        try:
+            battery = SCENARIO_BATTERIES[self.battery]
+        except KeyError:
+            raise ValueError(
+                f"unknown scenario battery {self.battery!r}; expected one of "
+                f"{sorted(SCENARIO_BATTERIES)}") from None
+        for scenario in battery(self.n, self.t):
+            if scenario.name == self.scenario:
+                return scenario
+        raise ValueError(
+            f"battery {self.battery!r} at (n={self.n}, t={self.t}) has no "
+            f"scenario named {self.scenario!r}")
+
+
+def grid_cells(specs: Sequence[ProtocolSpec],
+               grid: Iterable[Tuple[int, int]],
+               battery: str = "standard",
+               scenario_names: Optional[Sequence[str]] = None,
+               initial_value: Value = 1, seed: int = 0
+               ) -> List[ExperimentCell]:
+    """The cross product spec × (n, t) × scenario as a flat list of cells."""
+    cells: List[ExperimentCell] = []
+    battery_fn = SCENARIO_BATTERIES[battery]
+    for n, t in grid:
+        names = (list(scenario_names) if scenario_names is not None
+                 else [s.name for s in battery_fn(n, t)])
+        for spec in specs:
+            for name in names:
+                cells.append(ExperimentCell(spec=spec, n=n, t=t,
+                                            battery=battery, scenario=name,
+                                            initial_value=initial_value,
+                                            seed=seed))
+    return cells
+
+
+def run_cell(cell: ExperimentCell) -> Dict[str, object]:
+    """Execute one cell and return a flat, picklable summary row."""
+    scenario = cell.resolve_scenario()
+    result = measure(cell.spec, cell.n, cell.t, scenario,
+                     initial_value=cell.initial_value, seed=cell.seed)
+    row: Dict[str, object] = {
+        "protocol": result.protocol,
+        "scenario": scenario.name,
+        "battery": cell.battery,
+        "faults": len(result.faulty),
+        "succeeded": result.succeeded,
+        "discovery_sound": result.soundness_of_discovery(),
+    }
+    row.update(result.summary())
+    return row
+
+
+def _pool_worker_init(engine: Optional[str]) -> None:  # pragma: no cover - subprocess
+    if engine is not None:
+        os.environ["REPRO_EIG_ENGINE"] = engine
+        set_default_engine(engine)
+
+
+def run_cells(cells: Sequence[ExperimentCell], parallel: bool = True,
+              max_workers: Optional[int] = None,
+              engine: Optional[str] = None) -> List[Dict[str, object]]:
+    """Run every cell and return its summary rows, preserving cell order.
+
+    With ``parallel=True`` (the default) the cells are distributed over a
+    process pool, one worker task per ``(spec, scenario)`` cell — agreement
+    instances are independent, so sweeps scale with the core count.  Workers
+    inherit the requested *engine* (default: the parent's default engine).
+    Falls back to in-process execution when only one cell is requested or the
+    platform cannot spawn a pool.
+    """
+    cells = list(cells)
+    if not cells:
+        return []
+    if not parallel or len(cells) == 1:
+        return [run_cell(cell) for cell in cells]
+    if engine is None:
+        # Resolve now so spawn-started workers (which re-import the engine
+        # module and would fall back to the environment default) inherit the
+        # parent's effective engine, not just fork-started ones.
+        engine = get_default_engine()
+    if max_workers is not None:
+        max_workers = max(1, min(max_workers, len(cells)))
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers,
+                                 initializer=_pool_worker_init,
+                                 initargs=(engine,)) as pool:
+            return list(pool.map(run_cell, cells))
+    except (OSError, PermissionError):  # pragma: no cover - sandboxed platforms
+        return [run_cell(cell) for cell in cells]
+
+
+def run_grid_parallel(specs: Sequence[ProtocolSpec],
+                      grid: Iterable[Tuple[int, int]],
+                      battery: str = "standard",
+                      scenario_names: Optional[Sequence[str]] = None,
+                      max_workers: Optional[int] = None,
+                      engine: Optional[str] = None) -> List[Dict[str, object]]:
+    """Convenience wrapper: build the grid's cells and run them in parallel."""
+    cells = grid_cells(specs, grid, battery=battery,
+                       scenario_names=scenario_names)
+    return run_cells(cells, parallel=True, max_workers=max_workers,
+                     engine=engine)
 
 
 # ---------------------------------------------------------------------------

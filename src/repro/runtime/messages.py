@@ -6,13 +6,31 @@ round-1 message from the source is the degenerate case of a single entry for
 the root.  Messages are immutable once constructed so the adversary cannot
 mutate a correct processor's outbox in place — it must construct new messages,
 exactly like a real Byzantine sender would.
+
+Two concrete layouts exist:
+
+* :class:`Message` — an explicit ``{sequence: value}`` mapping.  Used for the
+  source's round-1 broadcast and by adversaries, which rewrite entries.
+* :class:`LevelMessage` — the fast engine's broadcast: it wraps one flat tree
+  level **by reference** (the shared
+  :class:`~repro.core.sequences.SequenceIndex` plus the level's value buffer)
+  and materialises the entry mapping only if a slow-path consumer asks for
+  it.  Receivers that share the same index copy values by node-id without
+  ever building a dictionary; ``size_bits`` is O(1) because every entry of a
+  level has the same path length.
+
+Immutability of the mapping view is provided by
+:class:`types.MappingProxyType`: accessors hand out read-only views of the
+internal dict rather than defensive copies, so iterating entries in hot loops
+allocates nothing.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from types import MappingProxyType
+from typing import (Dict, Iterable, Iterator, List, Mapping, Optional, Tuple)
 
-from ..core.sequences import LabelSequence, ProcessorId
+from ..core.sequences import LabelSequence, ProcessorId, SequenceIndex
 from ..core.values import Value
 from .metrics import entry_bits
 
@@ -37,17 +55,26 @@ class Message:
 
     def __init__(self, entries: Mapping[LabelSequence, Value],
                  sender: ProcessorId, round_number: int) -> None:
-        self._entries: Dict[LabelSequence, Value] = {
+        self._entries: Optional[Dict[LabelSequence, Value]] = {
             tuple(seq): value for seq, value in entries.items()
         }
         self.sender = sender
         self.round_number = round_number
 
+    # -- internal ----------------------------------------------------------
+    def _mapping(self) -> Dict[LabelSequence, Value]:
+        """The entry dict (subclasses may materialise it lazily)."""
+        return self._entries
+
     # -- accessors -------------------------------------------------------
     @property
-    def entries(self) -> Dict[LabelSequence, Value]:
-        """A defensive copy of the entry mapping."""
-        return dict(self._entries)
+    def entries(self) -> Mapping[LabelSequence, Value]:
+        """A **read-only view** of the entry mapping (no copy is made)."""
+        return MappingProxyType(self._mapping())
+
+    def items(self) -> Iterable[Tuple[LabelSequence, Value]]:
+        """Iterate ``(sequence, value)`` pairs without copying."""
+        return self._mapping().items()
 
     def value_for(self, seq: LabelSequence) -> Optional[Value]:
         """The claimed value for *seq*, or ``None`` if the entry is missing.
@@ -55,40 +82,43 @@ class Message:
         A missing entry models "an inappropriate message was received"; the
         receiver substitutes the default value per the paper.
         """
-        return self._entries.get(tuple(seq))
+        return self._mapping().get(tuple(seq))
 
     def sequences(self) -> Iterable[LabelSequence]:
-        return self._entries.keys()
+        return self._mapping().keys()
+
+    def __iter__(self) -> Iterator[LabelSequence]:
+        return iter(self._mapping())
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._mapping())
 
     def __contains__(self, seq: object) -> bool:
-        return seq in self._entries
+        return seq in self._mapping()
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Message):
             return NotImplemented
-        return (self._entries == other._entries
+        return (self._mapping() == other._mapping()
                 and self.sender == other.sender
                 and self.round_number == other.round_number)
 
     def __hash__(self) -> int:  # pragma: no cover - messages rarely hashed
-        return hash((frozenset(self._entries.items()), self.sender,
+        return hash((frozenset(self._mapping().items()), self.sender,
                      self.round_number))
 
     def __repr__(self) -> str:
-        return (f"Message(sender={self.sender}, round={self.round_number}, "
-                f"entries={len(self._entries)})")
+        return (f"{type(self).__name__}(sender={self.sender}, "
+                f"round={self.round_number}, entries={len(self)})")
 
     # -- cost accounting ---------------------------------------------------
     def entry_count(self) -> int:
-        return len(self._entries)
+        return len(self)
 
     def size_bits(self, n: int, value_domain_size: int = 2) -> int:
         """Encoded size in bits under the accounting of :mod:`..runtime.metrics`."""
         return sum(entry_bits(len(seq), value_domain_size, n)
-                   for seq in self._entries)
+                   for seq in self._mapping())
 
     # -- constructors ------------------------------------------------------
     @classmethod
@@ -103,12 +133,91 @@ class Message:
         Used by the Fault Masking Rule, which substitutes the default value
         for every entry of a discovered-faulty sender's message.
         """
-        return Message({seq: value for seq in self._entries},
+        return Message({seq: value for seq in self._mapping()},
                        self.sender, self.round_number)
 
     def with_entries(self, entries: Mapping[LabelSequence, Value]) -> "Message":
         """A copy with a different entry mapping (same sender and round)."""
         return Message(entries, self.sender, self.round_number)
+
+    def with_sender(self, sender: ProcessorId) -> "Message":
+        """A copy attributed to *sender* (used by the network's stamping)."""
+        return Message(self._mapping(), sender, self.round_number)
+
+
+class LevelMessage(Message):
+    """A message wrapping one flat tree level by reference.
+
+    The sender's tree guarantees the wrapped buffer is never mutated after
+    the message is constructed (see
+    :class:`~repro.core.tree.FlatEIGTree`), so sharing it is safe.  Receivers
+    call :meth:`matches` + :meth:`level_values` to copy values by node-id;
+    every dict-shaped accessor inherited from :class:`Message` materialises
+    the mapping lazily, exactly once, so adversaries and tests see the usual
+    interface.
+    """
+
+    __slots__ = ("_index", "_level", "_values")
+
+    def __init__(self, index: SequenceIndex, level: int, values: List[Value],
+                 sender: ProcessorId, round_number: int) -> None:
+        if len(values) != index.level_size(level):
+            raise ValueError(
+                f"level {level} of this tree shape has "
+                f"{index.level_size(level)} nodes, got {len(values)} values")
+        self._index = index
+        self._level = level
+        self._values = values
+        self._entries = None  # materialised on demand
+        self.sender = sender
+        self.round_number = round_number
+
+    # -- fast-path accessors ------------------------------------------------
+    def matches(self, index: SequenceIndex, level: int) -> bool:
+        """True when this message's entries are exactly *level* of *index*
+        (same shared shape), so node-ids line up with the receiver's."""
+        return self._index is index and self._level == level
+
+    def level_values(self) -> List[Value]:
+        """The wrapped value buffer, by reference (index order)."""
+        return self._values
+
+    @property
+    def level(self) -> int:
+        return self._level
+
+    # -- lazy dict interop --------------------------------------------------
+    def _mapping(self) -> Dict[LabelSequence, Value]:
+        if self._entries is None:
+            self._entries = dict(zip(self._index.sequences(self._level),
+                                     self._values))
+        return self._entries
+
+    def value_for(self, seq: LabelSequence) -> Optional[Value]:
+        node_id = self._index.id_map(self._level).get(tuple(seq))
+        if node_id is None:
+            return None
+        return self._values[node_id]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def entry_count(self) -> int:
+        return len(self._values)
+
+    def size_bits(self, n: int, value_domain_size: int = 2) -> int:
+        # Every entry of a level shares one path length: O(1) instead of a
+        # per-entry sum.
+        return len(self._values) * entry_bits(self._level, value_domain_size, n)
+
+    def replace_values(self, value: Value) -> "LevelMessage":
+        return LevelMessage(self._index, self._level,
+                            [value] * len(self._values),
+                            self.sender, self.round_number)
+
+    def with_sender(self, sender: ProcessorId) -> "LevelMessage":
+        return LevelMessage(self._index, self._level, self._values,
+                            sender, self.round_number)
 
 
 Outbox = Dict[ProcessorId, Message]
@@ -127,6 +236,14 @@ def broadcast(entries: Mapping[LabelSequence, Value], sender: ProcessorId,
     rather than by sending themselves a message.
     """
     message = Message(entries, sender, round_number)
+    return {dest: message for dest in destinations if dest != sender}
+
+
+def broadcast_message(message: Message,
+                      destinations: Iterable[ProcessorId]) -> Outbox:
+    """Build an outbox sending one prebuilt message to every destination
+    (shares the single message object; excludes the sender)."""
+    sender = message.sender
     return {dest: message for dest in destinations if dest != sender}
 
 
@@ -153,4 +270,4 @@ def stamp_sender(message: Message, true_sender: ProcessorId) -> Message:
     """
     if message.sender == true_sender:
         return message
-    return Message(message.entries, true_sender, message.round_number)
+    return message.with_sender(true_sender)

@@ -93,6 +93,20 @@ class RunMetrics:
                        entries: int, bits: int) -> None:
         self.sent[round_number][sender].add(entries, bits)
 
+    def record_messages(self, round_number: int, sender: ProcessorId,
+                        messages: int, entries: int, bits: int) -> None:
+        """Record a whole round of one sender's traffic in one call.
+
+        *entries* and *bits* are totals over the *messages* deliveries; the
+        per-(round, sender) aggregates are identical to *messages* individual
+        :meth:`record_message` calls, but the network makes one dictionary
+        lookup per sender instead of one per delivery.
+        """
+        stats = self.sent[round_number][sender]
+        stats.messages += messages
+        stats.value_entries += entries
+        stats.bits += bits
+
     def record_computation(self, pid: ProcessorId, units: int) -> None:
         self.computation_units[pid] = units
 

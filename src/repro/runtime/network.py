@@ -10,7 +10,7 @@ property of delivery, not of protocol state.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Set
+from typing import Dict, Iterable, Mapping, Optional, Set
 
 from ..core.sequences import ProcessorId
 from .errors import SimulationError
@@ -47,13 +47,27 @@ class SynchronousNetwork:
         Only messages from ``count_senders`` are charged to the metrics — the
         theorems bound the traffic of *correct* processors, and Byzantine
         processors could otherwise inflate the measured totals arbitrarily.
+
+        The returned mapping contains an inbox only for processors that
+        actually received something this round; callers use
+        ``inboxes.get(pid, {})``.  Metrics are recorded once per sender per
+        round (batched), and since an outbox is almost always a broadcast of
+        one shared message object, its entry count and bit size are computed
+        once rather than once per destination.
         """
         self.metrics.record_round(round_number)
         counted = set(count_senders)
-        inboxes: Dict[ProcessorId, Inbox] = {pid: {} for pid in self.processors}
+        inboxes: Dict[ProcessorId, Inbox] = {}
         for sender, outbox in outboxes.items():
             if sender not in self.processors:
                 raise SimulationError(f"unknown sender {sender}")
+            charged = sender in counted
+            delivered_count = 0
+            entry_total = 0
+            bit_total = 0
+            costed: Optional[Message] = None
+            costed_entries = 0
+            costed_bits = 0
             for dest, message in outbox.items():
                 if dest not in self.processors:
                     raise SimulationError(
@@ -64,15 +78,29 @@ class SynchronousNetwork:
                     raise SimulationError(
                         f"sender {sender} produced a non-message payload for {dest}")
                 delivered = stamp_sender(message, sender)
-                if dest in inboxes[dest]:
+                inbox = inboxes.get(dest)
+                if inbox is None:
+                    inbox = inboxes[dest] = {}
+                if sender in inbox:
+                    # Defense in depth: unreachable for dict-shaped outboxes
+                    # (one entry per (sender, dest)), but a custom Mapping
+                    # yielding a destination twice must not silently drop a
+                    # delivery.
                     raise SimulationError(
-                        f"duplicate message from {sender} to {dest} in round {round_number}")
-                if sender in inboxes[dest]:
-                    raise SimulationError(
-                        f"sender {sender} delivered twice to {dest} in round {round_number}")
-                inboxes[dest][sender] = delivered
-                if sender in counted:
-                    self.metrics.record_message(
-                        round_number, sender, delivered.entry_count(),
-                        delivered.size_bits(self.n, self.value_domain_size))
+                        f"sender {sender} delivered twice to {dest} "
+                        f"in round {round_number}")
+                inbox[sender] = delivered
+                if charged:
+                    if delivered is not costed:
+                        costed = delivered
+                        costed_entries = delivered.entry_count()
+                        costed_bits = delivered.size_bits(
+                            self.n, self.value_domain_size)
+                    delivered_count += 1
+                    entry_total += costed_entries
+                    bit_total += costed_bits
+            if delivered_count:
+                self.metrics.record_messages(round_number, sender,
+                                             delivered_count, entry_total,
+                                             bit_total)
         return inboxes

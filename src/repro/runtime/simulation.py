@@ -172,10 +172,13 @@ def run_agreement(spec: ProtocolSpec, config: ProtocolConfig,
         outboxes: Dict[ProcessorId, Outbox] = dict(correct_outboxes)
         outboxes.update(faulty_outboxes)
         inboxes = network.deliver(round_number, outboxes, count_senders=correct)
+        # Each pid's inbox is the per-dest dict deliver() built for it (or a
+        # fresh empty one); correct and faulty pids are disjoint, so no two
+        # consumers here ever receive the same dict object.
         for pid in correct:
-            processors[pid].incoming(round_number, inboxes[pid])
+            processors[pid].incoming(round_number, inboxes.get(pid) or {})
         adversary.observe_delivery(
-            round_number, {pid: inboxes[pid] for pid in faulty_set})
+            round_number, {pid: inboxes.get(pid) or {} for pid in faulty_set})
 
     decisions = {pid: processors[pid].decision() for pid in correct}
     discovered = {pid: tuple(processors[pid].discovered_faults()) for pid in correct}

@@ -102,9 +102,9 @@ class TestLemmaProperties:
             outboxes.update(adversary.round_messages(round_number, outboxes))
             inboxes = network.deliver(round_number, outboxes, count_senders=correct)
             for pid in correct:
-                processors[pid].incoming(round_number, inboxes[pid])
+                processors[pid].incoming(round_number, inboxes.get(pid, {}))
             adversary.observe_delivery(
-                round_number, {pid: inboxes[pid] for pid in faulty})
+                round_number, {pid: inboxes.get(pid, {}) for pid in faulty})
         return config, processors
 
     def test_no_correct_processor_is_ever_suspected(self):

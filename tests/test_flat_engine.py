@@ -1,0 +1,210 @@
+"""Property tests: the flat-array fast engine agrees with the reference oracle.
+
+The ``"reference"`` engine (dict-of-tuples trees, recursive-specification
+conversion functions) is the executable specification; the ``"fast"`` engine
+(interned sequences, flat level-major buffers, batched bottom-up resolve) must
+be observationally identical.  These tests drive both over randomized trees —
+with and without repetitions, with missing entries and default substitutions,
+across ``n ∈ {4..10}`` — and over full executions, and assert equality of
+conversions, decisions, discoveries, and metrics (including computation
+units, which the engines charge identically by construction).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import adversary_registry
+from repro.core.algorithm_a import AlgorithmASpec
+from repro.core.algorithm_b import AlgorithmBSpec
+from repro.core.algorithm_c import AlgorithmCSpec
+from repro.core.hybrid import HybridSpec
+from repro.core.engine import use_engine
+from repro.core.exponential import ExponentialSpec
+from repro.core.protocol import ProtocolConfig
+from repro.core.resolve import (flat_converted_dict, flat_resolve_levels,
+                                resolve, resolve_all, resolve_prime)
+from repro.core.sequences import sequences_of_length
+from repro.core.tree import (FlatEIGTree, FlatRepetitionTree,
+                             InfoGatheringTree, RepetitionTree)
+from repro.core.values import DEFAULT_VALUE, is_bottom
+from repro.runtime.simulation import run_agreement
+
+ADVERSARY_NAMES = sorted(adversary_registry())
+
+_settings = settings(max_examples=25, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def build_tree_pair(draw, n, height, repetitions, domain_size=3,
+                    missing_rate=5):
+    """Build one reference tree and one flat tree with identical (randomly
+    chosen, possibly sparse) contents and return them."""
+    processors = tuple(range(n))
+    if repetitions:
+        reference, fast = (RepetitionTree(0, processors),
+                           FlatRepetitionTree(0, processors))
+    else:
+        reference, fast = (InfoGatheringTree(0, processors),
+                           FlatEIGTree(0, processors))
+    for length in range(1, height + 1):
+        for seq in sequences_of_length(length, 0, processors, repetitions):
+            present = draw(st.integers(min_value=0, max_value=missing_rate))
+            if present == 0 and length == height:
+                continue  # a missing leaf: reads fall back to the default
+            value = draw(st.integers(min_value=0, max_value=domain_size - 1))
+            reference.store(seq, value)
+            fast.store(seq, value)
+    # The root always exists (it is stored in round 1 by every protocol).
+    if not reference.has((0,)):
+        reference.store((0,), DEFAULT_VALUE)
+        fast.store((0,), DEFAULT_VALUE)
+    return reference, fast
+
+
+class TestFlatResolveAgainstOracle:
+    @_settings
+    @given(data=st.data())
+    def test_resolve_matches_recursive_oracle(self, data):
+        n = data.draw(st.integers(min_value=4, max_value=10))
+        height = data.draw(st.integers(min_value=1, max_value=min(4, n - 1)))
+        reference, fast = build_tree_pair(data.draw, n, height,
+                                          repetitions=False)
+        expected = resolve_all(reference, "resolve", t=1)
+        levels = flat_resolve_levels(fast, "resolve", t=1)
+        assert flat_converted_dict(fast, levels) == expected
+        assert levels[0][0] == resolve(reference, (0,))
+
+    @_settings
+    @given(data=st.data())
+    def test_resolve_prime_matches_recursive_oracle(self, data):
+        n = data.draw(st.integers(min_value=4, max_value=10))
+        height = data.draw(st.integers(min_value=1, max_value=min(4, n - 1)))
+        t = data.draw(st.integers(min_value=1, max_value=3))
+        reference, fast = build_tree_pair(data.draw, n, height,
+                                          repetitions=False)
+        expected = resolve_all(reference, "resolve_prime", t=t)
+        levels = flat_resolve_levels(fast, "resolve_prime", t=t)
+        assert flat_converted_dict(fast, levels) == expected
+        # ⊥ propagation at the root matches too.
+        root_reference = resolve_prime(reference, (0,), t)
+        assert is_bottom(levels[0][0]) == is_bottom(root_reference)
+        assert levels[0][0] == root_reference
+
+    @_settings
+    @given(data=st.data())
+    def test_repetition_trees_match(self, data):
+        n = data.draw(st.integers(min_value=4, max_value=8))
+        height = data.draw(st.integers(min_value=1, max_value=3))
+        reference, fast = build_tree_pair(data.draw, n, height,
+                                          repetitions=True)
+        expected = resolve_all(reference, "resolve", t=1)
+        levels = flat_resolve_levels(fast, "resolve", t=1)
+        assert flat_converted_dict(fast, levels) == expected
+
+    @_settings
+    @given(data=st.data())
+    def test_meter_charges_match_reference(self, data):
+        n = data.draw(st.integers(min_value=4, max_value=8))
+        height = data.draw(st.integers(min_value=1, max_value=3))
+        conversion = data.draw(st.sampled_from(["resolve", "resolve_prime"]))
+        reference, fast = build_tree_pair(data.draw, n, height,
+                                          repetitions=False, missing_rate=10)
+        before_reference = reference.meter.units
+        before_fast = fast.meter.units
+        resolve_all(reference, conversion, t=2)
+        flat_resolve_levels(fast, conversion, t=2)
+        assert (reference.meter.units - before_reference
+                == fast.meter.units - before_fast)
+
+
+def _run_both_engines(spec_factory, n, t, faulty, adversary_name, value, seed):
+    results = {}
+    for engine in ("fast", "reference"):
+        with use_engine(engine):
+            adversary = adversary_registry()[adversary_name]()
+            config = ProtocolConfig(n=n, t=t, initial_value=value)
+            results[engine] = run_agreement(spec_factory(), config, faulty,
+                                            adversary, seed=seed)
+    fast, reference = results["fast"], results["reference"]
+    context = (adversary_name, sorted(faulty), value, seed)
+    assert fast.decisions == reference.decisions, context
+    assert fast.discovered == reference.discovered, context
+    assert fast.discovery_logs == reference.discovery_logs, context
+    assert fast.metrics.summary() == reference.metrics.summary(), context
+
+
+class TestEndToEndEngineEquivalence:
+    _e2e_settings = settings(max_examples=12, deadline=None,
+                             suppress_health_check=[HealthCheck.too_slow])
+
+    @_e2e_settings
+    @given(data=st.data())
+    def test_exponential_runs_identically(self, data):
+        n, t = 7, 2
+        count = data.draw(st.integers(min_value=0, max_value=t))
+        faulty = frozenset(data.draw(
+            st.sets(st.integers(min_value=0, max_value=n - 1),
+                    min_size=count, max_size=count)))
+        adversary_name = data.draw(st.sampled_from(ADVERSARY_NAMES))
+        value = data.draw(st.integers(min_value=0, max_value=1))
+        seed = data.draw(st.integers(min_value=0, max_value=10))
+        _run_both_engines(ExponentialSpec, n, t, faulty, adversary_name,
+                          value, seed)
+
+    @_e2e_settings
+    @given(data=st.data())
+    def test_algorithm_b_runs_identically(self, data):
+        n, t = 9, 2
+        count = data.draw(st.integers(min_value=0, max_value=t))
+        faulty = frozenset(data.draw(
+            st.sets(st.integers(min_value=0, max_value=n - 1),
+                    min_size=count, max_size=count)))
+        adversary_name = data.draw(st.sampled_from(ADVERSARY_NAMES))
+        value = data.draw(st.integers(min_value=0, max_value=1))
+        seed = data.draw(st.integers(min_value=0, max_value=10))
+        _run_both_engines(lambda: AlgorithmBSpec(2), n, t, faulty,
+                          adversary_name, value, seed)
+
+    @_e2e_settings
+    @given(data=st.data())
+    def test_algorithm_a_runs_identically(self, data):
+        # Algorithm A is the only user of conversion-time fault discovery
+        # (discover_during_conversion_flat), so this also pins that path.
+        n, t = 10, 3
+        count = data.draw(st.integers(min_value=0, max_value=t))
+        faulty = frozenset(data.draw(
+            st.sets(st.integers(min_value=0, max_value=n - 1),
+                    min_size=count, max_size=count)))
+        adversary_name = data.draw(st.sampled_from(ADVERSARY_NAMES))
+        value = data.draw(st.integers(min_value=0, max_value=1))
+        seed = data.draw(st.integers(min_value=0, max_value=10))
+        _run_both_engines(lambda: AlgorithmASpec(3), n, t, faulty,
+                          adversary_name, value, seed)
+
+    @_e2e_settings
+    @given(data=st.data())
+    def test_hybrid_runs_identically(self, data):
+        n, t = 10, 3
+        count = data.draw(st.integers(min_value=0, max_value=t))
+        faulty = frozenset(data.draw(
+            st.sets(st.integers(min_value=0, max_value=n - 1),
+                    min_size=count, max_size=count)))
+        adversary_name = data.draw(st.sampled_from(ADVERSARY_NAMES))
+        value = data.draw(st.integers(min_value=0, max_value=1))
+        seed = data.draw(st.integers(min_value=0, max_value=10))
+        _run_both_engines(lambda: HybridSpec(3), n, t, faulty,
+                          adversary_name, value, seed)
+
+    @_e2e_settings
+    @given(data=st.data())
+    def test_algorithm_c_runs_identically(self, data):
+        n, t = 14, 2
+        count = data.draw(st.integers(min_value=0, max_value=t))
+        faulty = frozenset(data.draw(
+            st.sets(st.integers(min_value=0, max_value=n - 1),
+                    min_size=count, max_size=count)))
+        adversary_name = data.draw(st.sampled_from(ADVERSARY_NAMES))
+        value = data.draw(st.integers(min_value=0, max_value=1))
+        seed = data.draw(st.integers(min_value=0, max_value=10))
+        _run_both_engines(AlgorithmCSpec, n, t, faulty, adversary_name,
+                          value, seed)

@@ -30,9 +30,9 @@ def final_trees(adversary, faulty, n=7, t=2, initial_value=1, rounds=None):
         outboxes.update(adversary.round_messages(round_number, outboxes))
         inboxes = network.deliver(round_number, outboxes, count_senders=correct)
         for pid in correct:
-            processors[pid].incoming(round_number, inboxes[pid])
+            processors[pid].incoming(round_number, inboxes.get(pid, {}))
         adversary.observe_delivery(round_number,
-                                   {pid: inboxes[pid] for pid in faulty})
+                                   {pid: inboxes.get(pid, {}) for pid in faulty})
     observers = {pid: proc for pid, proc in processors.items()
                  if pid != config.source}
     trees = {pid: proc.tree for pid, proc in observers.items()}

@@ -7,11 +7,17 @@ from repro.runtime.messages import (Message, broadcast, largest_message_entries,
 
 
 class TestMessage:
-    def test_entries_are_copied_defensively(self):
+    def test_entries_view_is_read_only(self):
         message = Message({(0,): 1}, sender=2, round_number=1)
         entries = message.entries
-        entries[(0, 1)] = 0
+        with pytest.raises(TypeError):
+            entries[(0, 1)] = 0
         assert (0, 1) not in message
+
+    def test_items_iterates_without_copying(self):
+        message = Message({(0,): 1, (0, 1): 0}, sender=2, round_number=1)
+        assert dict(message.items()) == {(0,): 1, (0, 1): 0}
+        assert sorted(message) == [(0,), (0, 1)]
 
     def test_value_for_known_sequence(self):
         message = Message({(0, 1): 1}, sender=2, round_number=2)
