@@ -1,34 +1,41 @@
-"""Perf — end-to-end wall-clock of the flat-array EIG engine vs the seed engine.
+"""Perf — end-to-end wall-clock of the EIG engines vs the seed engine.
 
 Unlike the table benchmarks (which count abstract units), this benchmark
 measures *interpreter* time: one full ``run_agreement`` per cell, under the
-worst-case equivocating-source adversary, once with the ``"fast"`` engine
-(interned sequences, flat level-major buffers, batched resolve, by-reference
-level messages) and once with the ``"reference"`` engine (the seed's
-dict-of-tuples implementation, kept verbatim as the executable
-specification).
+worst-case equivocating-source adversary, once per engine:
+
+* ``"reference"`` — the seed's dict-of-tuples implementation, kept verbatim
+  as the executable specification (the before/after baseline);
+* ``"fast"`` — interned sequences, flat level-major buffers, batched resolve,
+  by-reference level messages;
+* ``"numpy"`` — the flat layout on small-int code ndarrays with vectorized
+  gathering, per-level ``bincount`` conversions and slot-wise adversary
+  rewrites.  Timed only when numpy is importable (the engine is optional).
 
 Running ``python benchmarks/bench_perf.py`` writes ``BENCH_perf.json`` at the
 repository root with per-cell timings and speedups plus the headline cell
-(Exponential at ``n=13, t=4``), which is the acceptance gate for the engine:
-it must be at least 5× faster end-to-end than the reference.  The perf smoke
-test (``benchmarks/test_perf_smoke.py``) re-checks a small grid against this
-recording.
+(Exponential at ``n=13, t=4``), which carries the acceptance gates: the fast
+engine must be ≥ 5× the reference end-to-end, and the numpy engine ≥ 2× the
+fast engine (hence ≥ 30× the reference).  The perf smoke test
+(``benchmarks/test_perf_smoke.py``) re-checks a small grid against this
+recording.  Use ``--engine`` (repeatable) to time a subset of engines.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import platform
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.algorithm_a import AlgorithmASpec
 from repro.core.algorithm_b import AlgorithmBSpec
 from repro.core.algorithm_c import AlgorithmCSpec
-from repro.core.engine import use_engine
+from repro.core.engine import (ENGINES, numpy_available, use_engine,
+                               validate_engine)
 from repro.core.exponential import ExponentialSpec
 from repro.core.hybrid import HybridSpec
 from repro.core.protocol import ProtocolConfig, ProtocolSpec
@@ -51,12 +58,18 @@ CELLS: List[Tuple[str, type, tuple, List[Tuple[int, int]]]] = [
 ]
 
 
+def default_engines() -> List[str]:
+    """Every engine timeable in this process (numpy only when importable)."""
+    return [engine for engine in ("reference", "fast", "numpy")
+            if engine != "numpy" or numpy_available()]
+
+
 def time_run(spec: ProtocolSpec, n: int, t: int, engine: str,
              repetitions: int = 3) -> Tuple[float, object]:
     """Best-of-*repetitions* wall-clock of one run under *engine*.
 
     Returns ``(seconds, decision_value)`` so callers can cross-check that
-    both engines decided identically.
+    every engine decided identically.
     """
     scenario = worst_case_scenarios(n, t)[0]
     config = ProtocolConfig(n=n, t=t, initial_value=1)
@@ -77,37 +90,53 @@ def time_run(spec: ProtocolSpec, n: int, t: int, engine: str,
     return best, decision
 
 
-def run_benchmark(repetitions: int = 3,
-                  cells=CELLS) -> Dict[str, object]:
-    """Measure every cell under both engines and return the report dict."""
+def _speedup(baseline: Optional[float], candidate: Optional[float]):
+    if baseline is None or candidate is None or candidate <= 0:
+        return None
+    return round(baseline / candidate, 2)
+
+
+def run_benchmark(repetitions: int = 3, cells=CELLS,
+                  engines: Optional[Sequence[str]] = None) -> Dict[str, object]:
+    """Measure every cell under every requested engine and return the report."""
+    engines = list(engines) if engines is not None else default_engines()
     rows: List[Dict[str, object]] = []
     headline: Optional[Dict[str, object]] = None
     for label, spec_cls, args, grid in cells:
         for n, t in grid:
-            spec_fast, spec_ref = spec_cls(*args), spec_cls(*args)
-            fast_s, fast_decision = time_run(spec_fast, n, t, "fast",
-                                             repetitions)
-            ref_s, ref_decision = time_run(spec_ref, n, t, "reference",
-                                           repetitions)
-            if fast_decision != ref_decision:
+            seconds: Dict[str, float] = {}
+            decisions: Dict[str, object] = {}
+            for engine in engines:
+                seconds[engine], decisions[engine] = time_run(
+                    spec_cls(*args), n, t, engine, repetitions)
+            if len(set(decisions.values())) > 1:
                 raise AssertionError(
                     f"{label} at (n={n}, t={t}): engines decided differently "
-                    f"({fast_decision!r} vs {ref_decision!r})")
-            row = {
+                    f"({decisions!r})")
+            reference_s = seconds.get("reference")
+            fast_s = seconds.get("fast")
+            numpy_s = seconds.get("numpy")
+            row: Dict[str, object] = {
                 "protocol": label,
                 "n": n,
                 "t": t,
                 "scenario": worst_case_scenarios(n, t)[0].name,
-                "fast_seconds": round(fast_s, 6),
-                "reference_seconds": round(ref_s, 6),
-                "speedup": round(ref_s / fast_s, 2) if fast_s > 0 else None,
             }
+            for engine in engines:
+                row[f"{engine}_seconds"] = round(seconds[engine], 6)
+            row.update({
+                # "speedup" stays fast-vs-reference: it is the recorded gate
+                # the perf smoke test asserts on.
+                "speedup": _speedup(reference_s, fast_s),
+                "numpy_speedup": _speedup(reference_s, numpy_s),
+                "numpy_vs_fast": _speedup(fast_s, numpy_s),
+            })
             rows.append(row)
             if (label, n, t) == HEADLINE:
                 headline = row
-            print(f"{label:18s} n={n:3d} t={t}  "
-                  f"reference {ref_s:8.3f}s   fast {fast_s:8.3f}s   "
-                  f"speedup {row['speedup']:6.1f}x")
+            timings = "   ".join(f"{engine} {seconds[engine]:8.3f}s"
+                                 for engine in engines)
+            print(f"{label:18s} n={n:3d} t={t}  {timings}")
     report = {
         "benchmark": "bench_perf",
         "description": ("End-to-end run_agreement wall-clock, worst-case "
@@ -115,21 +144,44 @@ def run_benchmark(repetitions: int = 3,
                         f"{repetitions} repetitions per engine."),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        "engines": engines,
         "headline": headline,
         "rows": rows,
     }
     return report
 
 
-def main() -> None:
-    report = run_benchmark()
-    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--engine", action="append", choices=ENGINES,
+                        default=None, dest="engines",
+                        help="engine to time (repeatable; default: every "
+                             "engine available in this process)")
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument("--no-write", action="store_true",
+                        help="print timings without rewriting BENCH_perf.json")
+    args = parser.parse_args(argv)
+    if args.engines:
+        try:
+            for engine in args.engines:
+                validate_engine(engine)
+        except ValueError as exc:
+            parser.error(str(exc))
+    report = run_benchmark(repetitions=args.repetitions, engines=args.engines)
+    if not args.no_write:
+        BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {BENCH_PATH}")
     headline = report["headline"]
-    print(f"\nwrote {BENCH_PATH}")
     if headline is not None:
-        print(f"headline: Exponential n={headline['n']} t={headline['t']} "
-              f"speedup {headline['speedup']}x "
-              f"({'PASS' if headline['speedup'] >= 5 else 'FAIL'} vs the 5x gate)")
+        fast = headline.get("speedup")
+        vs_fast = headline.get("numpy_vs_fast")
+        if fast is not None:
+            print(f"headline: Exponential n={headline['n']} t={headline['t']} "
+                  f"fast speedup {fast}x "
+                  f"({'PASS' if fast >= 5 else 'FAIL'} vs the 5x gate)")
+        if vs_fast is not None:
+            print(f"headline: numpy vs fast {vs_fast}x "
+                  f"({'PASS' if vs_fast >= 2 else 'FAIL'} vs the 2x gate)")
 
 
 if __name__ == "__main__":

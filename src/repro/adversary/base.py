@@ -133,7 +133,18 @@ class ShadowAdversary(Adversary):
     def tamper(self, round_number: int, sender: ProcessorId, dest: ProcessorId,
                message: Message,
                correct_outboxes: Mapping[ProcessorId, Outbox]) -> Message:
-        """Rewrite the shadow's message for one destination (default: no-op)."""
+        """Rewrite the shadow's message for one destination (default: no-op).
+
+        Implementations must return a *new* message (messages are immutable)
+        and should rewrite through the message's slot-wise helpers —
+        :meth:`~repro.runtime.messages.Message.map_values`,
+        :meth:`~repro.runtime.messages.Message.replace_values`,
+        :meth:`~repro.runtime.messages.LevelMessage.map_values_at`,
+        :meth:`~repro.runtime.messages.LevelMessage.with_level_values` — so
+        that a lie about an array-backed level broadcast flips the value
+        buffer directly instead of materialising a per-destination
+        ``{sequence: value}`` dictionary.
+        """
         return message
 
     # -- Adversary API ----------------------------------------------------------

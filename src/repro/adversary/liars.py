@@ -5,6 +5,11 @@ messages.  A consistent liar tells the same lie to everyone (easy to out-vote,
 hard to detect); a random liar injects noise (easy to detect); a two-faced
 liar partitions the correct processors and tells each side a different story
 (the behaviour the agreement lower bounds are built on).
+
+All of them rewrite through the message's own slot-wise helpers
+(:meth:`~repro.runtime.messages.Message.map_values` and friends), so a lie
+about an array-backed level broadcast flips the value buffer directly instead
+of materialising a ``{sequence: value}`` dictionary per destination.
 """
 
 from __future__ import annotations
@@ -13,16 +18,28 @@ from typing import Mapping
 
 from ..core.sequences import ProcessorId
 from ..core.values import DEFAULT_VALUE, Value
-from ..runtime.messages import Message, Outbox
+from ..runtime.messages import LevelMessage, Message, Outbox
 from .base import ShadowAdversary
 
 
 def another_value(value: Value, domain) -> Value:
-    """A domain element different from *value* (the "lie" about it)."""
+    """A domain element different from *value* (the "lie" about it).
+
+    Raises :class:`ValueError` when no such element exists (a degenerate
+    domain whose only element is *value*): silently returning the original
+    value would turn every lying adversary into a benign one, which is a
+    configuration error, not a strategy.  :class:`ProtocolConfig` rejects
+    domains with fewer than two distinct elements, so the raise is
+    unreachable from a simulation; the contract matters for direct users of
+    the adversary toolbox — and it is preserved verbatim by the slot-wise
+    rewrite paths, which apply this function per (distinct) buffered value.
+    """
     for candidate in domain:
         if candidate != value:
             return candidate
-    return value
+    raise ValueError(
+        f"domain {tuple(domain)!r} has no element different from {value!r}; "
+        f"a lying adversary needs at least two values to choose from")
 
 
 class ConsistentLiarAdversary(ShadowAdversary):
@@ -41,9 +58,7 @@ class ConsistentLiarAdversary(ShadowAdversary):
                message: Message,
                correct_outboxes: Mapping[ProcessorId, Outbox]) -> Message:
         domain = self._require_context().config.domain
-        flipped = {seq: another_value(value, domain)
-                   for seq, value in message.items()}
-        return message.with_entries(flipped)
+        return message.map_values(lambda value: another_value(value, domain))
 
 
 class RandomLiarAdversary(ShadowAdversary):
@@ -61,6 +76,13 @@ class RandomLiarAdversary(ShadowAdversary):
                message: Message,
                correct_outboxes: Mapping[ProcessorId, Outbox]) -> Message:
         domain = self._require_context().config.domain
+        if isinstance(message, LevelMessage):
+            # One rng draw per entry, in node-id order — the same draw
+            # sequence as the dict path below (dict order is node-id order),
+            # so executions are seed-reproducible across engines.
+            noise = [self.rng.choice(domain)
+                     for _ in range(message.entry_count())]
+            return message.with_level_values(noise)
         noisy = {seq: self.rng.choice(domain)
                  for seq in message.sequences()}
         return message.with_entries(noisy)
@@ -84,9 +106,7 @@ class TwoFacedAdversary(ShadowAdversary):
         domain = self._require_context().config.domain
         if dest % 2 == 0:
             return message
-        flipped = {seq: another_value(value, domain)
-                   for seq, value in message.items()}
-        return message.with_entries(flipped)
+        return message.map_values(lambda value: another_value(value, domain))
 
 
 class EchoSuppressorAdversary(ShadowAdversary):
@@ -104,5 +124,4 @@ class EchoSuppressorAdversary(ShadowAdversary):
     def tamper(self, round_number: int, sender: ProcessorId, dest: ProcessorId,
                message: Message,
                correct_outboxes: Mapping[ProcessorId, Outbox]) -> Message:
-        zeros = {seq: DEFAULT_VALUE for seq in message.sequences()}
-        return message.with_entries(zeros)
+        return message.replace_values(DEFAULT_VALUE)

@@ -38,9 +38,7 @@ class TwoFacedSourceAdversary(ShadowAdversary):
         if dest % 2 == 0:
             return message
         domain = context.config.domain
-        flipped = {seq: another_value(value, domain)
-                   for seq, value in message.items()}
-        return message.with_entries(flipped)
+        return message.map_values(lambda value: another_value(value, domain))
 
 
 class EquivocatingSourceWithAlliesAdversary(ShadowAdversary):
@@ -71,14 +69,12 @@ class EquivocatingSourceWithAlliesAdversary(ShadowAdversary):
         if sender == source:
             if round_number != 1:
                 return message
-            flipped = {seq: self._side_value(dest, value)
-                       for seq, value in message.items()}
-            return message.with_entries(flipped)
-        # Accomplices: bias every relayed entry toward the destination's side.
-        initial = context.config.initial_value
-        biased = {seq: self._side_value(dest, initial)
-                  for seq in message.sequences()}
-        return message.with_entries(biased)
+            return message.map_values(
+                lambda value: self._side_value(dest, value))
+        # Accomplices: bias every relayed entry toward the destination's side
+        # (a constant per destination, so the slot-wise rewrite is one fill).
+        return message.replace_values(
+            self._side_value(dest, context.config.initial_value))
 
 
 class DelayedEquivocationAdversary(ShadowAdversary):
@@ -107,6 +103,4 @@ class DelayedEquivocationAdversary(ShadowAdversary):
         domain = context.config.domain
         if dest % 2 == 0:
             return message
-        flipped = {seq: another_value(value, domain)
-                   for seq, value in message.items()}
-        return message.with_entries(flipped)
+        return message.map_values(lambda value: another_value(value, domain))

@@ -10,11 +10,11 @@ Fault Discovery Rule has as little to work with as possible.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Dict, List, Mapping, Tuple
 
-from ..core.sequences import ProcessorId
+from ..core.sequences import ProcessorId, SequenceIndex
 from ..core.values import Value
-from ..runtime.messages import Message, Outbox
+from ..runtime.messages import LevelMessage, Message, Outbox
 from .base import ShadowAdversary
 from .liars import another_value
 
@@ -29,9 +29,38 @@ class StealthPathAdversary(ShadowAdversary):
     commonness (the Correctness Lemma), these all-faulty paths are exactly the
     places where disagreement can survive a conversion — and exactly the nodes
     the Hidden Fault Lemma reasons about.
+
+    The all-faulty node-ids of a level depend only on the tree shape and the
+    faulty set, so they are computed once per ``(index, level)`` and reused by
+    the slot-wise rewrite of every level broadcast — the dict walk survives
+    only for round-1-style explicit messages.
     """
 
     name = "stealth-path"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: (index identity, level) -> node-ids whose path is entirely faulty
+        self._all_faulty_ids: Dict[Tuple[int, int], List[int]] = {}
+
+    def bind(self, context) -> None:
+        # The cached ids depend on the bound faulty set (and SequenceIndex
+        # objects are interned per shape, so id() keys survive across runs);
+        # re-binding to a new execution must start from an empty cache.
+        super().bind(context)
+        self._all_faulty_ids.clear()
+
+    def _all_faulty_node_ids(self, index: SequenceIndex,
+                             level: int) -> List[int]:
+        key = (id(index), level)
+        ids = self._all_faulty_ids.get(key)
+        if ids is None:
+            faulty = self._require_context().faulty
+            ids = [node_id
+                   for node_id, seq in enumerate(index.sequences(level))
+                   if all(pid in faulty for pid in seq)]
+            self._all_faulty_ids[key] = ids
+        return ids
 
     def tamper(self, round_number: int, sender: ProcessorId, dest: ProcessorId,
                message: Message,
@@ -39,11 +68,16 @@ class StealthPathAdversary(ShadowAdversary):
         context = self._require_context()
         faulty = context.faulty
         domain = context.config.domain
-        entries = message.items()
+        if dest % 2 == 0:
+            return message
+        if isinstance(message, LevelMessage):
+            ids = self._all_faulty_node_ids(message.index, message.level)
+            return message.map_values_at(
+                ids, lambda value: another_value(value, domain))
         tampered = {}
-        for seq, value in entries:
+        for seq, value in message.items():
             path_all_faulty = all(pid in faulty for pid in seq)
-            if path_all_faulty and dest % 2 == 1:
+            if path_all_faulty:
                 tampered[seq] = another_value(value, domain)
             else:
                 tampered[seq] = value
@@ -83,6 +117,4 @@ class MinimalExposureAdversary(ShadowAdversary):
         domain = context.config.domain
         if dest % 2 == 0:
             return message
-        flipped = {seq: another_value(value, domain)
-                   for seq, value in message.items()}
-        return message.with_entries(flipped)
+        return message.map_values(lambda value: another_value(value, domain))

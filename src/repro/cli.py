@@ -22,6 +22,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -31,6 +32,7 @@ from .baselines import DolevStrongSpec, PeaseShostakLamportSpec, PhaseKingSpec
 from .core.algorithm_a import AlgorithmASpec
 from .core.algorithm_b import AlgorithmBSpec
 from .core.algorithm_c import AlgorithmCSpec
+from .core.engine import ENGINES, set_default_engine
 from .core.exponential import ExponentialSpec
 from .core.hybrid import HybridSpec
 from .core.protocol import ProtocolConfig, ProtocolSpec
@@ -74,16 +76,39 @@ def _parser() -> argparse.ArgumentParser:
     run.add_argument("--adversary", default="equivocating-source-allies",
                      choices=sorted(adversary_registry()))
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--engine", choices=ENGINES, default=None,
+                     help="EIG engine: numpy (vectorized, needs numpy), "
+                          "fast (default), or reference (the oracle)")
 
     experiments = sub.add_parser("experiments",
                                  help="regenerate the paper's tables and figures")
     experiments.add_argument("--scale", choices=("small", "paper"), default="small")
     experiments.add_argument("--only", nargs="*", default=None,
                              help="experiment ids to include (e.g. E1 E8)")
+    experiments.add_argument("--engine", choices=ENGINES, default=None,
+                             help="EIG engine used by every execution "
+                                  "(propagated to parallel workers)")
     return parser
 
 
+def _select_engine(engine: Optional[str]) -> None:
+    """Install *engine* as the process default and export it for workers.
+
+    Setting ``REPRO_EIG_ENGINE`` alongside the in-process default is what
+    carries the choice into the parallel experiment runner's process pool
+    (worker initialisers re-read the environment on spawn).
+    """
+    if engine is None:
+        return
+    try:
+        set_default_engine(engine)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    os.environ["REPRO_EIG_ENGINE"] = engine
+
+
 def _command_run(args: argparse.Namespace) -> int:
+    _select_engine(args.engine)
     spec = build_spec(args.protocol, args.b)
     config = ProtocolConfig(n=args.n, t=args.t, initial_value=args.value)
     fault_count = args.faults if args.faults is not None else args.t
@@ -98,6 +123,7 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_experiments(args: argparse.Namespace) -> int:
+    _select_engine(args.engine)
     tables = run_all_experiments(scale=args.scale)
     wanted = None
     if args.only:

@@ -11,8 +11,8 @@ from .algorithm_b import (AlgorithmBSpec, algorithm_b_blocks,
 from .algorithm_c import (AlgorithmCProcessor, AlgorithmCSpec,
                           algorithm_c_max_message_entries, algorithm_c_resilience,
                           algorithm_c_rounds)
-from .engine import (get_default_engine, set_default_engine, use_engine,
-                     validate_engine)
+from .engine import (available_engines, get_default_engine, numpy_available,
+                     set_default_engine, use_engine, validate_engine)
 from .exponential import (ExponentialSpec, exponential_max_message_entries,
                           exponential_resilience, exponential_rounds,
                           exponential_schedule)
@@ -29,7 +29,8 @@ from .sequences import (LabelSequence, ProcessorId, SequenceIndex,
                         sequences_of_length)
 from .shifting import Segment, ShiftSchedule, ShiftingEIGProcessor
 from .tree import (FlatEIGTree, FlatRepetitionTree, InfoGatheringTree,
-                   RepetitionTree, make_tree)
+                   NumpyEIGTree, NumpyRepetitionTree, RepetitionTree,
+                   make_tree)
 from .values import BOTTOM, DEFAULT_VALUE, Value, coerce_value, default_domain, is_bottom
 
 __all__ = [
@@ -39,10 +40,11 @@ __all__ = [
     "sequences_of_length", "count_sequences_of_length",
     # engines
     "get_default_engine", "set_default_engine", "use_engine", "validate_engine",
+    "available_engines", "numpy_available",
     "SequenceIndex", "sequence_index",
     # trees & conversions
     "InfoGatheringTree", "RepetitionTree", "FlatEIGTree", "FlatRepetitionTree",
-    "make_tree",
+    "NumpyEIGTree", "NumpyRepetitionTree", "make_tree",
     "resolve", "resolve_prime", "make_resolve_prime", "resolve_all",
     # discovery & masking
     "FaultTracker", "discover_at_level", "discover_during_conversion",

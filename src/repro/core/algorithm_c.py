@@ -41,17 +41,18 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from .engine import validate_engine
+from .engine import FAST, NUMPY, validate_engine
 from .fault_discovery import FaultTracker, window_majority
-from .fault_masking import discover_and_mask, gather_level_flat, mask_inbox
+from .fault_masking import (discover_and_mask, gather_level_flat,
+                            gather_level_numpy, mask_inbox)
 from .protocol import AgreementProtocol, ProtocolConfig, ProtocolSpec
-from .resolve import flat_resolve_levels, resolve
+from .resolve import flat_resolve_levels, numpy_resolve_root, resolve
 from .sequences import LabelSequence, ProcessorId
 from .tree import make_tree
 from .values import DEFAULT_VALUE, Value, coerce_value, is_bottom
 from ..runtime.errors import ConfigurationError
-from ..runtime.messages import (Inbox, LevelMessage, Message, Outbox,
-                                broadcast, broadcast_message)
+from ..runtime.messages import (Inbox, Message, Outbox, broadcast,
+                                broadcast_message)
 
 
 def algorithm_c_resilience(n: int) -> int:
@@ -104,7 +105,9 @@ class AlgorithmCProcessor(AgreementProtocol):
             raise ConfigurationError(
                 f"Algorithm C needs at least two rounds (got last_round={self.last_round})")
         self.engine = validate_engine(engine)
-        self._fast = self.engine == "fast"
+        self._fast = self.engine == FAST
+        self._numpy = self.engine == NUMPY
+        self._array_backed = self._fast or self._numpy
         self.tree = make_tree(config.source, config.processors, self.engine,
                               repetitions=True)
         self._domain_set = frozenset(v for v in config.domain
@@ -135,9 +138,8 @@ class AlgorithmCProcessor(AgreementProtocol):
             return {}
         if round_number == 2:
             entries = {self.tree.root: self.tree.root_value()}
-        elif self._fast:
-            message = LevelMessage(self.tree.index, 2, self.tree.raw_level(2),
-                                   self.pid, round_number)
+        elif self._array_backed:
+            message = self.tree.level_message(2, self.pid, round_number)
             return broadcast_message(message, self.config.processors)
         else:
             entries = self.tree.level(2)
@@ -193,27 +195,29 @@ class AlgorithmCProcessor(AgreementProtocol):
 
     def _grow_level(self, level: int, inbox: Inbox) -> None:
         """Populate *level* from the round's inbox (engine-dispatched)."""
-        if self._fast:
-            self._gather_level_fast(level, inbox)
+        if self._array_backed:
+            self._gather_level_array(level, inbox)
         else:
             masked = mask_inbox(inbox, self.tracker.suspects)
             self.tree.grow_level(
                 level, lambda parent, child: self._claim(masked, parent, child))
 
-    def _gather_level_fast(self, level: int, inbox: Inbox) -> None:
-        """Flat-buffer gathering via
-        :func:`~repro.core.fault_masking.gather_level_flat`.  The special
-        labels mirror :meth:`_claim`: the processor's own children and the
-        silent source's children echo its own stored values, and once the
+    def _gather_level_array(self, level: int, inbox: Inbox) -> None:
+        """Array-buffer gathering via
+        :func:`~repro.core.fault_masking.gather_level_flat` or its ndarray
+        twin :func:`~repro.core.fault_masking.gather_level_numpy`.  The
+        special labels mirror :meth:`_claim`: the processor's own children and
+        the silent source's children echo its own stored values, and once the
         source is in ``L_p`` its substitution is masked to the default."""
         source = self.config.source
         if source in self.tracker:
             echo_labels, masked_labels = (self.pid,), (source,)
         else:
             echo_labels, masked_labels = (self.pid, source), ()
-        gather_level_flat(self.tree, level, inbox, self.tracker,
-                          self._domain_set, echo_labels=echo_labels,
-                          masked_labels=masked_labels)
+        gather = gather_level_numpy if self._numpy else gather_level_flat
+        gather(self.tree, level, inbox, self.tracker,
+               self._domain_set, echo_labels=echo_labels,
+               masked_labels=masked_labels)
 
     def _gather_intermediate(self, round_number: int, inbox: Inbox) -> None:
         """Round 2: populate the intermediate vertices ``sq`` and discover faults."""
@@ -229,7 +233,9 @@ class AlgorithmCProcessor(AgreementProtocol):
         if newly:
             self.discovery_log[round_number] = len(newly)
         self.tree.reorder_leaves()
-        if self._fast:
+        if self._numpy:
+            self._convert_intermediate_numpy()
+        elif self._fast:
             self._convert_intermediate_fast()
         else:
             self.tree.convert_intermediate(lambda seq: resolve(self.tree, seq))
@@ -253,6 +259,25 @@ class AlgorithmCProcessor(AgreementProtocol):
         tree.replace_level(2, new_level2)
         tree.truncate_to_level(2)
 
+    def _convert_intermediate_numpy(self) -> None:
+        """``shift_{3→2}`` over the code ndarrays: one ``bincount`` majority
+        vote over the ``n × n`` leaf matrix replaces the per-vertex windows
+        (identical semantics and meter parity with the flat fast path)."""
+        from .npsupport import (DEFAULT_CODE, VALUE_CODEC, require_numpy,
+                                strict_majority, vote_windows, window_tallies)
+        np = require_numpy()
+        tree = self.tree
+        n = self.config.n
+        leaves = tree.raw_level(3)
+        tallies = window_tallies(vote_windows(leaves, n, n),
+                                 len(VALUE_CODEC))
+        best, has_majority = strict_majority(tallies, n)
+        new_level2 = np.where(has_majority, best,
+                              DEFAULT_CODE).astype(leaves.dtype)
+        tree.meter.charge(3 * n * n)
+        tree.replace_level(2, new_level2)
+        tree.truncate_to_level(2)
+
     def _finish(self) -> None:
         """``shift_{2→1}``: the decision is ``resolve(s)`` over the 2-level tree."""
         decision = self._current_preference()
@@ -263,6 +288,8 @@ class AlgorithmCProcessor(AgreementProtocol):
         """The value ``resolve(s)`` *would* return now (the paper's "preferred
         value at the end of round k"); the algorithm does not act on it except
         at the very end, but experiments track it to observe persistence."""
+        if self._numpy:
+            return numpy_resolve_root(self.tree, "resolve", self.config.t)
         if self._fast:
             return flat_resolve_levels(self.tree, "resolve",
                                        self.config.t)[0][0]

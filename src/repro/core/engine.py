@@ -1,15 +1,23 @@
-"""EIG engine selection: the flat-array fast engine vs the dict reference.
+"""EIG engine selection: flat-array fast, vectorized numpy, and dict reference.
 
-The package ships two interchangeable implementations of the Exponential
+The package ships three interchangeable implementations of the Exponential
 Information Gathering substrate:
 
 * ``"fast"`` — interned label sequences (dense integer node-ids), flat
   level-major value buffers, a single bottom-up conversion pass with inlined
   majority counting, and by-reference level-slice messages.  This is the
-  default engine; it exists purely for speed.
+  default engine; it has no dependencies and exists purely for speed.
+* ``"numpy"`` — the same flat layout with the level buffers stored as
+  small-integer ndarrays: gathering is fancy-indexed assignment over the
+  interned ``(slots, parents)`` tables, and ``resolve`` / ``resolve'`` / the
+  Fault Discovery Rule are one vectorized ``bincount`` majority vote per level
+  over a ``(parents, branch)`` reshape.  **Optional**: it registers only when
+  numpy is importable (:func:`numpy_available`); selecting it without numpy
+  raises, and an environment request for it degrades to ``"fast"`` with a
+  warning.
 * ``"reference"`` — the original ``Dict[LabelSequence, Value]`` trees with the
   recursive-specification conversion functions.  It is kept verbatim as the
-  executable specification: property tests assert that both engines produce
+  executable specification: property tests assert that all engines produce
   identical decisions, discoveries and conversions, and the perf benchmarks
   use it as the before/after baseline.
 
@@ -17,25 +25,61 @@ The engine is chosen per processor at construction time.  The default can be
 set process-wide (:func:`set_default_engine`), temporarily
 (:func:`use_engine`), or via the ``REPRO_EIG_ENGINE`` environment variable —
 the latter is how the parallel experiment runner propagates the choice to its
-worker processes.
+worker processes.  An invalid environment value is **not** silently accepted:
+it falls back to ``"fast"`` and emits a :class:`RuntimeWarning` naming both
+the bad value and the fallback.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Tuple
 
 FAST = "fast"
+NUMPY = "numpy"
 REFERENCE = "reference"
 
-ENGINES = (FAST, REFERENCE)
+ENGINES = (FAST, NUMPY, REFERENCE)
 
 _ENV_VAR = "REPRO_EIG_ENGINE"
 
-_default_engine = os.environ.get(_ENV_VAR, FAST)
-if _default_engine not in ENGINES:  # pragma: no cover - env misconfiguration
-    _default_engine = FAST
+
+def numpy_available() -> bool:
+    """Whether the ``"numpy"`` engine is registered (numpy importable)."""
+    from .npsupport import have_numpy
+    return have_numpy()
+
+
+def available_engines() -> Tuple[str, ...]:
+    """The engines that can actually be selected in this process."""
+    if numpy_available():
+        return ENGINES
+    return (FAST, REFERENCE)
+
+
+def _engine_from_environment() -> str:
+    """Resolve the process default from ``REPRO_EIG_ENGINE`` (warn, never raise)."""
+    requested = os.environ.get(_ENV_VAR)
+    if requested is None or requested == FAST:
+        return FAST
+    if requested not in ENGINES:
+        warnings.warn(
+            f"ignoring invalid {_ENV_VAR}={requested!r} (expected one of "
+            f"{ENGINES}); falling back to the {FAST!r} engine",
+            RuntimeWarning, stacklevel=3)
+        return FAST
+    if requested == NUMPY and not numpy_available():
+        warnings.warn(
+            f"{_ENV_VAR}={NUMPY!r} requested but numpy is not installed; "
+            f"falling back to the {FAST!r} engine",
+            RuntimeWarning, stacklevel=3)
+        return FAST
+    return requested
+
+
+_default_engine = _engine_from_environment()
 
 
 def get_default_engine() -> str:
@@ -44,17 +88,25 @@ def get_default_engine() -> str:
 
 
 def set_default_engine(engine: str) -> None:
-    """Set the process-wide default engine (``"fast"`` or ``"reference"``)."""
+    """Set the process-wide default engine (one of :data:`ENGINES`)."""
     global _default_engine
     _default_engine = validate_engine(engine)
 
 
 def validate_engine(engine: Optional[str]) -> str:
-    """Normalise an engine name, substituting the default for ``None``."""
+    """Normalise an engine name, substituting the default for ``None``.
+
+    Raises :class:`ValueError` for unknown names and for ``"numpy"`` when
+    numpy is not installed (the engine stays strictly optional).
+    """
     if engine is None:
         return _default_engine
     if engine not in ENGINES:
         raise ValueError(f"unknown EIG engine {engine!r}; expected one of {ENGINES}")
+    if engine == NUMPY and not numpy_available():
+        raise ValueError(
+            f"EIG engine {NUMPY!r} requires numpy, which is not installed; "
+            f"available engines: {available_engines()}")
     return engine
 
 

@@ -170,6 +170,128 @@ def discover_at_level_flat(tree: FlatEIGTree, level: int,
     return discovered
 
 
+# ---------------------------------------------------------------------------
+# The numpy engine's discovery: one bincount majority vote per level
+# ---------------------------------------------------------------------------
+
+def _window_triggers_numpy(np, child_codes, parents_size: int, branch: int,
+                           child_labels, suspects: Set[ProcessorId],
+                           budget: int, n: int, num_codes: int):
+    """Per-parent boolean: does the Fault Discovery Rule fire on this window?
+
+    One ``bincount`` over offset codes tallies every parent's child window at
+    once; a window triggers when no code holds a strict majority of the
+    branch, or when more than *budget* children outside *suspects* deviate
+    from the majority.  (A strict majority is unique, so the argmax tie-break
+    never matters.)
+    """
+    from .npsupport import strict_majority, vote_windows, window_tallies
+    mat = vote_windows(child_codes, parents_size, branch)
+    best, has_majority = strict_majority(window_tallies(mat, num_codes),
+                                         branch)
+    suspect_lut = np.zeros(n, dtype=bool)
+    if suspects:
+        suspect_lut[list(suspects)] = True
+    unlisted = ~suspect_lut[child_labels.reshape(parents_size, branch)]
+    deviating = ((mat != best[:, None]) & unlisted).sum(axis=1)
+    return ~has_majority | (deviating > budget)
+
+
+def _charge_examined_parents(triggers, ids, discovered: Set[ProcessorId],
+                             label: ProcessorId) -> int:
+    """Replicate the reference pass's early-skip accounting for one label.
+
+    The reference scans parents in node-id order and skips a parent once its
+    corresponding processor is already discovered, so for each label only the
+    parents up to (and including) the first triggering one are examined —
+    i.e. charged.  *ids* must be ascending (the index tables are built in
+    node-id order).  Returns the examined count; updates *discovered*.
+    """
+    fired = triggers[ids]
+    if fired.any():
+        first = ids[int(fired.argmax())]
+        discovered.add(int(label))
+        return int((ids <= first).sum())
+    return int(ids.size)
+
+
+def discover_at_level_numpy(tree, level: int,
+                            suspects: Set[ProcessorId], t: int,
+                            meter: ComputationMeter = None) -> Set[ProcessorId]:
+    """ndarray counterpart of :func:`discover_at_level_flat`.
+
+    One vectorized majority vote over the ``(parents, branch)`` reshape of the
+    level's code buffer replaces the per-node Python loop; only the
+    charge bookkeeping (a loop over the ≤ n sender labels) stays scalar.
+    Decisions, discoveries and meter totals are identical to both other
+    engines.
+    """
+    from .npsupport import (DEFAULT_CODE, MISSING_CODE, VALUE_CODEC,
+                            require_numpy)
+    np = require_numpy()
+    discovered: Set[ProcessorId] = set()
+    if level < 2 or level > tree.num_levels:
+        return discovered
+    index = tree.index
+    child_codes = tree.raw_level(level)
+    parent_codes = tree.raw_level(level - 1)
+    branch = index.branch(level - 1)
+    parents_size = index.level_size(level - 1)
+    budget = t - len(suspects)
+    cleaned = np.where(child_codes == MISSING_CODE, DEFAULT_CODE, child_codes)
+    triggers = _window_triggers_numpy(
+        np, cleaned, parents_size, branch, index.last_labels_np(level),
+        suspects, budget, tree.n, len(VALUE_CODEC))
+    present = parent_codes != MISSING_CODE
+    charge = 0
+    for label, ids in index.ids_by_label_np(level - 1).items():
+        if label in suspects:
+            continue
+        ids_present = ids[present[ids]]
+        if ids_present.size == 0:
+            continue
+        charge += 2 * branch * _charge_examined_parents(
+            triggers, ids_present, discovered, label)
+    if meter is not None:
+        meter.charge(charge)
+    return discovered
+
+
+def discover_during_conversion_numpy(index: SequenceIndex,
+                                     converted_levels,
+                                     num_levels: int,
+                                     suspects: Set[ProcessorId], t: int,
+                                     meter: ComputationMeter = None
+                                     ) -> Set[ProcessorId]:
+    """ndarray counterpart of :func:`discover_during_conversion_flat`.
+
+    ``converted_levels`` is the output of
+    :func:`repro.core.resolve.numpy_resolve_levels` (code arrays).  A label
+    discovered at one level is skipped — and not charged — at every deeper
+    level, exactly like the scalar passes.
+    """
+    from .npsupport import VALUE_CODEC, require_numpy
+    np = require_numpy()
+    discovered: Set[ProcessorId] = set()
+    budget = t - len(suspects)
+    charge = 0
+    for level in range(1, num_levels):
+        branch = index.branch(level)
+        parents_size = index.level_size(level)
+        triggers = _window_triggers_numpy(
+            np, converted_levels[level], parents_size, branch,
+            index.last_labels_np(level + 1), suspects, budget,
+            index.n, len(VALUE_CODEC))
+        for label, ids in index.ids_by_label_np(level).items():
+            if label in suspects or label in discovered:
+                continue
+            charge += branch * _charge_examined_parents(
+                triggers, ids, discovered, label)
+    if meter is not None:
+        meter.charge(charge)
+    return discovered
+
+
 def discover_during_conversion_flat(index: SequenceIndex,
                                     converted_levels: List[List[Value]],
                                     num_levels: int,

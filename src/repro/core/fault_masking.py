@@ -24,11 +24,13 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Set
 
 from .fault_discovery import (FaultTracker, discover_at_level,
-                              discover_at_level_flat)
+                              discover_at_level_flat,
+                              discover_at_level_numpy)
 from .sequences import ProcessorId
-from .tree import MISSING, FlatEIGTree, InfoGatheringTree
+from .tree import MISSING, FlatEIGTree, InfoGatheringTree, NumpyEIGTree
 from .values import DEFAULT_VALUE, Value
-from ..runtime.messages import Inbox, LevelMessage, Message
+from ..runtime.messages import (Inbox, LevelMessage, Message,
+                                NumpyLevelMessage)
 
 
 def mask_inbox(inbox: Inbox, suspects: Set[ProcessorId],
@@ -77,6 +79,9 @@ def discover_and_mask(tree: InfoGatheringTree, level: int,
     meter accounting (discovery scans the level slice in place; masking
     rewrites exactly the slots of the freshly discovered senders).
     """
+    if isinstance(tree, NumpyEIGTree):
+        return _discover_and_mask_numpy(tree, level, tracker, round_number,
+                                        masked_value)
     if isinstance(tree, FlatEIGTree):
         return _discover_and_mask_flat(tree, level, tracker, round_number,
                                        masked_value)
@@ -122,6 +127,100 @@ def _discover_and_mask_flat(tree: FlatEIGTree, level: int,
                     rewritten += 1
         tree.meter.charge(rewritten)
     return newly_discovered
+
+
+def _discover_and_mask_numpy(tree: NumpyEIGTree, level: int,
+                             tracker: FaultTracker, round_number: int,
+                             masked_value: Value = DEFAULT_VALUE
+                             ) -> Set[ProcessorId]:
+    """Fixpoint of vectorized discovery and fancy-indexed slot masking."""
+    from .npsupport import MISSING_CODE, VALUE_CODEC
+    newly_discovered: Set[ProcessorId] = set()
+    if level < 2 or level > tree.num_levels:
+        return newly_discovered
+    buffer = tree.raw_level(level)
+    slots_table = tree.index.slots_np(level)
+    masked_code = VALUE_CODEC.code(masked_value)
+    while True:
+        fresh = discover_at_level_numpy(tree, level, tracker.suspects,
+                                        tracker.t, meter=tree.meter)
+        fresh = {pid for pid in fresh if pid not in tracker}
+        if not fresh:
+            break
+        tracker.add_all(fresh, round_number)
+        newly_discovered |= fresh
+        rewritten = 0
+        for pid in fresh:
+            entry = slots_table.get(pid)
+            if entry is None:
+                continue
+            slots = entry[0]
+            stored = slots[buffer[slots] != MISSING_CODE]
+            buffer[stored] = masked_code
+            rewritten += int(stored.size)
+        tree.meter.charge(rewritten)
+    return newly_discovered
+
+
+def gather_level_numpy(tree: NumpyEIGTree, level: int, inbox: Inbox,
+                       tracker: FaultTracker,
+                       domain_set: FrozenSet[Value],
+                       echo_labels: Iterable[ProcessorId],
+                       masked_labels: Iterable[ProcessorId] = ()) -> None:
+    """ndarray counterpart of :func:`gather_level_flat`.
+
+    One fancy-indexed assignment per sender label over the interned
+    ``(slots, parents)`` ndarrays replaces the per-sender zip-copies: an
+    aligned :class:`~repro.runtime.messages.NumpyLevelMessage` contributes
+    ``new[slots] = message_codes[parents]`` filtered through a code-level
+    domain mask, echoes copy the processor's own previous level the same way,
+    and everything else (suspects, masked labels, missing messages,
+    out-of-domain entries) collapses into the preinitialised default — the
+    identical Fault Masking / default-substitution semantics, with identical
+    meter charges.
+    """
+    from .npsupport import MISSING_CODE, VALUE_CODEC, require_numpy
+    np = require_numpy()
+    index = tree.index
+    previous = tree.raw_level(level - 1)
+    new_level = np.full(index.level_size(level),
+                        VALUE_CODEC.code(DEFAULT_VALUE),
+                        dtype=previous.dtype)
+    echo_labels = set(echo_labels)
+    masked_labels = set(masked_labels)
+    domain_mask = VALUE_CODEC.domain_mask(domain_set)
+    previous_sequences = None
+    for label, (slots, parents) in index.slots_np(level).items():
+        if label in masked_labels:
+            continue
+        if label in echo_labels:
+            values = previous[parents]
+            keep = values != MISSING_CODE
+            new_level[slots[keep]] = values[keep]
+            tree.meter.charge(len(slots))
+            continue
+        if label in tracker:
+            continue  # masked sender: every claim becomes the default
+        message = inbox.get(label)
+        if message is None:
+            continue
+        if isinstance(message, NumpyLevelMessage) and message.matches(
+                index, level - 1):
+            source_codes = message.level_codes()
+            values = source_codes[parents]
+            keep = domain_mask[values]
+            new_level[slots[keep]] = values[keep]
+            continue
+        # Foreign layout (round-1 style, adversary-built, or cross-engine
+        # message): fall back to per-entry lookup with domain coercion.
+        if previous_sequences is None:
+            previous_sequences = index.sequences(level - 1)
+        code_of = VALUE_CODEC.code
+        for slot, parent_id in zip(slots.tolist(), parents.tolist()):
+            value = message.value_for(previous_sequences[parent_id])
+            if value in domain_set:
+                new_level[slot] = code_of(value)
+    tree.append_level(new_level)
 
 
 def gather_level_flat(tree: FlatEIGTree, level: int, inbox: Inbox,

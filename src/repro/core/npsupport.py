@@ -1,0 +1,190 @@
+"""Optional-numpy support: lazy import plus the shared value↔code codec.
+
+The ``"numpy"`` EIG engine stores tree levels as small-integer ndarrays.  Two
+pieces of shared infrastructure live here so that every other module can stay
+import-clean when numpy is absent:
+
+* **Lazy numpy access.**  :func:`get_numpy` imports numpy at most once and
+  caches the result (``None`` when unavailable); :func:`have_numpy` and
+  :func:`require_numpy` are the gate used by the engine registry and by the
+  numpy code paths.  Importing :mod:`repro` never imports numpy — only
+  selecting the ``"numpy"`` engine does.
+
+* **The value codec.**  Protocol values are arbitrary hashable objects (ints
+  in every example), so the ndarray buffers hold dense integer *codes* instead
+  of the values themselves.  One process-wide :class:`ValueCodec` interns
+  values in first-seen order, which makes codes *globally consistent*: a
+  receiver can copy a sender's code buffer by fancy indexing without any
+  translation, because both trees read and write the same table.  Three codes
+  are fixed by construction:
+
+  - :data:`MISSING_CODE` (0) — an absent node (the ndarray twin of the flat
+    engine's ``MISSING`` sentinel; never visible through the public tree API);
+  - :data:`DEFAULT_CODE` (1) — :data:`~repro.core.values.DEFAULT_VALUE`;
+  - :data:`BOTTOM_CODE` (2) — :data:`~repro.core.values.BOTTOM` (appears only
+    in ``resolve'`` scratch buffers, never inside a tree).
+
+  The codec is append-only and tiny (one entry per distinct value ever stored
+  in any tree of the process — domains have a handful of elements), so it is
+  shared rather than per-tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from .values import BOTTOM, DEFAULT_VALUE, Value
+
+_NUMPY = None
+_NUMPY_CHECKED = False
+
+
+def get_numpy():
+    """The numpy module, or ``None`` when it is not installed (cached)."""
+    global _NUMPY, _NUMPY_CHECKED
+    if not _NUMPY_CHECKED:
+        _NUMPY_CHECKED = True
+        try:
+            import numpy
+        except ImportError:  # pragma: no cover - exercised on bare images
+            numpy = None
+        _NUMPY = numpy
+    return _NUMPY
+
+
+def have_numpy() -> bool:
+    """``True`` iff numpy can be imported (the ``"numpy"`` engine gate)."""
+    return get_numpy() is not None
+
+
+def require_numpy():
+    """Numpy, or a clear error pointing at the engine gate."""
+    numpy = get_numpy()
+    if numpy is None:
+        raise RuntimeError(
+            "the 'numpy' EIG engine requires numpy, which is not installed; "
+            "use the 'fast' engine (the no-dependency default) instead")
+    return numpy
+
+
+#: Code of an absent node in an ndarray level buffer.
+MISSING_CODE = 0
+#: Code of :data:`~repro.core.values.DEFAULT_VALUE`.
+DEFAULT_CODE = 1
+#: Code of the ``⊥`` sentinel (conversion scratch only, never stored).
+BOTTOM_CODE = 2
+
+#: dtype of every code buffer.  int32 leaves the offset arithmetic of the
+#: per-level ``bincount`` majority votes comfortably inside the dtype while
+#: staying 16× smaller than object pointers.
+CODE_DTYPE_NAME = "int32"
+
+
+class ValueCodec:
+    """Append-only interning table between protocol values and integer codes."""
+
+    __slots__ = ("_code_of", "_value_of")
+
+    def __init__(self) -> None:
+        self._code_of: Dict[Value, int] = {}
+        # Slot 0 is reserved for MISSING and never maps back to a value.
+        self._value_of: List[Value] = [None]
+        assert self.code(DEFAULT_VALUE) == DEFAULT_CODE
+        assert self.code(BOTTOM) == BOTTOM_CODE
+
+    def code(self, value: Value) -> int:
+        """The code of *value*, interning it on first sight."""
+        code = self._code_of.get(value)
+        if code is None:
+            code = len(self._value_of)
+            self._code_of[value] = code
+            self._value_of.append(value)
+        return code
+
+    def value(self, code: int) -> Value:
+        """The value behind *code* (``None`` for :data:`MISSING_CODE`)."""
+        return self._value_of[code]
+
+    def __len__(self) -> int:
+        """Number of code slots (``max assigned code + 1``)."""
+        return len(self._value_of)
+
+    # -- bulk helpers (numpy required) ---------------------------------------
+    def encode_buffer(self, values, missing=None):
+        """Encode an iterable of values into a fresh code ndarray.
+
+        *missing* (identity-compared) marks entries to encode as
+        :data:`MISSING_CODE` — callers pass the flat engine's sentinel.
+        """
+        np = require_numpy()
+        values = list(values)
+        return np.fromiter(
+            (MISSING_CODE if v is missing else self.code(v) for v in values),
+            dtype=CODE_DTYPE_NAME, count=len(values))
+
+    def decode_buffer(self, codes, missing=None) -> List[Value]:
+        """Decode a code ndarray back into a list of values.
+
+        :data:`MISSING_CODE` entries decode to *missing* (default ``None``).
+        """
+        table = self._value_of
+        return [missing if c == MISSING_CODE else table[c]
+                for c in codes.tolist()]
+
+    def domain_mask(self, domain):
+        """Boolean lookup table over codes: ``mask[c]`` iff ``value(c) ∈ domain``.
+
+        Sized to the codec at call time, so every code that can appear in an
+        already-built buffer is covered (the codec is append-only).
+        """
+        np = require_numpy()
+        mask = np.zeros(len(self._value_of), dtype=bool)
+        for value in domain:
+            mask[self.code(value)] = True
+        return mask
+
+
+#: The process-wide codec shared by every numpy-engine tree and message.
+VALUE_CODEC = ValueCodec()
+
+
+# ---------------------------------------------------------------------------
+# The shared vote kernel: every per-level majority pass of the numpy engine
+# (resolve, resolve', the Fault Discovery Rule, Algorithm C's shift_{3→2})
+# goes through these three helpers, so vote semantics live in exactly one
+# place.
+# ---------------------------------------------------------------------------
+
+def vote_windows(codes, rows: int, branch: int):
+    """Reshape a level's code buffer into its ``(rows, branch)`` vote matrix.
+
+    Upcast to int64 so the offset arithmetic of :func:`window_tallies` cannot
+    overflow the buffer dtype.
+    """
+    np = require_numpy()
+    return codes.astype(np.int64).reshape(rows, branch)
+
+
+def window_tallies(windows, num_codes: int):
+    """Per-window vote tallies: ``tallies[i, c]`` counts code ``c`` in row ``i``.
+
+    One ``bincount`` over offset codes (row ``i`` shifted by ``i·num_codes``)
+    tallies every window of the level at once.
+    """
+    np = require_numpy()
+    rows = windows.shape[0]
+    offsets = np.arange(rows, dtype=np.int64) * num_codes
+    return np.bincount((windows + offsets[:, None]).reshape(-1),
+                       minlength=rows * num_codes).reshape(rows, num_codes)
+
+
+def strict_majority(tallies, branch: int):
+    """Per-row ``(top code, holds a strict majority of branch)`` arrays.
+
+    A strict majority is unique when it exists, so the argmax tie-break never
+    affects rows where the second array is ``True``.
+    """
+    np = require_numpy()
+    best = tallies.argmax(axis=1)
+    best_count = tallies[np.arange(tallies.shape[0]), best]
+    return best, 2 * best_count > branch

@@ -60,6 +60,10 @@ class ProtocolConfig:
                 f"source {self.source} is not a processor id in [0, {self.n})")
         if DEFAULT_VALUE not in self.domain:
             raise ConfigurationError("the value domain must contain the default value 0")
+        if len(set(self.domain)) < 2:
+            raise ConfigurationError(
+                "the value domain needs at least two distinct elements "
+                "(agreement over a singleton domain is vacuous)")
         if self.initial_value not in self.domain:
             raise ConfigurationError(
                 f"initial value {self.initial_value!r} is not in the domain")

@@ -204,12 +204,85 @@ def flat_resolve_root(tree: FlatEIGTree, conversion: str, t: int) -> Value:
     return flat_resolve_levels(tree, conversion, t)[0][0]
 
 
+# ---------------------------------------------------------------------------
+# The numpy engine's conversion: one bincount majority vote per level
+# ---------------------------------------------------------------------------
+
+def numpy_resolve_levels(tree, conversion: str, t: int) -> List[object]:
+    """Vectorized :func:`flat_resolve_levels` over an ndarray-backed tree.
+
+    Returns ``levels`` with ``levels[ℓ - 1]`` an int **code** ndarray (the
+    codes of :data:`~repro.core.npsupport.VALUE_CODEC`; decode the root with
+    the codec, or the whole pass with :func:`flat_converted_dict`, which
+    accepts code arrays).  Per level the child buffer is reshaped to
+    ``(parents, branch)`` and a single ``bincount`` over offset codes yields
+    every parent's vote tally at once:
+
+    * ``resolve`` keeps the per-row argmax when it is a strict majority of the
+      branch, else the default — a strict majority is unique, so argmax ties
+      are irrelevant;
+    * ``resolve'`` zeroes the ``⊥`` column and takes the row's value iff
+      exactly one code reaches the ``t + 1`` threshold, else ``⊥``.
+
+    Semantics and meter accounting are identical to both other engines (two
+    units per leaf, one per child of every internal node, charged in bulk).
+    """
+    from .npsupport import (BOTTOM_CODE, DEFAULT_CODE, MISSING_CODE,
+                            VALUE_CODEC, require_numpy, strict_majority,
+                            vote_windows, window_tallies)
+    np = require_numpy()
+    if conversion not in ("resolve", "resolve_prime"):
+        raise ValueError(f"unknown conversion function {conversion!r}")
+    height = tree.num_levels
+    if height < 1:
+        raise KeyError("cannot resolve an empty tree")
+    index = tree.index
+    leaf_buffer = tree.raw_level(height)
+    levels: List[object] = [None] * height
+    levels[height - 1] = np.where(leaf_buffer == MISSING_CODE,
+                                  DEFAULT_CODE, leaf_buffer)
+    charge = 2 * len(leaf_buffer)
+    majority = conversion == "resolve"
+    threshold = t + 1
+    num_codes = len(VALUE_CODEC)
+    for level in range(height - 1, 0, -1):
+        children = levels[level]
+        branch = index.branch(level)
+        size = index.level_size(level)
+        charge += size * branch
+        tallies = window_tallies(vote_windows(children, size, branch),
+                                 num_codes)
+        if majority:
+            best, has_majority = strict_majority(tallies, branch)
+            out = np.where(has_majority, best, DEFAULT_CODE)
+        else:
+            tallies[:, BOTTOM_CODE] = 0
+            winners = tallies >= threshold
+            winner_count = winners.sum(axis=1)
+            winner_code = winners.argmax(axis=1)
+            out = np.where(winner_count == 1, winner_code, BOTTOM_CODE)
+        levels[level - 1] = out.astype(children.dtype)
+    tree.meter.charge(charge)
+    return levels
+
+
+def numpy_resolve_root(tree, conversion: str, t: int) -> Value:
+    """The decoded converted value of the root of an ndarray-backed tree."""
+    from .npsupport import VALUE_CODEC
+    return VALUE_CODEC.value(int(numpy_resolve_levels(tree, conversion,
+                                                      t)[0][0]))
+
+
 def flat_converted_dict(tree: FlatEIGTree,
                         levels: List[List[Value]]) -> Dict[LabelSequence, Value]:
     """Materialise a :func:`resolve_all`-shaped mapping from flat converted
-    levels (used only by slow-path consumers such as lemma tests)."""
+    levels (used only by slow-path consumers such as lemma tests).  Accepts
+    both the fast engine's value lists and the numpy engine's code arrays."""
     converted: Dict[LabelSequence, Value] = {}
     for level, values in enumerate(levels, start=1):
+        if not isinstance(values, list):
+            from .npsupport import VALUE_CODEC
+            values = VALUE_CODEC.decode_buffer(values)
         converted.update(zip(tree.index.sequences(level), values))
     return converted
 

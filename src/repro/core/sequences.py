@@ -168,6 +168,8 @@ class SequenceIndex:
         self._id_of: List[Dict[LabelSequence, int]] = [{(source,): 0}]
         self._last: List[List[ProcessorId]] = [[source]]
         self._slots: List[Dict[ProcessorId, Tuple[List[int], List[int]]]] = [{}]
+        #: lazily built ndarray twins of the tables above (numpy engine only)
+        self._np_tables: Dict[Tuple[str, int], object] = {}
 
     # -- shape ---------------------------------------------------------------
     def branch(self, level: int) -> int:
@@ -243,6 +245,57 @@ class SequenceIndex:
         """Label → ``(slots, parents)`` arrays for *level* (do not mutate)."""
         self.ensure_level(level)
         return self._slots[level - 1]
+
+    # -- ndarray twins (numpy engine) ------------------------------------------
+    # Like everything else in the index these depend only on the tree shape,
+    # so they are built once per level and shared by every numpy-engine tree
+    # and every run of that shape.  They are only reachable from the "numpy"
+    # engine, which is gated on numpy availability at selection time.
+
+    def last_labels_np(self, level: int):
+        """Node-id → last label as an int ndarray (numpy engine)."""
+        cached = self._np_tables.get(("last", level))
+        if cached is None:
+            from .npsupport import require_numpy
+            np = require_numpy()
+            cached = np.asarray(self.last_labels(level), dtype=np.int64)
+            self._np_tables[("last", level)] = cached
+        return cached
+
+    def slots_np(self, level: int):
+        """Label → ``(slots, parents)`` id ndarrays for *level* (numpy engine)."""
+        cached = self._np_tables.get(("slots", level))
+        if cached is None:
+            from .npsupport import require_numpy
+            np = require_numpy()
+            cached = {
+                label: (np.asarray(slots, dtype=np.int64),
+                        np.asarray(parents, dtype=np.int64))
+                for label, (slots, parents) in self.slots_for(level).items()
+            }
+            self._np_tables[("slots", level)] = cached
+        return cached
+
+    def ids_by_label_np(self, level: int):
+        """Label → ndarray of the *level* node-ids ending in that label.
+
+        Level 1 is the root-only special case (its ``slots_for`` table is
+        empty because the root has no parent): the single node-id 0 belongs to
+        the source's label.
+        """
+        cached = self._np_tables.get(("ids", level))
+        if cached is None:
+            from .npsupport import require_numpy
+            np = require_numpy()
+            if level == 1:
+                self.ensure_level(1)
+                cached = {self.source: np.asarray([0], dtype=np.int64)}
+            else:
+                cached = {label: slots
+                          for label, (slots, _parents)
+                          in self.slots_np(level).items()}
+            self._np_tables[("ids", level)] = cached
+        return cached
 
     def node_id(self, seq: Sequence[ProcessorId]) -> int:
         """The node-id of *seq* within its level (raises for invalid sequences)."""

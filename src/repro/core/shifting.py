@@ -21,18 +21,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .engine import validate_engine
+from .engine import FAST, NUMPY, validate_engine
 from .fault_discovery import (FaultTracker, discover_during_conversion,
-                              discover_during_conversion_flat)
-from .fault_masking import discover_and_mask, gather_level_flat, mask_inbox
+                              discover_during_conversion_flat,
+                              discover_during_conversion_numpy)
+from .fault_masking import (discover_and_mask, gather_level_flat,
+                            gather_level_numpy, mask_inbox)
 from .protocol import AgreementProtocol, ProtocolConfig
-from .resolve import flat_resolve_levels, resolve_all
+from .resolve import flat_resolve_levels, numpy_resolve_levels, resolve_all
 from .sequences import LabelSequence, ProcessorId
 from .tree import InfoGatheringTree, make_tree
 from .values import DEFAULT_VALUE, Value, coerce_value, is_bottom
 from ..runtime.errors import ConfigurationError, ProtocolViolationError
-from ..runtime.messages import (Inbox, LevelMessage, Message, Outbox,
-                                broadcast, broadcast_message)
+from ..runtime.messages import (Inbox, Message, Outbox, broadcast,
+                                broadcast_message)
 
 #: Conversion function names accepted by a :class:`Segment`.
 CONVERSIONS = ("resolve", "resolve_prime")
@@ -135,7 +137,9 @@ class ShiftingEIGProcessor(AgreementProtocol):
         self.decide_at_end = decide_at_end
         self.enable_fault_discovery = enable_fault_discovery
         self.engine = validate_engine(engine)
-        self._fast = self.engine == "fast"
+        self._fast = self.engine == FAST
+        self._numpy = self.engine == NUMPY
+        self._array_backed = self._fast or self._numpy
         self.tree = make_tree(config.source, config.processors, self.engine)
         self._domain_set = frozenset(v for v in config.domain
                                      if not is_bottom(v))
@@ -162,15 +166,13 @@ class ShiftingEIGProcessor(AgreementProtocol):
         if self.pid == self.config.source:
             # The source decides in round 1 and halts (it never sends again).
             return {}
-        if self._fast and self.tree.num_levels > 0:
+        if self._array_backed and self.tree.num_levels > 0:
             # Wrap the leaf level by reference: one LevelMessage object is
             # shared by every destination and the level buffer is never
-            # copied (the tree installs a fresh list on every later rewrite,
+            # copied (the tree installs a fresh buffer on every later rewrite,
             # so the wrapped buffer is immutable from here on).
-            leaf_level = self.tree.num_levels
-            message = LevelMessage(self.tree.index, leaf_level,
-                                   self.tree.raw_level(leaf_level),
-                                   self.pid, round_number)
+            message = self.tree.level_message(self.tree.num_levels, self.pid,
+                                              round_number)
             return broadcast_message(message, self.config.processors)
         return broadcast(self.tree.leaves(), self.pid, round_number,
                          self.config.processors)
@@ -198,8 +200,8 @@ class ShiftingEIGProcessor(AgreementProtocol):
         """Add one level to the tree from the round's inbox, then run the
         Fault Discovery and Fault Masking Rules to a fixpoint."""
         level = self.tree.num_levels + 1
-        if self._fast:
-            self._gather_fast(level, inbox)
+        if self._array_backed:
+            self._gather_array(level, inbox)
         else:
             self._gather_reference(level, inbox)
         if not self.enable_fault_discovery:
@@ -227,24 +229,32 @@ class ShiftingEIGProcessor(AgreementProtocol):
 
         self.tree.grow_level(level, claimed_value)
 
-    def _gather_fast(self, level: int, inbox: Inbox) -> None:
-        """Populate the new level's flat buffer directly from the inbox
-        (see :func:`~repro.core.fault_masking.gather_level_flat`); the only
+    def _gather_array(self, level: int, inbox: Inbox) -> None:
+        """Populate the new level's buffer directly from the inbox (see
+        :func:`~repro.core.fault_masking.gather_level_flat` and its ndarray
+        twin :func:`~repro.core.fault_masking.gather_level_numpy`); the only
         special label is the processor's own, whose children echo its own
         stored values (no self-message)."""
-        gather_level_flat(self.tree, level, inbox, self.tracker,
-                          self._domain_set, echo_labels=(self.pid,))
+        gather = gather_level_numpy if self._numpy else gather_level_flat
+        gather(self.tree, level, inbox, self.tracker,
+               self._domain_set, echo_labels=(self.pid,))
 
     # -- shifting ---------------------------------------------------------------
     def _maybe_convert(self, round_number: int) -> None:
         segment = self._segment_ends.get(round_number)
         if segment is None:
             return
-        if self._fast:
-            converted_levels = flat_resolve_levels(
-                self.tree, segment.conversion, self.config.t)
+        if self._array_backed:
+            if self._numpy:
+                converted_levels = numpy_resolve_levels(
+                    self.tree, segment.conversion, self.config.t)
+                discover = discover_during_conversion_numpy
+            else:
+                converted_levels = flat_resolve_levels(
+                    self.tree, segment.conversion, self.config.t)
+                discover = discover_during_conversion_flat
             if segment.conversion_discovery and self.enable_fault_discovery:
-                fresh = discover_during_conversion_flat(
+                fresh = discover(
                     self.tree.index, converted_levels, self.tree.num_levels,
                     self.tracker.suspects, self.config.t,
                     meter=self.tree.meter)
@@ -253,6 +263,9 @@ class ShiftingEIGProcessor(AgreementProtocol):
                     self.discovery_log[round_number] = (
                         self.discovery_log.get(round_number, 0) + len(added))
             new_root = converted_levels[0][0]
+            if self._numpy:
+                from .npsupport import VALUE_CODEC
+                new_root = VALUE_CODEC.value(int(new_root))
         else:
             converted = resolve_all(self.tree, segment.conversion,
                                     self.config.t)

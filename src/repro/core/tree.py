@@ -282,6 +282,18 @@ class FlatEIGTree(InfoGatheringTree):
         """The flat value buffer of *level*, by reference (no meter charge)."""
         return self._flat[level - 1]
 
+    def level_message(self, level: int, sender: ProcessorId,
+                      round_number: int):
+        """Wrap *level* in a by-reference broadcast message.
+
+        One message object is shared by every destination and the buffer is
+        never copied; the aliasing discipline of this class guarantees the
+        wrapped buffer is immutable from the moment it is exposed.
+        """
+        from ..runtime.messages import LevelMessage
+        return LevelMessage(self._index, level, self._flat[level - 1],
+                            sender, round_number)
+
     def append_level(self, values: List[Value]) -> None:
         """Install *values* as the next level (fast-path sibling of
         :meth:`grow_level`; charges one unit per stored node)."""
@@ -470,12 +482,199 @@ class FlatRepetitionTree(FlatEIGTree):
         self.truncate_to_level(2)
 
 
+class NumpyEIGTree(FlatEIGTree):
+    """Information Gathering Tree stored as small-int code ndarrays.
+
+    The ``"numpy"`` engine's storage mode: same level-major layout, node-ids
+    and aliasing discipline as :class:`FlatEIGTree`, but each level buffer is
+    an ``int32`` ndarray of codes of the process-wide
+    :data:`~repro.core.npsupport.VALUE_CODEC` (``MISSING_CODE`` marks absent
+    nodes).  On top of the array buffers, gathering becomes fancy-indexed
+    assignment and the conversion/discovery rules become per-level
+    ``bincount`` majority votes — see :func:`repro.core.resolve.numpy_resolve_levels`
+    and :func:`repro.core.fault_discovery.discover_at_level_numpy`.  The
+    dict-shaped accessors decode on demand for tests and reporting, and the
+    meter accounting is identical to both other engines by construction.
+    """
+
+    def __init__(self, source: ProcessorId,
+                 processors: Sequence[ProcessorId],
+                 meter: Optional[ComputationMeter] = None) -> None:
+        super().__init__(source, processors, meter)
+        from .npsupport import (BOTTOM_CODE, CODE_DTYPE_NAME, DEFAULT_CODE,
+                                MISSING_CODE, VALUE_CODEC, require_numpy)
+        self._np = require_numpy()
+        self._codec = VALUE_CODEC
+        self._dtype = CODE_DTYPE_NAME
+        self._missing_code = MISSING_CODE
+        self._default_code = DEFAULT_CODE
+        self._bottom_code = BOTTOM_CODE
+
+    # -- engine interface -----------------------------------------------------
+    def level_message(self, level: int, sender: ProcessorId,
+                      round_number: int):
+        from ..runtime.messages import NumpyLevelMessage
+        return NumpyLevelMessage(self._index, level, self._flat[level - 1],
+                                 sender, round_number)
+
+    def _empty_level(self, level: int):
+        return self._np.full(self._index.level_size(level),
+                             self._missing_code, dtype=self._dtype)
+
+    def _ensure_levels(self, level: int) -> None:
+        while len(self._flat) < level:
+            self._flat.append(self._empty_level(len(self._flat) + 1))
+            self._stored.append(0)
+
+    # -- storage ---------------------------------------------------------------
+    def store(self, seq: Sequence[ProcessorId], value: Value) -> None:
+        seq = tuple(seq)
+        level = len(seq)
+        node_id = self._index.node_id(seq)
+        self._ensure_levels(level)
+        buffer = self._flat[level - 1]
+        if buffer[node_id] == self._missing_code:
+            self._stored[level - 1] += 1
+        buffer[node_id] = self._codec.code(value)
+        self._meter.charge()
+
+    def value(self, seq: Sequence[ProcessorId],
+              default: Value = DEFAULT_VALUE) -> Value:
+        seq = tuple(seq)
+        self._meter.charge()
+        level = len(seq)
+        if not 1 <= level <= len(self._flat):
+            return default
+        node_id = self._index.id_map(level).get(seq)
+        if node_id is None:
+            return default
+        code = int(self._flat[level - 1][node_id])
+        return default if code == self._missing_code else self._codec.value(code)
+
+    def has(self, seq: Sequence[ProcessorId]) -> bool:
+        seq = tuple(seq)
+        level = len(seq)
+        if not 1 <= level <= len(self._flat):
+            return False
+        node_id = self._index.id_map(level).get(seq)
+        return (node_id is not None
+                and self._flat[level - 1][node_id] != self._missing_code)
+
+    # -- level access ----------------------------------------------------------
+    def _decoded_level(self, index: int) -> List[Value]:
+        """Level *index* decoded to values, ``MISSING`` marking absent nodes."""
+        return self._codec.decode_buffer(self._flat[index - 1], missing=MISSING)
+
+    def level(self, index: int) -> Dict[LabelSequence, Value]:
+        if not 1 <= index <= len(self._flat):
+            return {}
+        sequences = self._index.sequences(index)
+        return {seq: value
+                for seq, value in zip(sequences, self._decoded_level(index))
+                if value is not MISSING}
+
+    def level_sequences(self, index: int) -> List[LabelSequence]:
+        if not 1 <= index <= len(self._flat):
+            return []
+        buffer = self._flat[index - 1]
+        sequences = self._index.sequences(index)
+        if self._stored[index - 1] == len(buffer):
+            return list(sequences)
+        present = (buffer != self._missing_code).tolist()
+        return [seq for seq, keep in zip(sequences, present) if keep]
+
+    # -- growing the tree ------------------------------------------------------
+    def grow_level(self, level: int, claimed_value) -> None:
+        """Generic (callback-driven) growth: encode through a scratch list.
+
+        Hot paths use :func:`~repro.core.fault_masking.gather_level_numpy`
+        instead; this slow path keeps the public tree API complete.
+        """
+        if level != self.num_levels + 1:
+            raise ValueError(
+                f"cannot grow level {level}: tree currently has "
+                f"{self.num_levels} level(s)")
+        index = self._index
+        buffer = self._empty_level(level)
+        stored = 0
+        if level > 1:
+            branch = index.branch(level - 1)
+            labels = index.last_labels(level)
+            parent_buffer = self._flat[level - 2]
+            code_of = self._codec.code
+            for parent_id, parent in enumerate(index.sequences(level - 1)):
+                if parent_buffer[parent_id] == self._missing_code:
+                    continue
+                base = parent_id * branch
+                for offset in range(branch):
+                    slot = base + offset
+                    buffer[slot] = code_of(claimed_value(parent, labels[slot]))
+                    stored += 1
+        self._flat.append(buffer)
+        self._stored.append(stored)
+        self._meter.charge(stored)
+
+    # -- shifting ----------------------------------------------------------------
+    def reset_to_root(self, value: Value) -> None:
+        self._flat = [self._np.asarray([self._codec.code(value)],
+                                       dtype=self._dtype)]
+        self._stored = [1]
+        self._meter.charge()
+
+    def overwrite_level(self, index: int,
+                        values: Dict[LabelSequence, Value]) -> None:
+        if not 1 <= index <= len(self._flat):
+            raise KeyError(index)
+        id_map = self._index.id_map(index)
+        buffer = self._empty_level(index)
+        code_of = self._codec.code
+        for seq, value in values.items():
+            buffer[id_map[tuple(seq)]] = code_of(value)
+        self._flat[index - 1] = buffer
+        self._stored[index - 1] = len(values)
+        self._meter.charge(len(values))
+
+    # -- misc ----------------------------------------------------------------------
+    def copy(self) -> "NumpyEIGTree":
+        clone = type(self)(self.source, self.processors)
+        clone._flat = [buffer.copy() for buffer in self._flat]
+        clone._stored = list(self._stored)
+        return clone
+
+
+class NumpyRepetitionTree(NumpyEIGTree):
+    """ndarray-backed counterpart of :class:`RepetitionTree` (Algorithm C)."""
+
+    allow_repetitions = True
+
+    def reorder_leaves(self) -> None:
+        """Swap ``tree(spq)`` and ``tree(sqp)``: a transpose of the ``n × n``
+        level-3 code matrix (installs a fresh buffer, like every rewrite)."""
+        if self.num_levels < 3:
+            raise ValueError("reordering requires a populated third level")
+        n = self.n
+        self._flat[2] = self._np.ascontiguousarray(
+            self._flat[2].reshape(n, n).T).reshape(-1)
+        self._meter.charge(n * n)
+
+    def convert_intermediate(self, resolver) -> None:
+        """``shift_{3→2}`` — see :meth:`RepetitionTree.convert_intermediate`."""
+        if self.num_levels < 3:
+            raise ValueError("conversion requires a populated third level")
+        new_level2 = {seq: resolver(seq) for seq in self.level_sequences(2)}
+        self.overwrite_level(2, new_level2)
+        self.truncate_to_level(2)
+
+
 def make_tree(source: ProcessorId, processors: Sequence[ProcessorId],
               engine: str, repetitions: bool = False,
               meter: Optional[ComputationMeter] = None) -> InfoGatheringTree:
-    """Build the tree flavour for an engine (``"fast"`` → flat buffers)."""
+    """Build the tree flavour for an engine (``"fast"`` → flat list buffers,
+    ``"numpy"`` → code ndarrays, anything else → the dict reference)."""
     if engine == "fast":
         cls = FlatRepetitionTree if repetitions else FlatEIGTree
+    elif engine == "numpy":
+        cls = NumpyRepetitionTree if repetitions else NumpyEIGTree
     else:
         cls = RepetitionTree if repetitions else InfoGatheringTree
     return cls(source, processors, meter)

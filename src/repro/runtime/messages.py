@@ -28,7 +28,8 @@ allocates nothing.
 from __future__ import annotations
 
 from types import MappingProxyType
-from typing import (Dict, Iterable, Iterator, List, Mapping, Optional, Tuple)
+from typing import (Callable, Dict, Iterable, Iterator, List, Mapping,
+                    Optional, Sequence, Tuple)
 
 from ..core.sequences import LabelSequence, ProcessorId, SequenceIndex
 from ..core.values import Value
@@ -144,6 +145,26 @@ class Message:
         """A copy attributed to *sender* (used by the network's stamping)."""
         return Message(self._mapping(), sender, self.round_number)
 
+    # -- slot-wise tamper helpers -------------------------------------------
+    # Adversaries rewrite messages per destination; these helpers let them do
+    # so against whatever layout the message already has.  On a plain Message
+    # they are ordinary dict comprehensions; the LevelMessage overrides
+    # rewrite the wrapped value buffer directly (never in place — a fresh
+    # buffer per call, preserving the by-reference aliasing discipline), so a
+    # lie about an n^h-entry broadcast never materialises an n^h-entry dict.
+
+    def map_values(self, fn: Callable[[Value], Value]) -> "Message":
+        """A copy with ``fn`` applied to every entry's value.
+
+        *fn* must be a pure function of the value: array-backed messages may
+        evaluate it once per *distinct* value rather than once per entry.
+        Stateful rewrites (e.g. per-entry randomness) should build the new
+        contents explicitly and use :meth:`with_entries` /
+        :meth:`LevelMessage.with_level_values` instead.
+        """
+        return self.with_entries({seq: fn(value)
+                                  for seq, value in self.items()})
+
 
 class LevelMessage(Message):
     """A message wrapping one flat tree level by reference.
@@ -186,6 +207,11 @@ class LevelMessage(Message):
     def level(self) -> int:
         return self._level
 
+    @property
+    def index(self) -> SequenceIndex:
+        """The shared shape index whose node-ids order the buffer."""
+        return self._index
+
     # -- lazy dict interop --------------------------------------------------
     def _mapping(self) -> Dict[LabelSequence, Value]:
         if self._entries is None:
@@ -218,6 +244,129 @@ class LevelMessage(Message):
     def with_sender(self, sender: ProcessorId) -> "LevelMessage":
         return LevelMessage(self._index, self._level, self._values,
                             sender, self.round_number)
+
+    # -- slot-wise tamper helpers -------------------------------------------
+    def with_level_values(self, values: List[Value]) -> "LevelMessage":
+        """A copy wrapping *values* (node-id order) instead of the original
+        buffer — the level-layout twin of :meth:`Message.with_entries`."""
+        return LevelMessage(self._index, self._level, list(values),
+                            self.sender, self.round_number)
+
+    def map_values(self, fn: Callable[[Value], Value]) -> "LevelMessage":
+        return self.with_level_values([fn(v) for v in self._values])
+
+    def map_values_at(self, node_ids: Sequence[int],
+                      fn: Callable[[Value], Value]) -> "LevelMessage":
+        """A copy with ``fn`` applied only at the given level node-ids.
+
+        This is the stealth-attack fast path: the adversary precomputes which
+        node-ids of a level it wants to lie about (e.g. the all-faulty paths)
+        and flips exactly those slots, leaving the rest of the buffer shared
+        semantics-wise (the new buffer is still a fresh list/array).
+        """
+        if len(node_ids) == 0:
+            return self
+        values = list(self._values)
+        for node_id in node_ids:
+            values[node_id] = fn(values[node_id])
+        return self.with_level_values(values)
+
+
+class NumpyLevelMessage(LevelMessage):
+    """A :class:`LevelMessage` whose buffer is a small-int **code** ndarray.
+
+    The numpy engine's broadcast: the wrapped array holds codes of the shared
+    :data:`~repro.core.npsupport.VALUE_CODEC` (the codec is process-wide, so a
+    receiver copies codes by fancy indexing with no translation).  Every
+    value-shaped accessor decodes lazily; the slot-wise tamper helpers rewrite
+    the code array vectorized, evaluating the rewrite function once per
+    *distinct* code.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, index: SequenceIndex, level: int, codes,
+                 sender: ProcessorId, round_number: int) -> None:
+        super().__init__(index, level, codes, sender, round_number)
+
+    # -- fast-path accessors -------------------------------------------------
+    def level_codes(self):
+        """The wrapped code ndarray, by reference (index order)."""
+        return self._values
+
+    def level_values(self) -> List[Value]:
+        from ..core.npsupport import VALUE_CODEC
+        return VALUE_CODEC.decode_buffer(self._values)
+
+    # -- lazy dict interop ---------------------------------------------------
+    def _mapping(self) -> Dict[LabelSequence, Value]:
+        if self._entries is None:
+            self._entries = dict(zip(self._index.sequences(self._level),
+                                     self.level_values()))
+        return self._entries
+
+    def value_for(self, seq: LabelSequence) -> Optional[Value]:
+        from ..core.npsupport import MISSING_CODE, VALUE_CODEC
+        node_id = self._index.id_map(self._level).get(tuple(seq))
+        if node_id is None:
+            return None
+        code = int(self._values[node_id])
+        if code == MISSING_CODE:
+            return None
+        return VALUE_CODEC.value(code)
+
+    # -- constructors / rewrites ---------------------------------------------
+    def replace_values(self, value: Value) -> "NumpyLevelMessage":
+        from ..core.npsupport import (CODE_DTYPE_NAME, VALUE_CODEC,
+                                      require_numpy)
+        np = require_numpy()
+        codes = np.full(len(self._values), VALUE_CODEC.code(value),
+                        dtype=CODE_DTYPE_NAME)
+        return NumpyLevelMessage(self._index, self._level, codes,
+                                 self.sender, self.round_number)
+
+    def with_sender(self, sender: ProcessorId) -> "NumpyLevelMessage":
+        return NumpyLevelMessage(self._index, self._level, self._values,
+                                 sender, self.round_number)
+
+    def with_level_values(self, values: List[Value]) -> "NumpyLevelMessage":
+        from ..core.npsupport import VALUE_CODEC
+        return NumpyLevelMessage(self._index, self._level,
+                                 VALUE_CODEC.encode_buffer(values),
+                                 self.sender, self.round_number)
+
+    def _with_codes(self, codes) -> "NumpyLevelMessage":
+        return NumpyLevelMessage(self._index, self._level, codes,
+                                 self.sender, self.round_number)
+
+    def _code_translation(self, codes, fn):
+        """``{old code: new code}`` with *fn* evaluated once per distinct code."""
+        from ..core.npsupport import MISSING_CODE, VALUE_CODEC
+        return {int(c): VALUE_CODEC.code(fn(VALUE_CODEC.value(int(c))))
+                for c in set(codes.tolist()) if c != MISSING_CODE}
+
+    def map_values(self, fn: Callable[[Value], Value]) -> "NumpyLevelMessage":
+        codes = self._values
+        new_codes = codes.copy()
+        for old, new in self._code_translation(codes, fn).items():
+            if old != new:
+                new_codes[codes == old] = new
+        return self._with_codes(new_codes)
+
+    def map_values_at(self, node_ids,
+                      fn: Callable[[Value], Value]) -> "NumpyLevelMessage":
+        if len(node_ids) == 0:
+            return self
+        from ..core.npsupport import require_numpy
+        np = require_numpy()
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        codes = self._values
+        selected = codes[node_ids]
+        new_codes = codes.copy()
+        for old, new in self._code_translation(selected, fn).items():
+            if old != new:
+                new_codes[node_ids[selected == old]] = new
+        return self._with_codes(new_codes)
 
 
 Outbox = Dict[ProcessorId, Message]

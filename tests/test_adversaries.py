@@ -92,7 +92,29 @@ class TestLiars:
     def test_another_value_differs(self):
         assert another_value(0, (0, 1)) == 1
         assert another_value(1, (0, 1)) == 0
-        assert another_value(2, (2,)) == 2   # degenerate single-value domain
+        assert another_value(0, (0, 1, 2)) == 1  # first differing element
+
+    def test_another_value_raises_on_degenerate_domain(self):
+        # A single-element domain admits no lie; silently returning the
+        # original value would make every lying adversary benign, so the
+        # helper raises instead (ProtocolConfig requires |V| >= 2, making
+        # this unreachable from simulations).
+        with pytest.raises(ValueError):
+            another_value(2, (2,))
+        with pytest.raises(ValueError):
+            another_value(0, ())
+
+    def test_slot_wise_rewrite_mirrors_another_value_contract(self):
+        # The LevelMessage fast path applies another_value through
+        # map_values; the degenerate-domain raise must propagate identically.
+        from repro.core.sequences import sequence_index
+        from repro.runtime.messages import LevelMessage
+        index = sequence_index(0, tuple(range(4)))
+        message = LevelMessage(index, 1, [7], sender=0, round_number=1)
+        flipped = message.map_values(lambda v: another_value(v, (7, 8)))
+        assert flipped.level_values() == [8]
+        with pytest.raises(ValueError):
+            message.map_values(lambda v: another_value(v, (7,)))
 
     def test_consistent_liar_flips_everything(self):
         adversary, _ = bind(ConsistentLiarAdversary(), faulty=(0, 6))

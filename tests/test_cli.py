@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import build_spec, main
+from repro.core import engine as engine_module
 
 
 class TestBuildSpec:
@@ -35,6 +38,41 @@ class TestRunCommand:
         code = main(["run", "--protocol", "exponential", "--n", "7", "--t", "2",
                      "--faults", "1", "--adversary", "silent"])
         assert code == 0
+
+
+class TestEngineFlag:
+    @pytest.fixture(autouse=True)
+    def _restore_engine(self):
+        previous = engine_module.get_default_engine()
+        previous_env = os.environ.get("REPRO_EIG_ENGINE")
+        yield
+        engine_module.set_default_engine(previous)
+        if previous_env is None:
+            os.environ.pop("REPRO_EIG_ENGINE", None)
+        else:
+            os.environ["REPRO_EIG_ENGINE"] = previous_env
+
+    def test_run_accepts_every_available_engine(self, capsys):
+        for name in engine_module.available_engines():
+            code = main(["run", "--protocol", "exponential", "--n", "7",
+                         "--t", "2", "--adversary", "two-faced-source",
+                         "--source-faulty", "--engine", name])
+            assert code == 0, name
+            # The choice is exported for parallel workers.
+            assert os.environ["REPRO_EIG_ENGINE"] == name
+            capsys.readouterr()
+
+    def test_run_rejects_unregistered_numpy_engine(self, monkeypatch, capsys):
+        monkeypatch.setattr(engine_module, "numpy_available", lambda: False)
+        with pytest.raises(SystemExit, match="requires numpy"):
+            main(["run", "--protocol", "exponential", "--n", "7", "--t", "2",
+                  "--engine", "numpy"])
+
+    def test_experiments_accept_engine(self, capsys):
+        code = main(["experiments", "--scale", "small", "--only", "E8",
+                     "--engine", "fast"])
+        assert code == 0
+        assert "E8-dominance" in capsys.readouterr().out
 
 
 class TestExperimentsCommand:

@@ -1,0 +1,139 @@
+"""Engine registry behaviour: selection, gating, and environment fallback.
+
+The numpy engine must stay strictly optional: it is registered only when
+numpy is importable, selecting it without numpy raises a clear error, and an
+environment request degrades to the default engine with a warning instead of
+silently changing behaviour.  An *invalid* ``REPRO_EIG_ENGINE`` value must
+likewise warn (naming both the bad value and the chosen fallback) rather than
+being swallowed.
+"""
+
+from __future__ import annotations
+
+import importlib
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import engine as engine_module
+from repro.core.engine import (ENGINES, available_engines, numpy_available,
+                               set_default_engine, use_engine,
+                               validate_engine)
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _reload_engine_with_env(monkeypatch, value):
+    """Reload the engine module under a given ``REPRO_EIG_ENGINE`` setting."""
+    if value is None:
+        monkeypatch.delenv("REPRO_EIG_ENGINE", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_EIG_ENGINE", value)
+    return importlib.reload(engine_module)
+
+
+@pytest.fixture
+def reloaded_engine(monkeypatch):
+    """Yield a reload helper and restore the pristine module afterwards."""
+    yield lambda value: _reload_engine_with_env(monkeypatch, value)
+    monkeypatch.delenv("REPRO_EIG_ENGINE", raising=False)
+    importlib.reload(engine_module)
+
+
+class TestValidateEngine:
+    def test_known_engines_accepted(self):
+        assert validate_engine("fast") == "fast"
+        assert validate_engine("reference") == "reference"
+
+    def test_none_selects_default(self):
+        with use_engine("reference"):
+            assert validate_engine(None) == "reference"
+
+    def test_unknown_engine_raises_with_candidates(self):
+        with pytest.raises(ValueError, match="unknown EIG engine"):
+            validate_engine("cython")
+
+    def test_numpy_engine_validates_when_available(self):
+        if not numpy_available():
+            pytest.skip("numpy not installed")
+        assert validate_engine("numpy") == "numpy"
+        with use_engine("numpy"):
+            assert validate_engine(None) == "numpy"
+
+    def test_numpy_engine_raises_when_unavailable(self, monkeypatch):
+        monkeypatch.setattr(engine_module, "numpy_available", lambda: False)
+        with pytest.raises(ValueError, match="requires numpy"):
+            validate_engine("numpy")
+        with pytest.raises(ValueError, match="requires numpy"):
+            set_default_engine("numpy")
+
+    def test_available_engines_reflects_gating(self, monkeypatch):
+        assert set(available_engines()) <= set(ENGINES)
+        monkeypatch.setattr(engine_module, "numpy_available", lambda: False)
+        assert engine_module.available_engines() == ("fast", "reference")
+
+
+class TestEnvironmentFallback:
+    def test_invalid_env_value_warns_and_falls_back(self, reloaded_engine):
+        with pytest.warns(RuntimeWarning, match=r"'bogus'.*falling back.*'fast'"):
+            module = reloaded_engine("bogus")
+        assert module.get_default_engine() == "fast"
+
+    def test_numpy_env_without_numpy_warns_and_falls_back(self, monkeypatch,
+                                                          reloaded_engine):
+        # numpy_available() re-imports npsupport on every call, so patching
+        # npsupport.have_numpy survives the module reload under test.
+        from repro.core import npsupport
+        monkeypatch.setattr(npsupport, "have_numpy", lambda: False)
+        with pytest.warns(RuntimeWarning, match="numpy is not installed"):
+            module = reloaded_engine("numpy")
+        assert module.get_default_engine() == "fast"
+
+    def test_valid_env_value_is_silent(self, reloaded_engine, recwarn):
+        module = reloaded_engine("reference")
+        assert module.get_default_engine() == "reference"
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, RuntimeWarning)]
+
+
+class TestWithoutNumpyInstalled:
+    """Simulate a bare image: importing repro and running the fast engine
+    must work with numpy entirely unimportable."""
+
+    def test_import_and_run_without_numpy(self):
+        script = """
+import sys
+
+class _BlockNumpy:
+    def find_spec(self, name, path=None, target=None):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError("numpy blocked for this test")
+        return None
+
+sys.meta_path.insert(0, _BlockNumpy())
+
+from repro.core.engine import available_engines, validate_engine
+assert available_engines() == ("fast", "reference"), available_engines()
+try:
+    validate_engine("numpy")
+except ValueError as exc:
+    assert "requires numpy" in str(exc)
+else:
+    raise AssertionError("validate_engine('numpy') should have raised")
+
+from repro.core.exponential import ExponentialSpec
+from repro.core.protocol import ProtocolConfig
+from repro.runtime.simulation import run_agreement
+result = run_agreement(ExponentialSpec(), ProtocolConfig(n=4, t=1),
+                       frozenset([1]), None)
+assert result.agreement
+print("OK")
+"""
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": SRC_DIR, "PATH": "/usr/bin:/bin"})
+        assert completed.returncode == 0, completed.stderr
+        assert "OK" in completed.stdout

@@ -1,15 +1,20 @@
-"""Property tests: the flat-array fast engine agrees with the reference oracle.
+"""Property tests: the array engines agree with the reference oracle.
 
 The ``"reference"`` engine (dict-of-tuples trees, recursive-specification
 conversion functions) is the executable specification; the ``"fast"`` engine
-(interned sequences, flat level-major buffers, batched bottom-up resolve) must
-be observationally identical.  These tests drive both over randomized trees —
-with and without repetitions, with missing entries and default substitutions,
-across ``n ∈ {4..10}`` — and over full executions, and assert equality of
-conversions, decisions, discoveries, and metrics (including computation
-units, which the engines charge identically by construction).
+(interned sequences, flat level-major buffers, batched bottom-up resolve) and
+the ``"numpy"`` engine (the same layout on small-int code ndarrays with
+``bincount`` majority votes) must both be observationally identical to it.
+These tests drive every array engine against the oracle over randomized trees
+— with and without repetitions, with missing entries and default
+substitutions, across ``n ∈ {4..10}`` — and over full executions, and assert
+equality of conversions (including ``⊥`` propagation), decisions,
+discoveries, and metrics (including computation units, which the engines
+charge identically by construction).  The numpy cases skip cleanly when numpy
+is not installed.
 """
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -18,34 +23,49 @@ from repro.core.algorithm_a import AlgorithmASpec
 from repro.core.algorithm_b import AlgorithmBSpec
 from repro.core.algorithm_c import AlgorithmCSpec
 from repro.core.hybrid import HybridSpec
-from repro.core.engine import use_engine
+from repro.core.engine import numpy_available, use_engine
 from repro.core.exponential import ExponentialSpec
 from repro.core.protocol import ProtocolConfig
 from repro.core.resolve import (flat_converted_dict, flat_resolve_levels,
-                                resolve, resolve_all, resolve_prime)
+                                numpy_resolve_levels, resolve, resolve_all,
+                                resolve_prime)
 from repro.core.sequences import sequences_of_length
-from repro.core.tree import (FlatEIGTree, FlatRepetitionTree,
-                             InfoGatheringTree, RepetitionTree)
+from repro.core.tree import make_tree
 from repro.core.values import DEFAULT_VALUE, is_bottom
 from repro.runtime.simulation import run_agreement
 
 ADVERSARY_NAMES = sorted(adversary_registry())
 
+#: The array-backed engines under test, each checked against "reference".
+ARRAY_ENGINES = [
+    "fast",
+    pytest.param("numpy", marks=pytest.mark.skipif(
+        not numpy_available(), reason="numpy not installed")),
+]
+
 _settings = settings(max_examples=25, deadline=None,
                      suppress_health_check=[HealthCheck.too_slow])
 
 
-def build_tree_pair(draw, n, height, repetitions, domain_size=3,
+def resolve_levels(tree, engine, conversion, t):
+    """Engine-dispatched batched conversion over an array-backed tree."""
+    if engine == "numpy":
+        return numpy_resolve_levels(tree, conversion, t)
+    return flat_resolve_levels(tree, conversion, t)
+
+
+def root_of(tree, levels):
+    """The converted root value of batched levels (decodes numpy codes)."""
+    return flat_converted_dict(tree, levels)[tree.root]
+
+
+def build_tree_pair(draw, n, height, repetitions, engine, domain_size=3,
                     missing_rate=5):
-    """Build one reference tree and one flat tree with identical (randomly
+    """Build one reference tree and one array tree with identical (randomly
     chosen, possibly sparse) contents and return them."""
     processors = tuple(range(n))
-    if repetitions:
-        reference, fast = (RepetitionTree(0, processors),
-                           FlatRepetitionTree(0, processors))
-    else:
-        reference, fast = (InfoGatheringTree(0, processors),
-                           FlatEIGTree(0, processors))
+    reference = make_tree(0, processors, "reference", repetitions=repetitions)
+    array_tree = make_tree(0, processors, engine, repetitions=repetitions)
     for length in range(1, height + 1):
         for seq in sequences_of_length(length, 0, processors, repetitions):
             present = draw(st.integers(min_value=0, max_value=missing_rate))
@@ -53,93 +73,102 @@ def build_tree_pair(draw, n, height, repetitions, domain_size=3,
                 continue  # a missing leaf: reads fall back to the default
             value = draw(st.integers(min_value=0, max_value=domain_size - 1))
             reference.store(seq, value)
-            fast.store(seq, value)
+            array_tree.store(seq, value)
     # The root always exists (it is stored in round 1 by every protocol).
     if not reference.has((0,)):
         reference.store((0,), DEFAULT_VALUE)
-        fast.store((0,), DEFAULT_VALUE)
-    return reference, fast
+        array_tree.store((0,), DEFAULT_VALUE)
+    return reference, array_tree
 
 
-class TestFlatResolveAgainstOracle:
+@pytest.mark.parametrize("engine", ARRAY_ENGINES)
+class TestBatchedResolveAgainstOracle:
     @_settings
     @given(data=st.data())
-    def test_resolve_matches_recursive_oracle(self, data):
+    def test_resolve_matches_recursive_oracle(self, data, engine):
         n = data.draw(st.integers(min_value=4, max_value=10))
         height = data.draw(st.integers(min_value=1, max_value=min(4, n - 1)))
-        reference, fast = build_tree_pair(data.draw, n, height,
-                                          repetitions=False)
+        reference, array_tree = build_tree_pair(data.draw, n, height,
+                                                repetitions=False,
+                                                engine=engine)
         expected = resolve_all(reference, "resolve", t=1)
-        levels = flat_resolve_levels(fast, "resolve", t=1)
-        assert flat_converted_dict(fast, levels) == expected
-        assert levels[0][0] == resolve(reference, (0,))
+        levels = resolve_levels(array_tree, engine, "resolve", t=1)
+        assert flat_converted_dict(array_tree, levels) == expected
+        assert root_of(array_tree, levels) == resolve(reference, (0,))
 
     @_settings
     @given(data=st.data())
-    def test_resolve_prime_matches_recursive_oracle(self, data):
+    def test_resolve_prime_matches_recursive_oracle(self, data, engine):
         n = data.draw(st.integers(min_value=4, max_value=10))
         height = data.draw(st.integers(min_value=1, max_value=min(4, n - 1)))
         t = data.draw(st.integers(min_value=1, max_value=3))
-        reference, fast = build_tree_pair(data.draw, n, height,
-                                          repetitions=False)
+        reference, array_tree = build_tree_pair(data.draw, n, height,
+                                                repetitions=False,
+                                                engine=engine)
         expected = resolve_all(reference, "resolve_prime", t=t)
-        levels = flat_resolve_levels(fast, "resolve_prime", t=t)
-        assert flat_converted_dict(fast, levels) == expected
+        levels = resolve_levels(array_tree, engine, "resolve_prime", t=t)
+        assert flat_converted_dict(array_tree, levels) == expected
         # ⊥ propagation at the root matches too.
         root_reference = resolve_prime(reference, (0,), t)
-        assert is_bottom(levels[0][0]) == is_bottom(root_reference)
-        assert levels[0][0] == root_reference
+        root_value = root_of(array_tree, levels)
+        assert is_bottom(root_value) == is_bottom(root_reference)
+        assert root_value == root_reference
 
     @_settings
     @given(data=st.data())
-    def test_repetition_trees_match(self, data):
+    def test_repetition_trees_match(self, data, engine):
         n = data.draw(st.integers(min_value=4, max_value=8))
         height = data.draw(st.integers(min_value=1, max_value=3))
-        reference, fast = build_tree_pair(data.draw, n, height,
-                                          repetitions=True)
+        reference, array_tree = build_tree_pair(data.draw, n, height,
+                                                repetitions=True,
+                                                engine=engine)
         expected = resolve_all(reference, "resolve", t=1)
-        levels = flat_resolve_levels(fast, "resolve", t=1)
-        assert flat_converted_dict(fast, levels) == expected
+        levels = resolve_levels(array_tree, engine, "resolve", t=1)
+        assert flat_converted_dict(array_tree, levels) == expected
 
     @_settings
     @given(data=st.data())
-    def test_meter_charges_match_reference(self, data):
+    def test_meter_charges_match_reference(self, data, engine):
         n = data.draw(st.integers(min_value=4, max_value=8))
         height = data.draw(st.integers(min_value=1, max_value=3))
         conversion = data.draw(st.sampled_from(["resolve", "resolve_prime"]))
-        reference, fast = build_tree_pair(data.draw, n, height,
-                                          repetitions=False, missing_rate=10)
+        reference, array_tree = build_tree_pair(data.draw, n, height,
+                                                repetitions=False,
+                                                engine=engine,
+                                                missing_rate=10)
         before_reference = reference.meter.units
-        before_fast = fast.meter.units
+        before_array = array_tree.meter.units
         resolve_all(reference, conversion, t=2)
-        flat_resolve_levels(fast, conversion, t=2)
+        resolve_levels(array_tree, engine, conversion, t=2)
         assert (reference.meter.units - before_reference
-                == fast.meter.units - before_fast)
+                == array_tree.meter.units - before_array)
 
 
-def _run_both_engines(spec_factory, n, t, faulty, adversary_name, value, seed):
+def _run_engine_vs_reference(engine, spec_factory, n, t, faulty,
+                             adversary_name, value, seed):
     results = {}
-    for engine in ("fast", "reference"):
-        with use_engine(engine):
+    for run_engine in (engine, "reference"):
+        with use_engine(run_engine):
             adversary = adversary_registry()[adversary_name]()
             config = ProtocolConfig(n=n, t=t, initial_value=value)
-            results[engine] = run_agreement(spec_factory(), config, faulty,
-                                            adversary, seed=seed)
-    fast, reference = results["fast"], results["reference"]
-    context = (adversary_name, sorted(faulty), value, seed)
-    assert fast.decisions == reference.decisions, context
-    assert fast.discovered == reference.discovered, context
-    assert fast.discovery_logs == reference.discovery_logs, context
-    assert fast.metrics.summary() == reference.metrics.summary(), context
+            results[run_engine] = run_agreement(spec_factory(), config, faulty,
+                                                adversary, seed=seed)
+    candidate, reference = results[engine], results["reference"]
+    context = (engine, adversary_name, sorted(faulty), value, seed)
+    assert candidate.decisions == reference.decisions, context
+    assert candidate.discovered == reference.discovered, context
+    assert candidate.discovery_logs == reference.discovery_logs, context
+    assert candidate.metrics.summary() == reference.metrics.summary(), context
 
 
+@pytest.mark.parametrize("engine", ARRAY_ENGINES)
 class TestEndToEndEngineEquivalence:
     _e2e_settings = settings(max_examples=12, deadline=None,
                              suppress_health_check=[HealthCheck.too_slow])
 
     @_e2e_settings
     @given(data=st.data())
-    def test_exponential_runs_identically(self, data):
+    def test_exponential_runs_identically(self, data, engine):
         n, t = 7, 2
         count = data.draw(st.integers(min_value=0, max_value=t))
         faulty = frozenset(data.draw(
@@ -148,12 +177,12 @@ class TestEndToEndEngineEquivalence:
         adversary_name = data.draw(st.sampled_from(ADVERSARY_NAMES))
         value = data.draw(st.integers(min_value=0, max_value=1))
         seed = data.draw(st.integers(min_value=0, max_value=10))
-        _run_both_engines(ExponentialSpec, n, t, faulty, adversary_name,
-                          value, seed)
+        _run_engine_vs_reference(engine, ExponentialSpec, n, t, faulty,
+                                 adversary_name, value, seed)
 
     @_e2e_settings
     @given(data=st.data())
-    def test_algorithm_b_runs_identically(self, data):
+    def test_algorithm_b_runs_identically(self, data, engine):
         n, t = 9, 2
         count = data.draw(st.integers(min_value=0, max_value=t))
         faulty = frozenset(data.draw(
@@ -162,14 +191,15 @@ class TestEndToEndEngineEquivalence:
         adversary_name = data.draw(st.sampled_from(ADVERSARY_NAMES))
         value = data.draw(st.integers(min_value=0, max_value=1))
         seed = data.draw(st.integers(min_value=0, max_value=10))
-        _run_both_engines(lambda: AlgorithmBSpec(2), n, t, faulty,
-                          adversary_name, value, seed)
+        _run_engine_vs_reference(engine, lambda: AlgorithmBSpec(2), n, t,
+                                 faulty, adversary_name, value, seed)
 
     @_e2e_settings
     @given(data=st.data())
-    def test_algorithm_a_runs_identically(self, data):
+    def test_algorithm_a_runs_identically(self, data, engine):
         # Algorithm A is the only user of conversion-time fault discovery
-        # (discover_during_conversion_flat), so this also pins that path.
+        # (discover_during_conversion_flat / _numpy), so this also pins that
+        # path for both array engines.
         n, t = 10, 3
         count = data.draw(st.integers(min_value=0, max_value=t))
         faulty = frozenset(data.draw(
@@ -178,12 +208,12 @@ class TestEndToEndEngineEquivalence:
         adversary_name = data.draw(st.sampled_from(ADVERSARY_NAMES))
         value = data.draw(st.integers(min_value=0, max_value=1))
         seed = data.draw(st.integers(min_value=0, max_value=10))
-        _run_both_engines(lambda: AlgorithmASpec(3), n, t, faulty,
-                          adversary_name, value, seed)
+        _run_engine_vs_reference(engine, lambda: AlgorithmASpec(3), n, t,
+                                 faulty, adversary_name, value, seed)
 
     @_e2e_settings
     @given(data=st.data())
-    def test_hybrid_runs_identically(self, data):
+    def test_hybrid_runs_identically(self, data, engine):
         n, t = 10, 3
         count = data.draw(st.integers(min_value=0, max_value=t))
         faulty = frozenset(data.draw(
@@ -192,12 +222,12 @@ class TestEndToEndEngineEquivalence:
         adversary_name = data.draw(st.sampled_from(ADVERSARY_NAMES))
         value = data.draw(st.integers(min_value=0, max_value=1))
         seed = data.draw(st.integers(min_value=0, max_value=10))
-        _run_both_engines(lambda: HybridSpec(3), n, t, faulty,
-                          adversary_name, value, seed)
+        _run_engine_vs_reference(engine, lambda: HybridSpec(3), n, t, faulty,
+                                 adversary_name, value, seed)
 
     @_e2e_settings
     @given(data=st.data())
-    def test_algorithm_c_runs_identically(self, data):
+    def test_algorithm_c_runs_identically(self, data, engine):
         n, t = 14, 2
         count = data.draw(st.integers(min_value=0, max_value=t))
         faulty = frozenset(data.draw(
@@ -206,5 +236,5 @@ class TestEndToEndEngineEquivalence:
         adversary_name = data.draw(st.sampled_from(ADVERSARY_NAMES))
         value = data.draw(st.integers(min_value=0, max_value=1))
         seed = data.draw(st.integers(min_value=0, max_value=10))
-        _run_both_engines(AlgorithmCSpec, n, t, faulty, adversary_name,
-                          value, seed)
+        _run_engine_vs_reference(engine, AlgorithmCSpec, n, t, faulty,
+                                 adversary_name, value, seed)

@@ -38,6 +38,14 @@ class TestProtocolConfig:
         with pytest.raises(ConfigurationError):
             ProtocolConfig(n=7, t=2, initial_value=9)
 
+    def test_singleton_domain_rejected(self):
+        # Agreement over |V| = 1 is vacuous, and lying adversaries rely on
+        # a second element existing (see adversary.liars.another_value).
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig(n=7, t=2, initial_value=0, domain=(0,))
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig(n=7, t=2, initial_value=0, domain=(0, 0))
+
     def test_non_default_source(self):
         config = ProtocolConfig(n=7, t=2, source=3)
         assert 3 in config.processors
