@@ -12,11 +12,22 @@ worst-case equivocating-source adversary, once per engine:
   gathering, per-level ``bincount`` conversions and slot-wise adversary
   rewrites.  Timed only when numpy is importable (the engine is optional).
 
+A fourth timeable mode is ``"batched"`` — not a per-processor engine but the
+whole-run executor (``run_agreement(..., batched=True)``): every correct
+processor (and every adversary shadow) steps as one 2-D numpy kernel per
+round.  It is timed only on the cells whose spec it actually accelerates
+(``repro.runtime.batched.batched_supported`` — the EIG specs; Algorithm C,
+the hybrid and the baselines fall back to the per-processor driver).
+
 Running ``python benchmarks/bench_perf.py`` writes ``BENCH_perf.json`` at the
-repository root with per-cell timings and speedups plus the headline cell
-(Exponential at ``n=13, t=4``), which carries the acceptance gates: the fast
-engine must be ≥ 5× the reference end-to-end, and the numpy engine ≥ 2× the
-fast engine (hence ≥ 30× the reference).  The perf smoke test
+repository root with per-cell timings and speedups, run metadata
+(python/numpy versions, platform, CPU count, engine list) so the perf
+trajectory across PRs stays attributable, and the headline cell (Exponential
+at ``n=13, t=4``), which carries the acceptance gates: the fast engine must
+be ≥ 5× the reference end-to-end, the numpy engine ≥ 2× the fast engine, and
+the batched executor ≥ 1.5× the per-processor numpy engine — while at the
+small ``n=7, t=2`` Exponential cell batched must not lose to the fast engine
+(the small-level crossover).  The perf smoke test
 (``benchmarks/test_perf_smoke.py``) re-checks a small grid against this
 recording.  Use ``--engine`` (repeatable) to time a subset of engines.
 """
@@ -25,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -34,13 +46,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.algorithm_a import AlgorithmASpec
 from repro.core.algorithm_b import AlgorithmBSpec
 from repro.core.algorithm_c import AlgorithmCSpec
-from repro.core.engine import (ENGINES, numpy_available, use_engine,
-                               validate_engine)
+from repro.core.engine import (BATCHED, ENGINES, numpy_available,
+                               use_engine, validate_engine)
 from repro.core.exponential import ExponentialSpec
 from repro.core.hybrid import HybridSpec
 from repro.core.protocol import ProtocolConfig, ProtocolSpec
 from repro.experiments.workloads import worst_case_scenarios
+from repro.runtime.batched import batched_supported
 from repro.runtime.simulation import run_agreement
+
+#: The small-``n`` cell on which batched must not lose to the fast engine.
+CROSSOVER = ("exponential", 7, 2)
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
@@ -59,27 +75,38 @@ CELLS: List[Tuple[str, type, tuple, List[Tuple[int, int]]]] = [
 
 
 def default_engines() -> List[str]:
-    """Every engine timeable in this process (numpy only when importable)."""
-    return [engine for engine in ("reference", "fast", "numpy")
-            if engine != "numpy" or numpy_available()]
+    """Every mode timeable in this process (numpy and batched need numpy)."""
+    if numpy_available():
+        return ["reference", "fast", "numpy", BATCHED]
+    return ["reference", "fast"]
 
 
 def time_run(spec: ProtocolSpec, n: int, t: int, engine: str,
-             repetitions: int = 3) -> Tuple[float, object]:
+             repetitions: int = 5) -> Tuple[float, object]:
     """Best-of-*repetitions* wall-clock of one run under *engine*.
+
+    One untimed warm-up run precedes the timed repetitions so every engine
+    is measured with its lazily built tables (interned sequence indexes,
+    ndarray twins, codec, ufunc dispatch) in place — otherwise whichever
+    cell happens to run first in the process pays those one-time costs in
+    its recording.
 
     Returns ``(seconds, decision_value)`` so callers can cross-check that
     every engine decided identically.
     """
     scenario = worst_case_scenarios(n, t)[0]
     config = ProtocolConfig(n=n, t=t, initial_value=1)
+    batched = engine == BATCHED
     best = float("inf")
     decision = None
+    with use_engine("numpy" if batched else engine):
+        run_agreement(spec, config, scenario.faulty, scenario.adversary(),
+                      batched=batched)
     for _ in range(repetitions):
-        with use_engine(engine):
+        with use_engine("numpy" if batched else engine):
             start = time.perf_counter()
             result = run_agreement(spec, config, scenario.faulty,
-                                   scenario.adversary())
+                                   scenario.adversary(), batched=batched)
             elapsed = time.perf_counter() - start
         best = min(best, elapsed)
         if not result.agreement:
@@ -96,7 +123,7 @@ def _speedup(baseline: Optional[float], candidate: Optional[float]):
     return round(baseline / candidate, 2)
 
 
-def run_benchmark(repetitions: int = 3, cells=CELLS,
+def run_benchmark(repetitions: int = 5, cells=CELLS,
                   engines: Optional[Sequence[str]] = None) -> Dict[str, object]:
     """Measure every cell under every requested engine and return the report."""
     engines = list(engines) if engines is not None else default_engines()
@@ -104,9 +131,16 @@ def run_benchmark(repetitions: int = 3, cells=CELLS,
     headline: Optional[Dict[str, object]] = None
     for label, spec_cls, args, grid in cells:
         for n, t in grid:
+            cell_engines = list(engines)
+            if BATCHED in cell_engines and not batched_supported(
+                    spec_cls(*args), ProtocolConfig(n=n, t=t,
+                                                    initial_value=1)):
+                # Batched falls back to the per-processor driver here;
+                # recording its time would just duplicate the numpy column.
+                cell_engines.remove(BATCHED)
             seconds: Dict[str, float] = {}
             decisions: Dict[str, object] = {}
-            for engine in engines:
+            for engine in cell_engines:
                 seconds[engine], decisions[engine] = time_run(
                     spec_cls(*args), n, t, engine, repetitions)
             if len(set(decisions.values())) > 1:
@@ -116,13 +150,14 @@ def run_benchmark(repetitions: int = 3, cells=CELLS,
             reference_s = seconds.get("reference")
             fast_s = seconds.get("fast")
             numpy_s = seconds.get("numpy")
+            batched_s = seconds.get(BATCHED)
             row: Dict[str, object] = {
                 "protocol": label,
                 "n": n,
                 "t": t,
                 "scenario": worst_case_scenarios(n, t)[0].name,
             }
-            for engine in engines:
+            for engine in cell_engines:
                 row[f"{engine}_seconds"] = round(seconds[engine], 6)
             row.update({
                 # "speedup" stays fast-vs-reference: it is the recorded gate
@@ -131,11 +166,17 @@ def run_benchmark(repetitions: int = 3, cells=CELLS,
                 "numpy_speedup": _speedup(reference_s, numpy_s),
                 "numpy_vs_fast": _speedup(fast_s, numpy_s),
             })
+            if batched_s is not None:
+                row.update({
+                    "batched_speedup": _speedup(reference_s, batched_s),
+                    "batched_vs_fast": _speedup(fast_s, batched_s),
+                    "batched_vs_numpy": _speedup(numpy_s, batched_s),
+                })
             rows.append(row)
             if (label, n, t) == HEADLINE:
                 headline = row
             timings = "   ".join(f"{engine} {seconds[engine]:8.3f}s"
-                                 for engine in engines)
+                                 for engine in cell_engines)
             print(f"{label:18s} n={n:3d} t={t}  {timings}")
     report = {
         "benchmark": "bench_perf",
@@ -143,7 +184,9 @@ def run_benchmark(repetitions: int = 3, cells=CELLS,
                         "equivocating-source scenario, best of "
                         f"{repetitions} repetitions per engine."),
         "python": sys.version.split()[0],
+        "numpy": _numpy_version(),
         "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
         "engines": engines,
         "headline": headline,
         "rows": rows,
@@ -151,20 +194,30 @@ def run_benchmark(repetitions: int = 3, cells=CELLS,
     return report
 
 
+def _numpy_version() -> Optional[str]:
+    """The numpy version string, or ``None`` on a bare image."""
+    if not numpy_available():
+        return None
+    from repro.core.npsupport import get_numpy
+    return get_numpy().__version__
+
+
 def main(argv: Optional[Sequence[str]] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--engine", action="append", choices=ENGINES,
+    parser.add_argument("--engine", action="append",
+                        choices=tuple(ENGINES) + (BATCHED,),
                         default=None, dest="engines",
-                        help="engine to time (repeatable; default: every "
-                             "engine available in this process)")
-    parser.add_argument("--repetitions", type=int, default=3)
+                        help="engine/mode to time (repeatable; default: "
+                             "every mode available in this process; "
+                             "'batched' is the whole-run executor)")
+    parser.add_argument("--repetitions", type=int, default=5)
     parser.add_argument("--no-write", action="store_true",
                         help="print timings without rewriting BENCH_perf.json")
     args = parser.parse_args(argv)
     if args.engines:
         try:
             for engine in args.engines:
-                validate_engine(engine)
+                validate_engine("numpy" if engine == BATCHED else engine)
         except ValueError as exc:
             parser.error(str(exc))
     report = run_benchmark(repetitions=args.repetitions, engines=args.engines)
@@ -175,6 +228,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     if headline is not None:
         fast = headline.get("speedup")
         vs_fast = headline.get("numpy_vs_fast")
+        vs_numpy = headline.get("batched_vs_numpy")
         if fast is not None:
             print(f"headline: Exponential n={headline['n']} t={headline['t']} "
                   f"fast speedup {fast}x "
@@ -182,6 +236,18 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         if vs_fast is not None:
             print(f"headline: numpy vs fast {vs_fast}x "
                   f"({'PASS' if vs_fast >= 2 else 'FAIL'} vs the 2x gate)")
+        if vs_numpy is not None:
+            print(f"headline: batched vs numpy {vs_numpy}x "
+                  f"({'PASS' if vs_numpy >= 1.5 else 'FAIL'} vs the 1.5x "
+                  f"gate)")
+    for row in report["rows"]:
+        if (row["protocol"], row["n"], row["t"]) == CROSSOVER:
+            crossover = row.get("batched_vs_fast")
+            if crossover is not None:
+                print(f"crossover: Exponential n={row['n']} t={row['t']} "
+                      f"batched vs fast {crossover}x "
+                      f"({'PASS' if crossover >= 1 else 'FAIL'} vs the "
+                      f"no-crossover gate)")
 
 
 if __name__ == "__main__":

@@ -14,12 +14,19 @@ gated on:
    (``n=13, t=4``).  The numpy gate runs at that size on purpose: ndarray
    creation overhead makes numpy *slower* on tiny levels (tens of nodes) —
    its reason to exist is the large-``(n, t)`` regime, where it is several
-   times faster, so that is where the regression gate sits.
+   times faster, so that is where the regression gate sits.  The batched
+   whole-run executor, whose reason to exist is erasing exactly that
+   per-call overhead, must be ≥ 1.5× the per-processor numpy engine at the
+   headline cell in the recording — live, batched must not be slower than
+   1.1× numpy there and must be observationally identical to it
+   (decisions, discoveries, metrics spot check).
 3. **Recorded baseline** — when ``BENCH_perf.json`` exists, the recording
    itself must show the acceptance-gate speedups (≥ 5× fast-vs-reference on
-   the Exponential headline cell, and ≥ 2× numpy-vs-fast when the recording
-   includes the numpy engine), and with ``REPRO_PERF_STRICT=1`` a fresh
-   measurement of the smoke grid must come in under 1.5× its recorded
+   the Exponential headline cell, ≥ 2× numpy-vs-fast, and — when the
+   recording includes the batched executor — ≥ 1.5× batched-vs-numpy at the
+   headline plus no small-level crossover: batched not slower than fast at
+   the Exponential ``n=7, t=2`` cell), and with ``REPRO_PERF_STRICT=1`` a
+   fresh measurement of the smoke grid must come in under 1.5× its recorded
    fast-engine baseline (opt-in because absolute times are
    machine-dependent).
 
@@ -63,10 +70,11 @@ ARRAY_ENGINES = [
 
 def _run(spec_cls, args, n, t, engine, scenario):
     config = ProtocolConfig(n=n, t=t, initial_value=1)
-    with use_engine(engine):
+    batched = engine == "batched"
+    with use_engine("numpy" if batched else engine):
         start = time.perf_counter()
         result = run_agreement(spec_cls(*args), config, scenario.faulty,
-                               scenario.adversary())
+                               scenario.adversary(), batched=batched)
         elapsed = time.perf_counter() - start
     return result, elapsed
 
@@ -93,6 +101,31 @@ def test_fast_engine_not_slower_than_reference(label, spec_cls, args, n, t):
     assert fast_s <= 1.5 * reference_s, (
         f"{label}: fast engine took {fast_s:.4f}s vs reference "
         f"{reference_s:.4f}s (> 1.5x)")
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_batched_matches_numpy_and_beats_it_at_scale():
+    """Observational-identity spot check + the 1.5× batched gate."""
+    label, spec_cls, args, n, t = NUMPY_GATE_CELL
+    scenario = worst_case_scenarios(n, t)[0]
+    batched_result, _ = _run(spec_cls, args, n, t, "batched", scenario)
+    numpy_result, _ = _run(spec_cls, args, n, t, "numpy", scenario)
+    assert batched_result.decisions == numpy_result.decisions
+    assert batched_result.discovered == numpy_result.discovered
+    assert batched_result.discovery_logs == numpy_result.discovery_logs
+    assert (batched_result.metrics.summary()
+            == numpy_result.metrics.summary())
+    batched_s = min(_run(spec_cls, args, n, t, "batched", scenario)[1]
+                    for _ in range(3))
+    numpy_s = min(_run(spec_cls, args, n, t, "numpy", scenario)[1]
+                  for _ in range(3))
+    # Tolerance-style live bound (like the numpy-vs-fast gate below); the
+    # strict >= 1.5x acceptance ratio is enforced deterministically against
+    # the recorded BENCH_perf.json, where machine load cannot flake it.
+    assert batched_s <= 1.1 * numpy_s, (
+        f"{label} (n={n}, t={t}): batched executor took {batched_s:.4f}s vs "
+        f"per-processor numpy {numpy_s:.4f}s (> 1.1x); whole-run batching "
+        f"regressed at the headline cell")
 
 
 @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
@@ -127,6 +160,35 @@ def test_recorded_baseline_shows_acceptance_speedup():
         assert headline["numpy_vs_fast"] >= 2, (
             f"recorded numpy-vs-fast headline speedup "
             f"{headline['numpy_vs_fast']}x is below the 2x acceptance gate")
+    if "batched" in report.get("engines", []) and headline.get(
+            "batched_vs_numpy") is not None:
+        # A partial --engine recording may time batched without numpy and
+        # carries no ratio to gate on, like the numpy branch above.
+        assert headline["batched_vs_numpy"] >= 1.5, (
+            f"recorded batched-vs-numpy headline speedup "
+            f"{headline['batched_vs_numpy']}x is below the 1.5x acceptance "
+            f"gate")
+
+
+def test_recorded_baseline_shows_no_small_level_crossover():
+    """Recorded batched time must not lose to fast at Exponential n=7,t=2."""
+    report = load_recorded_perf()
+    if report is None:
+        pytest.skip("BENCH_perf.json not recorded yet (run benchmarks/bench_perf.py)")
+    if "batched" not in report.get("engines", []):
+        pytest.skip("recorded BENCH_perf.json does not time the batched "
+                    "executor (partial --engine recording or no numpy)")
+    row = recorded_perf_row(report, "exponential", 7, 2)
+    assert row is not None, "recording lacks the Exponential n=7,t=2 cell"
+    ratio = row.get("batched_vs_fast")
+    if ratio is None:
+        # A partial --engine recording may time batched without fast and
+        # carries no ratio to gate on.
+        pytest.skip("recorded Exponential n=7,t=2 cell lacks the "
+                    "batched-vs-fast ratio (partial --engine recording)")
+    assert ratio >= 1, (
+        f"recorded batched executor is {ratio}x the fast engine at "
+        f"Exponential n=7,t=2 — the small-level crossover is back")
 
 
 def test_fresh_measurement_within_recorded_baseline():

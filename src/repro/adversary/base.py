@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, FrozenSet, Mapping, Optional
 
 from ..core.sequences import ProcessorId
-from ..runtime.errors import AdversaryError
+from ..runtime.errors import AdversaryError, SimulationError
 from ..runtime.messages import Inbox, Message, Outbox
 
 if TYPE_CHECKING:  # imported only for annotations, to avoid an import cycle
@@ -60,7 +60,20 @@ class Adversary(abc.ABC):
         self.context: Optional[AdversaryContext] = None
 
     def bind(self, context: AdversaryContext) -> None:
-        """Attach the adversary to one execution.  Called once by the driver."""
+        """Attach the adversary to one execution.  Called once by the driver.
+
+        Rebinding an already-bound adversary raises: strategy state built for
+        the previous execution (shadow protocol machines, rng position,
+        cached node-id tables) would silently leak into the new one.  Use a
+        fresh adversary instance per run — the workload scenarios hand out
+        factories for exactly this reason.
+        """
+        if self.context is not None:
+            raise SimulationError(
+                f"adversary {self.describe()!r} is already bound to an "
+                f"execution context; create a fresh adversary instance per "
+                f"run (stale shadow/rng state must not leak across "
+                f"executions)")
         self.context = context
 
     def _require_context(self) -> AdversaryContext:
@@ -106,10 +119,12 @@ class ShadowAdversary(Adversary):
         super().__init__()
         self._shadows: Dict[ProcessorId, AgreementProtocol] = {}
         self._rng: Optional[random.Random] = None
+        self._rewrite_cache: tuple = (None, {})
 
     def bind(self, context: AdversaryContext) -> None:
         super().bind(context)
         self._rng = context.rng()
+        self._rewrite_cache = (None, {})
         self._shadows = {
             pid: context.spec.build(pid, context.config)
             for pid in sorted(context.faulty)
@@ -124,6 +139,33 @@ class ShadowAdversary(Adversary):
 
     def shadow(self, pid: ProcessorId) -> AgreementProtocol:
         return self._shadows[pid]
+
+    def cached_rewrite(self, message: Message, key, build) -> Message:
+        """Memoise a deterministic per-destination rewrite of one broadcast.
+
+        Most tampering strategies send each destination one of a *few*
+        deterministic rewrites of the shadow's broadcast (e.g. the honest
+        buffer or the flipped buffer) — rebuilding the rewritten message per
+        destination costs ``n − 1`` buffer fills where two suffice.  The
+        cache is keyed by the identity of the *current* broadcast message
+        (tamper calls for one round's broadcast arrive consecutively, and the
+        cache holds a strong reference, so the identity cannot be recycled)
+        plus a caller-chosen *key* naming the rewrite.  Messages are
+        immutable, so sharing one rewritten object across destinations is
+        indistinguishable from rebuilding it — except to the wall clock, and
+        to the batched executor, which dedupes claim rows per object.
+
+        Never use this for non-deterministic rewrites (per-destination
+        randomness must stay one draw per destination).
+        """
+        cached_message, by_key = self._rewrite_cache
+        if cached_message is not message:
+            by_key = {}
+            self._rewrite_cache = (message, by_key)
+        rewritten = by_key.get(key)
+        if rewritten is None:
+            rewritten = by_key[key] = build()
+        return rewritten
 
     def suppress(self, round_number: int, sender: ProcessorId,
                  dest: ProcessorId) -> bool:

@@ -58,7 +58,11 @@ class ConsistentLiarAdversary(ShadowAdversary):
                message: Message,
                correct_outboxes: Mapping[ProcessorId, Outbox]) -> Message:
         domain = self._require_context().config.domain
-        return message.map_values(lambda value: another_value(value, domain))
+        # One flipped buffer serves every destination (the lie is consistent).
+        return self.cached_rewrite(
+            message, "flip",
+            lambda: message.map_values(lambda value: another_value(value,
+                                                                   domain)))
 
 
 class RandomLiarAdversary(ShadowAdversary):
@@ -106,7 +110,11 @@ class TwoFacedAdversary(ShadowAdversary):
         domain = self._require_context().config.domain
         if dest % 2 == 0:
             return message
-        return message.map_values(lambda value: another_value(value, domain))
+        # Every odd destination hears the same flipped story: build it once.
+        return self.cached_rewrite(
+            message, "flip",
+            lambda: message.map_values(lambda value: another_value(value,
+                                                                   domain)))
 
 
 class EchoSuppressorAdversary(ShadowAdversary):
@@ -124,4 +132,7 @@ class EchoSuppressorAdversary(ShadowAdversary):
     def tamper(self, round_number: int, sender: ProcessorId, dest: ProcessorId,
                message: Message,
                correct_outboxes: Mapping[ProcessorId, Outbox]) -> Message:
-        return message.replace_values(DEFAULT_VALUE)
+        # The all-default report is destination-independent: one fill.
+        return self.cached_rewrite(
+            message, "default",
+            lambda: message.replace_values(DEFAULT_VALUE))

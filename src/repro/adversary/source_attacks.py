@@ -38,7 +38,10 @@ class TwoFacedSourceAdversary(ShadowAdversary):
         if dest % 2 == 0:
             return message
         domain = context.config.domain
-        return message.map_values(lambda value: another_value(value, domain))
+        return self.cached_rewrite(
+            message, "flip",
+            lambda: message.map_values(lambda value: another_value(value,
+                                                                   domain)))
 
 
 class EquivocatingSourceWithAlliesAdversary(ShadowAdversary):
@@ -66,15 +69,21 @@ class EquivocatingSourceWithAlliesAdversary(ShadowAdversary):
                correct_outboxes: Mapping[ProcessorId, Outbox]) -> Message:
         context = self._require_context()
         source = context.config.source
+        side = dest % 2
         if sender == source:
             if round_number != 1:
                 return message
-            return message.map_values(
-                lambda value: self._side_value(dest, value))
+            return self.cached_rewrite(
+                message, ("source-side", side),
+                lambda: message.map_values(
+                    lambda value: self._side_value(dest, value)))
         # Accomplices: bias every relayed entry toward the destination's side
-        # (a constant per destination, so the slot-wise rewrite is one fill).
-        return message.replace_values(
-            self._side_value(dest, context.config.initial_value))
+        # (a constant per destination parity, so the slot-wise rewrite is one
+        # fill per side, shared by all destinations on that side).
+        return self.cached_rewrite(
+            message, ("ally-side", side),
+            lambda: message.replace_values(
+                self._side_value(dest, context.config.initial_value)))
 
 
 class DelayedEquivocationAdversary(ShadowAdversary):
@@ -103,4 +112,7 @@ class DelayedEquivocationAdversary(ShadowAdversary):
         domain = context.config.domain
         if dest % 2 == 0:
             return message
-        return message.map_values(lambda value: another_value(value, domain))
+        return self.cached_rewrite(
+            message, "flip",
+            lambda: message.map_values(lambda value: another_value(value,
+                                                                   domain)))

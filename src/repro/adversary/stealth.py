@@ -44,9 +44,9 @@ class StealthPathAdversary(ShadowAdversary):
         self._all_faulty_ids: Dict[Tuple[int, int], List[int]] = {}
 
     def bind(self, context) -> None:
-        # The cached ids depend on the bound faulty set (and SequenceIndex
-        # objects are interned per shape, so id() keys survive across runs);
-        # re-binding to a new execution must start from an empty cache.
+        # The cached ids depend on the bound faulty set; clearing keeps the
+        # cache tied to this binding (rebinding itself raises in the base
+        # class, so this is belt-and-braces for subclasses).
         super().bind(context)
         self._all_faulty_ids.clear()
 
@@ -70,6 +70,13 @@ class StealthPathAdversary(ShadowAdversary):
         domain = context.config.domain
         if dest % 2 == 0:
             return message
+        # Every odd destination gets the same selectively flipped buffer.
+        return self.cached_rewrite(
+            message, "stealth-flip", lambda: self._flip_all_faulty(message,
+                                                                   faulty,
+                                                                   domain))
+
+    def _flip_all_faulty(self, message: Message, faulty, domain) -> Message:
         if isinstance(message, LevelMessage):
             ids = self._all_faulty_node_ids(message.index, message.level)
             return message.map_values_at(
@@ -117,4 +124,7 @@ class MinimalExposureAdversary(ShadowAdversary):
         domain = context.config.domain
         if dest % 2 == 0:
             return message
-        return message.map_values(lambda value: another_value(value, domain))
+        return self.cached_rewrite(
+            message, "flip",
+            lambda: message.map_values(lambda value: another_value(value,
+                                                                   domain)))

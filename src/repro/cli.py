@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import warnings
 from typing import List, Optional, Sequence
 
 from .adversary import adversary_registry
@@ -32,7 +33,7 @@ from .baselines import DolevStrongSpec, PeaseShostakLamportSpec, PhaseKingSpec
 from .core.algorithm_a import AlgorithmASpec
 from .core.algorithm_b import AlgorithmBSpec
 from .core.algorithm_c import AlgorithmCSpec
-from .core.engine import ENGINES, set_default_engine
+from .core.engine import ENGINES, batched_available, set_default_engine
 from .core.exponential import ExponentialSpec
 from .core.hybrid import HybridSpec
 from .core.protocol import ProtocolConfig, ProtocolSpec
@@ -79,6 +80,11 @@ def _parser() -> argparse.ArgumentParser:
     run.add_argument("--engine", choices=ENGINES, default=None,
                      help="EIG engine: numpy (vectorized, needs numpy), "
                           "fast (default), or reference (the oracle)")
+    run.add_argument("--batched", action="store_true",
+                     help="step all correct processors per round as whole-run "
+                          "2-D numpy kernels (EIG specs only; implies the "
+                          "numpy engine, falls back to the per-processor "
+                          "driver when unsupported)")
 
     experiments = sub.add_parser("experiments",
                                  help="regenerate the paper's tables and figures")
@@ -108,13 +114,34 @@ def _select_engine(engine: Optional[str]) -> None:
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    _select_engine(args.engine)
+    batched = getattr(args, "batched", False)
+    if batched and not batched_available():
+        warnings.warn("--batched requires numpy, which is not installed; "
+                      "running the per-processor driver instead",
+                      RuntimeWarning, stacklevel=2)
+        batched = False
+    if batched and args.engine not in (None, "numpy"):
+        # An explicit per-processor engine choice wins over --batched: the
+        # user asked to run on that engine (e.g. to cross-check the oracle),
+        # and the batched executor only exists on the numpy layer.
+        warnings.warn(
+            f"--batched runs on the numpy engine; honouring "
+            f"--engine {args.engine} with the per-processor driver instead",
+            RuntimeWarning, stacklevel=2)
+        batched = False
+    if batched and args.engine is None:
+        # The batched executor runs on the numpy storage layer; selecting it
+        # up front keeps any per-processor fallback pieces consistent.
+        _select_engine("numpy")
+    else:
+        _select_engine(args.engine)
     spec = build_spec(args.protocol, args.b)
     config = ProtocolConfig(n=args.n, t=args.t, initial_value=args.value)
     fault_count = args.faults if args.faults is not None else args.t
     faulty = choose_faulty(args.n, fault_count, source_faulty=args.source_faulty)
     adversary = adversary_registry()[args.adversary]()
-    result = run_agreement(spec, config, faulty, adversary, seed=args.seed)
+    result = run_agreement(spec, config, faulty, adversary, seed=args.seed,
+                           batched=batched)
     print(format_table([result.summary()], title=f"{spec.name} on n={args.n}, "
                                                  f"t={args.t}, faulty={sorted(faulty)}"))
     print()

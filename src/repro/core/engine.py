@@ -43,6 +43,16 @@ REFERENCE = "reference"
 
 ENGINES = (FAST, NUMPY, REFERENCE)
 
+#: The batched whole-run executor (``run_agreement(..., batched=True)``,
+#: ``repro run --batched``).  Not a per-processor engine — it replaces the
+#: per-processor stepping loop itself with 2-D kernels over all correct
+#: processors — but benchmarks and the CLI select it alongside the engines,
+#: so it is named here.  It runs on the ``"numpy"`` storage layer and is
+#: available exactly when that engine is (see :func:`batched_available`);
+#: per-run eligibility (EIG specs only) is decided by
+#: :func:`repro.runtime.batched.batched_supported`.
+BATCHED = "batched"
+
 _ENV_VAR = "REPRO_EIG_ENGINE"
 
 
@@ -50,6 +60,11 @@ def numpy_available() -> bool:
     """Whether the ``"numpy"`` engine is registered (numpy importable)."""
     from .npsupport import have_numpy
     return have_numpy()
+
+
+def batched_available() -> bool:
+    """Whether the batched whole-run executor can run (numpy importable)."""
+    return numpy_available()
 
 
 def available_engines() -> Tuple[str, ...]:

@@ -215,6 +215,187 @@ def _charge_examined_parents(triggers, ids, discovered: Set[ProcessorId],
     return int(ids.size)
 
 
+def _scan_parent_labels(index: SequenceIndex, parent_level: int, triggers,
+                        present, suspects: Set[ProcessorId],
+                        discovered: Set[ProcessorId],
+                        charge_per_parent: int) -> int:
+    """One label scan over precomputed per-parent *triggers*.
+
+    The per-label half of every vectorized discovery pass, shared by the
+    per-processor kernels and the batched run executor: walks the (≤ n)
+    sender labels of *parent_level*, skips suspects and already-discovered
+    labels, optionally filters to *present* parents, and applies the
+    reference early-skip charge accounting.  Updates *discovered* in place
+    and returns the meter charge.
+    """
+    charge = 0
+    for label, ids in index.ids_by_label_np(parent_level).items():
+        if label in suspects or label in discovered:
+            continue
+        if present is not None:
+            ids = ids[present[ids]]
+            if ids.size == 0:
+                continue
+        charge += charge_per_parent * _charge_examined_parents(
+            triggers, ids, discovered, label)
+    return charge
+
+
+def _scan_fired_labels(index: SequenceIndex, parent_level: int, fired_ids,
+                       suspects: Set[ProcessorId],
+                       discovered: Set[ProcessorId],
+                       charge_per_parent: int) -> int:
+    """The label scan of :func:`_scan_parent_labels` driven by fired ids.
+
+    Equivalent to the numpy scan when every parent is present (the batched
+    executor's invariant — its gathers store whole levels), but costs
+    ``O(|fired| + labels)`` python steps instead of several ndarray
+    operations per label: *fired_ids* are the ascending parent ids whose
+    window triggered; a label is discovered at its first fired id and charged
+    for the ids up to (and including) it, all others are charged in full.
+    """
+    from bisect import bisect_right
+    first_fired: Dict[ProcessorId, int] = {}
+    labels = index.last_labels(parent_level)
+    for parent_id in fired_ids:
+        label = labels[parent_id]
+        if label not in first_fired:
+            first_fired[label] = parent_id
+    charge = 0
+    for label, ids in index.ids_by_label_py(parent_level).items():
+        if label in suspects or label in discovered:
+            continue
+        first = first_fired.get(label)
+        if first is None:
+            charge += charge_per_parent * len(ids)
+        else:
+            discovered.add(label)
+            charge += charge_per_parent * bisect_right(ids, first)
+    return charge
+
+
+def _fired_ids_python(child_rows, parents_size: int, branch: int, labels,
+                      suspect_sets, budgets) -> List[List[int]]:
+    """Fired parent ids per participant, computed scalar for tiny levels.
+
+    Same decision as :func:`batched_window_triggers` (a window fires when no
+    strict majority exists or more than *budget* unlisted children deviate),
+    evaluated with the fast engine's :func:`window_majority` over plain
+    lists — for a handful of windows that beats a dozen ndarray kernels.
+    """
+    fired: List[List[int]] = []
+    for a, row in enumerate(child_rows):
+        suspects = suspect_sets[a]
+        budget = budgets[a]
+        row_fired: List[int] = []
+        for w in range(parents_size):
+            base = w * branch
+            window = row[base:base + branch]
+            majority = window_majority(window, branch)
+            if majority is None:
+                row_fired.append(w)
+                continue
+            deviating = 0
+            for offset in range(branch):
+                if (window[offset] != majority
+                        and labels[base + offset] not in suspects):
+                    deviating += 1
+            if deviating > budget:
+                row_fired.append(w)
+        fired.append(row_fired)
+    return fired
+
+
+def quiet_scan_charge(index: SequenceIndex, parent_level: int,
+                      parents_size: int, skip_labels,
+                      charge_per_parent: int) -> int:
+    """The meter charge of a label scan in which no window fired.
+
+    Exactly what :func:`_scan_fired_labels` would bill — every parent whose
+    label is not skipped, in full — computed in ``O(|skip_labels|)`` from the
+    interned per-label id lists.  Shared by both batched discovery passes so
+    the reference charge accounting lives in one place.
+    """
+    ids_by_label = index.ids_by_label_py(parent_level)
+    skipped = sum(len(ids_by_label.get(label, ())) for label in skip_labels)
+    return charge_per_parent * (parents_size - skipped)
+
+
+def batched_fired_ids(child_stacks, parents_size: int, branch: int,
+                      index: SequenceIndex, child_level: int,
+                      suspect_sets, budgets,
+                      num_codes: int) -> List[List[int]]:
+    """Fired parent ids per participant for one stacked level.
+
+    Dispatches between the vectorized trigger kernel
+    (:func:`batched_window_triggers`) and the scalar tiny-level path; either
+    way the result feeds :func:`_scan_fired_labels`, so discovery decisions
+    and meter charges are one shared implementation.
+    """
+    from .npsupport import SMALL_KERNEL_ELEMENTS, require_numpy
+    np = require_numpy()
+    count = child_stacks.shape[0]
+    if child_stacks.size <= SMALL_KERNEL_ELEMENTS:
+        return _fired_ids_python(child_stacks.tolist(), parents_size, branch,
+                                 index.last_labels(child_level),
+                                 suspect_sets, budgets)
+    triggers = batched_window_triggers(child_stacks, parents_size, branch,
+                                       index.slots_np(child_level),
+                                       suspect_sets,
+                                       np.asarray(budgets, dtype=np.int64),
+                                       num_codes)
+    fired: List[List[int]] = [[] for _ in range(count)]
+    for row_index in np.flatnonzero(triggers.any(axis=1)).tolist():
+        fired[row_index] = np.flatnonzero(triggers[row_index]).tolist()
+    return fired
+
+
+def batched_window_triggers(child_stacks, parents_size: int, branch: int,
+                            child_slots, suspect_sets, budgets,
+                            num_codes: int):
+    """Per-``(participant, parent)`` Fault Discovery triggers for a whole run.
+
+    2-D twin of :func:`_window_triggers_numpy`: *child_stacks* is the
+    ``(participants, level_size)`` stack of one level (no ``MISSING_CODE``
+    entries — the batched executor stores whole levels), *child_slots* the
+    child level's ``slots_np`` table, *suspect_sets* each participant's
+    ``L_p``, and *budgets* the per-participant ``t − |L_p|``.  One
+    ``bincount`` over the ``(participants · parents, branch)`` reshape
+    tallies every window of every participant at once; the unlisted-deviation
+    count is derived from the tallies (``branch − best's tally``) minus a
+    per-suspect-label slot fixup, avoiding any ``(participants, parents,
+    branch)`` temporary.
+    """
+    from .npsupport import require_numpy, window_tallies
+    np = require_numpy()
+    rows = child_stacks.shape[0]
+    tallies = window_tallies(
+        child_stacks.reshape(rows * parents_size, branch), num_codes)
+    best = tallies.argmax(axis=1)
+    best_count = np.take_along_axis(tallies, best[:, None], axis=1)[:, 0]
+    has_majority = (2 * best_count > branch).reshape(rows, parents_size)
+    # All deviating children first; then subtract each suspect child that
+    # deviates from its window's top code (a strict majority is unique, so
+    # the argmax tie-break never affects triggering windows).
+    deviating = (branch - best_count).reshape(rows, parents_size)
+    best = best.reshape(rows, parents_size)
+    for row_index, suspects in enumerate(suspect_sets):
+        if not suspects:
+            continue
+        codes = child_stacks[row_index]
+        dev = deviating[row_index]
+        top = best[row_index]
+        for label in suspects:
+            entry = child_slots.get(label)
+            if entry is None:
+                continue
+            slots, parents = entry
+            # Each parent has at most one child per label, so the fancy
+            # in-place subtract sees unique indices.
+            dev[parents] -= codes[slots] != top[parents]
+    return ~has_majority | (deviating > budgets[:, None])
+
+
 def discover_at_level_numpy(tree, level: int,
                             suspects: Set[ProcessorId], t: int,
                             meter: ComputationMeter = None) -> Set[ProcessorId]:
@@ -243,15 +424,8 @@ def discover_at_level_numpy(tree, level: int,
         np, cleaned, parents_size, branch, index.last_labels_np(level),
         suspects, budget, tree.n, len(VALUE_CODEC))
     present = parent_codes != MISSING_CODE
-    charge = 0
-    for label, ids in index.ids_by_label_np(level - 1).items():
-        if label in suspects:
-            continue
-        ids_present = ids[present[ids]]
-        if ids_present.size == 0:
-            continue
-        charge += 2 * branch * _charge_examined_parents(
-            triggers, ids_present, discovered, label)
+    charge = _scan_parent_labels(index, level - 1, triggers, present,
+                                 suspects, discovered, 2 * branch)
     if meter is not None:
         meter.charge(charge)
     return discovered
@@ -282,13 +456,53 @@ def discover_during_conversion_numpy(index: SequenceIndex,
             np, converted_levels[level], parents_size, branch,
             index.last_labels_np(level + 1), suspects, budget,
             index.n, len(VALUE_CODEC))
-        for label, ids in index.ids_by_label_np(level).items():
-            if label in suspects or label in discovered:
-                continue
-            charge += branch * _charge_examined_parents(
-                triggers, ids, discovered, label)
+        charge += _scan_parent_labels(index, level, triggers, None, suspects,
+                                      discovered, branch)
     if meter is not None:
         meter.charge(charge)
+    return discovered
+
+
+def discover_during_conversion_batched(index: SequenceIndex,
+                                       converted_stacks,
+                                       num_levels: int,
+                                       suspect_sets: Sequence[Set[ProcessorId]],
+                                       t: int,
+                                       meters: Sequence[ComputationMeter]
+                                       ) -> List[Set[ProcessorId]]:
+    """Whole-run counterpart of :func:`discover_during_conversion_numpy`.
+
+    *converted_stacks* is the output of
+    :func:`repro.core.resolve.batched_resolve_levels` (one
+    ``(participants, level_size)`` code stack per level); *suspect_sets* holds
+    each participant's ``L_p`` at conversion time.  One 2-D trigger kernel per
+    level serves every participant; the per-label scan — and therefore every
+    decision and meter charge — is the per-processor pass verbatim, row by
+    row.
+    """
+    from .npsupport import VALUE_CODEC
+    count = len(suspect_sets)
+    discovered: List[Set[ProcessorId]] = [set() for _ in range(count)]
+    budgets = [t - len(suspects) for suspects in suspect_sets]
+    charges = [0] * count
+    num_codes = len(VALUE_CODEC)
+    for level in range(1, num_levels):
+        branch = index.branch(level)
+        parents_size = index.level_size(level)
+        fired = batched_fired_ids(
+            converted_stacks[level], parents_size, branch, index, level + 1,
+            suspect_sets, budgets, num_codes)
+        for i in range(count):
+            if not fired[i]:
+                charges[i] += quiet_scan_charge(
+                    index, level, parents_size,
+                    suspect_sets[i] | discovered[i], branch)
+                continue
+            charges[i] += _scan_fired_labels(
+                index, level, fired[i],
+                suspect_sets[i], discovered[i], branch)
+    for i, meter in enumerate(meters):
+        meter.charge(charges[i])
     return discovered
 
 

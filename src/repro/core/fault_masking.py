@@ -162,6 +162,114 @@ def _discover_and_mask_numpy(tree: NumpyEIGTree, level: int,
     return newly_discovered
 
 
+def gather_level_batched(state, level: int, claims, row_of, domain_mask
+                         ) -> None:
+    """One 2-D fancy-indexed gather stepping every participant at once.
+
+    Whole-run twin of :func:`gather_level_numpy`: *claims* is a
+    ``(rows, prev_level_size)`` code matrix whose rows are the distinct claim
+    vectors of the round (the previous level stack — correct broadcasts and
+    echoes are by construction the sender's own row — plus an all-default row
+    for missing/suspect senders and one row per distinct faulty message), and
+    ``row_of[i, c]`` names the claims row receiver *i* reads for sender label
+    ``c``.  The new level of the entire run is then a single gather
+    ``claims[row_of[:, last_labels], parent_of_slot]`` pushed through the
+    code-level domain mask.
+
+    The uniform domain mask is equivalent to the per-processor paths: echoed
+    own values are always in-domain (they passed coercion, masking, or a
+    conversion), ``MISSING_CODE`` is never in-domain, and every other
+    out-of-domain claim collapses to the default exactly as the Fault
+    Masking / default-substitution rules require.
+    """
+    from .npsupport import DEFAULT_CODE, require_numpy
+    np = require_numpy()
+    index = state.index
+    values = claims[row_of[:, index.last_labels_np(level)],
+                    index.parent_ids_np(level)]
+    stack = np.where(domain_mask[values], values, DEFAULT_CODE)
+    state.append_level(stack.astype(claims.dtype, copy=False))
+
+
+def discover_and_mask_batched(state, level: int,
+                              trackers: List[FaultTracker],
+                              round_number: int, meters,
+                              masked_value: Value = DEFAULT_VALUE
+                              ) -> List[Set[ProcessorId]]:
+    """Whole-run fixpoint of batched discovery and row-slice masking.
+
+    2-D twin of :func:`_discover_and_mask_numpy`: per fixpoint iteration one
+    ``bincount`` trigger kernel covers every still-active participant, then
+    the per-label scan, tracker updates, slot masking, and meter charges run
+    row by row exactly as the per-processor pass would.  A participant whose
+    scan finds nothing fresh is deactivated — its row can no longer change
+    (masking only rewrites the owner's row) — which reproduces the
+    per-processor fixpoint's termination and charge accounting verbatim.
+    Returns the per-participant sets of newly discovered processors.
+    """
+    from .fault_discovery import (_scan_fired_labels, batched_fired_ids,
+                                  quiet_scan_charge)
+    from .npsupport import VALUE_CODEC, require_numpy
+    np = require_numpy()
+    count = state.count
+    newly: List[Set[ProcessorId]] = [set() for _ in range(count)]
+    if level < 2 or level > state.num_levels:
+        return newly
+    index = state.index
+    child_stack = state.raw_stack(level)
+    branch = index.branch(level - 1)
+    parents_size = index.level_size(level - 1)
+    slots_table = index.slots_np(level)
+    masked_code = VALUE_CODEC.code(masked_value)
+    # Batched levels are stored whole (the BatchedEIGState invariant), so the
+    # per-processor kernels' MISSING-substitution and parent-presence passes
+    # are no-ops here and every parent is examined.
+    active = list(range(count))
+    while active:
+        rows = child_stack[active] if len(active) < count else child_stack
+        budgets = []
+        suspect_sets = []
+        for i in active:
+            suspects = trackers[i].suspects
+            suspect_sets.append(suspects)
+            budgets.append(trackers[i].t - len(suspects))
+        fired = batched_fired_ids(rows, parents_size, branch, index, level,
+                                  suspect_sets, budgets, len(VALUE_CODEC))
+        still_active = []
+        for k, i in enumerate(active):
+            tracker = trackers[i]
+            if not fired[k]:
+                # No window fired for this participant: the scan would charge
+                # every non-suspect label in full and discover nothing.
+                meters[i].charge(quiet_scan_charge(
+                    index, level - 1, parents_size, suspect_sets[k],
+                    2 * branch))
+                continue
+            discovered: Set[ProcessorId] = set()
+            charge = _scan_fired_labels(
+                index, level - 1, fired[k],
+                suspect_sets[k], discovered, 2 * branch)
+            meters[i].charge(charge)
+            fresh = {pid for pid in discovered if pid not in tracker}
+            if not fresh:
+                continue
+            tracker.add_all(fresh, round_number)
+            newly[i] |= fresh
+            row = child_stack[i]
+            rewritten = 0
+            for pid in fresh:
+                entry = slots_table.get(pid)
+                if entry is None:
+                    continue
+                slots = entry[0]
+                row[slots] = masked_code
+                rewritten += int(slots.size)
+            meters[i].charge(rewritten)
+            still_active.append(i)
+        active = still_active
+    return newly
+
+
 def gather_level_numpy(tree: NumpyEIGTree, level: int, inbox: Inbox,
                        tracker: FaultTracker,
                        domain_set: FrozenSet[Value],

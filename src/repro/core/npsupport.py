@@ -31,6 +31,7 @@ import-clean when numpy is absent:
 
 from __future__ import annotations
 
+from functools import lru_cache as _lru_cache
 from typing import Dict, Hashable, List
 
 from .values import BOTTOM, DEFAULT_VALUE, Value
@@ -78,6 +79,13 @@ BOTTOM_CODE = 2
 #: per-level ``bincount`` majority votes comfortably inside the dtype while
 #: staying 16× smaller than object pointers.
 CODE_DTYPE_NAME = "int32"
+
+#: Below this many stacked elements the batched kernels switch to their
+#: scalar (pure-python) paths: ndarray call overhead dominates tiny levels —
+#: the very regime the batched executor exists to win.  Shared by the
+#: trigger, vote, and claim-routing fast paths so the crossover is tuned in
+#: one place.
+SMALL_KERNEL_ELEMENTS = 512
 
 
 class ValueCodec:
@@ -148,6 +156,84 @@ class ValueCodec:
 VALUE_CODEC = ValueCodec()
 
 
+class BatchedEIGState:
+    """Stacked level buffers for every participating processor of one run.
+
+    The batched run executor (:mod:`repro.runtime.batched`) stores, per tree
+    level, a single ``(participants, level_size)`` int32 code ndarray — row
+    ``i`` is exactly the level buffer participant ``i``'s
+    :class:`~repro.core.tree.NumpyEIGTree` would hold at the same point of the
+    execution.  One 2-D kernel per round then steps every correct processor at
+    once: gathering is a single fancy-indexed read over the stacked claims,
+    and resolve / fault discovery reshape the whole stack into one
+    ``(participants · parents, branch)`` vote matrix.
+
+    The aliasing discipline matches the per-processor trees: a level stack may
+    be mutated only during the round that appended it (gathering + masking of
+    freshly discovered senders); every later rewrite (the shift back to a
+    root) installs new arrays, so a row view wrapped by an outgoing
+    :class:`~repro.runtime.messages.NumpyLevelMessage` is immutable from the
+    moment it is broadcast.
+
+    **Invariant: levels are stored whole.**  Roots come from the coercion
+    rule and appended levels from the batched gather (which substitutes the
+    default), so :data:`MISSING_CODE` never appears in a stack.  The batched
+    discovery and conversion kernels rely on this to skip the
+    missing-substitution passes; callers appending stacks by other means must
+    uphold it.
+    """
+
+    __slots__ = ("index", "count", "_levels")
+
+    def __init__(self, index, count: int) -> None:
+        require_numpy()
+        self.index = index
+        self.count = count
+        self._levels: List[object] = []
+
+    @property
+    def num_levels(self) -> int:
+        return len(self._levels)
+
+    def raw_stack(self, level: int):
+        """The ``(participants, level_size)`` code stack of *level*, by reference."""
+        return self._levels[level - 1]
+
+    def row_view(self, level: int, i: int):
+        """Participant *i*'s level buffer: a 1-D view into the level stack."""
+        return self._levels[level - 1][i]
+
+    def set_roots(self, codes) -> None:
+        """Install the per-participant root codes as the (only) level 1."""
+        np = require_numpy()
+        roots = np.asarray(codes, dtype=CODE_DTYPE_NAME).reshape(self.count, 1)
+        self._levels = [roots]
+
+    #: ``shift_{k→1}`` for the whole run: same operation as :meth:`set_roots`.
+    reset_to_roots = set_roots
+
+    def append_level(self, stack) -> None:
+        """Install *stack* as the next level (shape-checked against the index)."""
+        expected = (self.count, self.index.level_size(self.num_levels + 1))
+        if tuple(stack.shape) != expected:
+            raise ValueError(
+                f"level {self.num_levels + 1} stack must have shape "
+                f"{expected}, got {tuple(stack.shape)}")
+        self._levels.append(stack)
+
+    def row_tree(self, i: int, meter=None):
+        """Participant *i*'s state as a standalone :class:`NumpyEIGTree`.
+
+        Copies the row buffers (the returned tree owns its levels); used by
+        tests and reporting to reuse the per-processor accessors/kernels
+        against a batched execution.
+        """
+        from .tree import NumpyEIGTree
+        return NumpyEIGTree.adopt_levels(
+            self.index.source, self.index.processors,
+            [stack[i].copy() for stack in self._levels], meter)
+
+
 # ---------------------------------------------------------------------------
 # The shared vote kernel: every per-level majority pass of the numpy engine
 # (resolve, resolve', the Fault Discovery Rule, Algorithm C's shift_{3→2})
@@ -158,24 +244,47 @@ VALUE_CODEC = ValueCodec()
 def vote_windows(codes, rows: int, branch: int):
     """Reshape a level's code buffer into its ``(rows, branch)`` vote matrix.
 
-    Upcast to int64 so the offset arithmetic of :func:`window_tallies` cannot
-    overflow the buffer dtype.
+    (:func:`window_tallies` picks an offset dtype wide enough for its own
+    arithmetic, so no upcast happens here.)
     """
-    np = require_numpy()
-    return codes.astype(np.int64).reshape(rows, branch)
+    return codes.reshape(rows, branch)
 
 
 def window_tallies(windows, num_codes: int):
     """Per-window vote tallies: ``tallies[i, c]`` counts code ``c`` in row ``i``.
 
     One ``bincount`` over offset codes (row ``i`` shifted by ``i·num_codes``)
-    tallies every window of the level at once.
+    tallies every window of the level at once.  The offset arithmetic runs in
+    int64: it cannot overflow there, and ``bincount`` consumes native intp
+    input directly instead of recasting.
     """
     np = require_numpy()
     rows = windows.shape[0]
-    offsets = np.arange(rows, dtype=np.int64) * num_codes
-    return np.bincount((windows + offsets[:, None]).reshape(-1),
-                       minlength=rows * num_codes).reshape(rows, num_codes)
+    total = rows * num_codes
+    if rows <= _OFFSET_CACHE_ROWS:
+        offsets = _window_offsets(rows, num_codes)
+    else:
+        offsets = (np.arange(rows, dtype=np.int64) * num_codes)[:, None]
+    flat = (windows + offsets).reshape(-1)
+    return np.bincount(flat, minlength=total).reshape(rows, num_codes)
+
+
+#: Offset columns are cached only below this row count: for small windows
+#: the arange/multiply pair is a measurable share of the kernel, while a
+#: large cached column would just pin memory for the process lifetime.
+_OFFSET_CACHE_ROWS = 4096
+
+
+@_lru_cache(maxsize=128)
+def _window_offsets(rows: int, num_codes: int):
+    """The ``(rows, 1)`` offset column of :func:`window_tallies`, cached.
+
+    Row counts repeat every round of a run (they depend only on the tree
+    shape and participant count), so the arange/multiply pair is worth
+    keeping for the small windows it dominates.
+    """
+    np = require_numpy()
+    return (np.arange(rows, dtype=np.int64) * num_codes)[:, None]
 
 
 def strict_majority(tallies, branch: int):

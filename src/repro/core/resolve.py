@@ -208,6 +208,30 @@ def flat_resolve_root(tree: FlatEIGTree, conversion: str, t: int) -> Value:
 # The numpy engine's conversion: one bincount majority vote per level
 # ---------------------------------------------------------------------------
 
+def _vote_level_select(np, windows, branch: int, majority: bool,
+                       threshold: int, num_codes: int, dtype):
+    """One level's conversion votes: ``windows`` → per-window converted code.
+
+    The select shared by the per-processor and the batched numpy conversions:
+    a single ``bincount`` tallies every ``(rows, branch)`` window, then
+    ``resolve`` keeps strict majorities (default otherwise) and ``resolve'``
+    zeroes the ``⊥`` column and demands a unique ``t + 1``-threshold winner.
+    """
+    from .npsupport import (BOTTOM_CODE, DEFAULT_CODE, strict_majority,
+                            window_tallies)
+    tallies = window_tallies(windows, num_codes)
+    if majority:
+        best, has_majority = strict_majority(tallies, branch)
+        out = np.where(has_majority, best, DEFAULT_CODE)
+    else:
+        tallies[:, BOTTOM_CODE] = 0
+        winners = tallies >= threshold
+        winner_count = winners.sum(axis=1)
+        winner_code = winners.argmax(axis=1)
+        out = np.where(winner_count == 1, winner_code, BOTTOM_CODE)
+    return out.astype(dtype)
+
+
 def numpy_resolve_levels(tree, conversion: str, t: int) -> List[object]:
     """Vectorized :func:`flat_resolve_levels` over an ndarray-backed tree.
 
@@ -227,9 +251,8 @@ def numpy_resolve_levels(tree, conversion: str, t: int) -> List[object]:
     Semantics and meter accounting are identical to both other engines (two
     units per leaf, one per child of every internal node, charged in bulk).
     """
-    from .npsupport import (BOTTOM_CODE, DEFAULT_CODE, MISSING_CODE,
-                            VALUE_CODEC, require_numpy, strict_majority,
-                            vote_windows, window_tallies)
+    from .npsupport import (DEFAULT_CODE, MISSING_CODE, VALUE_CODEC,
+                            require_numpy, vote_windows)
     np = require_numpy()
     if conversion not in ("resolve", "resolve_prime"):
         raise ValueError(f"unknown conversion function {conversion!r}")
@@ -250,20 +273,90 @@ def numpy_resolve_levels(tree, conversion: str, t: int) -> List[object]:
         branch = index.branch(level)
         size = index.level_size(level)
         charge += size * branch
-        tallies = window_tallies(vote_windows(children, size, branch),
-                                 num_codes)
-        if majority:
-            best, has_majority = strict_majority(tallies, branch)
-            out = np.where(has_majority, best, DEFAULT_CODE)
-        else:
-            tallies[:, BOTTOM_CODE] = 0
-            winners = tallies >= threshold
-            winner_count = winners.sum(axis=1)
-            winner_code = winners.argmax(axis=1)
-            out = np.where(winner_count == 1, winner_code, BOTTOM_CODE)
-        levels[level - 1] = out.astype(children.dtype)
+        levels[level - 1] = _vote_level_select(
+            np, vote_windows(children, size, branch), branch, majority,
+            threshold, num_codes, children.dtype)
     tree.meter.charge(charge)
     return levels
+
+
+def batched_resolve_levels(state, conversion: str, t: int):
+    """Whole-run conversion: :func:`numpy_resolve_levels` over stacked levels.
+
+    *state* is a :class:`~repro.core.npsupport.BatchedEIGState`; every
+    participant's tree is converted at once by reshaping each level stack to
+    ``(participants · parents, branch)`` and running the shared vote select —
+    one ``bincount`` per level for the entire run.  Returns
+    ``(levels, per_participant_charge)`` where ``levels[ℓ - 1]`` is the
+    ``(participants, level_size)`` converted code stack of level ``ℓ`` and the
+    charge equals what :func:`numpy_resolve_levels` bills one processor (the
+    caller charges each participant's meter).
+    """
+    from .npsupport import (SMALL_KERNEL_ELEMENTS, VALUE_CODEC,
+                            require_numpy)
+    np = require_numpy()
+    if conversion not in ("resolve", "resolve_prime"):
+        raise ValueError(f"unknown conversion function {conversion!r}")
+    height = state.num_levels
+    if height < 1:
+        raise KeyError("cannot resolve an empty tree")
+    index = state.index
+    count = state.count
+    # Batched levels are stored whole (the BatchedEIGState invariant), so
+    # the leaves resolve to themselves — no MISSING substitution pass.
+    leaf_stack = state.raw_stack(height)
+    levels: List[object] = [None] * height
+    levels[height - 1] = leaf_stack
+    charge = 2 * index.level_size(height)
+    majority = conversion == "resolve"
+    threshold = t + 1
+    num_codes = len(VALUE_CODEC)
+    for level in range(height - 1, 0, -1):
+        children = levels[level]
+        branch = index.branch(level)
+        size = index.level_size(level)
+        charge += size * branch
+        if children.size <= SMALL_KERNEL_ELEMENTS:
+            levels[level - 1] = np.asarray(
+                _vote_level_python(children.tolist(), size, branch, majority,
+                                   threshold), dtype=children.dtype)
+            continue
+        windows = children.reshape(count * size, branch)
+        out = _vote_level_select(np, windows, branch, majority, threshold,
+                                 num_codes, children.dtype)
+        levels[level - 1] = out.reshape(count, size)
+    return levels, charge
+
+
+def _vote_level_python(child_rows, size: int, branch: int, majority: bool,
+                       threshold: int):
+    """Scalar twin of :func:`_vote_level_select` for tiny stacked levels.
+
+    Same decisions on plain lists of codes: ``resolve`` keeps a strict
+    majority (default otherwise, via the fast engine's
+    :func:`~repro.core.fault_discovery.window_majority`); ``resolve'``
+    demands a unique non-``⊥`` code reaching the threshold.
+    """
+    from .npsupport import BOTTOM_CODE, DEFAULT_CODE
+    from .fault_discovery import window_majority
+    out_rows = []
+    for row in child_rows:
+        out_row = []
+        for w in range(size):
+            window = row[w * branch:(w + 1) * branch]
+            if majority:
+                winner = window_majority(window, branch)
+                out_row.append(DEFAULT_CODE if winner is None else winner)
+                continue
+            winner = BOTTOM_CODE
+            winners = 0
+            for code in set(window):
+                if code != BOTTOM_CODE and window.count(code) >= threshold:
+                    winners += 1
+                    winner = code
+            out_row.append(winner if winners == 1 else BOTTOM_CODE)
+        out_rows.append(out_row)
+    return out_rows
 
 
 def numpy_resolve_root(tree, conversion: str, t: int) -> Value:

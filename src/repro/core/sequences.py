@@ -276,6 +276,41 @@ class SequenceIndex:
             self._np_tables[("slots", level)] = cached
         return cached
 
+    def parent_ids_np(self, level: int):
+        """Node-id → parent node-id at ``level − 1`` (int ndarray, cached).
+
+        Pure arithmetic (``id // branch(level − 1)``), materialised once per
+        level so the batched gather reuses it every round.
+        """
+        cached = self._np_tables.get(("parents", level))
+        if cached is None:
+            from .npsupport import require_numpy
+            np = require_numpy()
+            branch = self.branch(level - 1)
+            cached = np.arange(self.level_size(level),
+                               dtype=np.int64) // branch
+            self._np_tables[("parents", level)] = cached
+        return cached
+
+    def ids_by_label_py(self, level: int) -> Dict[ProcessorId, List[int]]:
+        """Label → ascending list of the *level* node-ids ending in that label.
+
+        Plain-python twin of :meth:`ids_by_label_np` (the same interned
+        ``slots`` lists, no copies), used by the batched discovery passes'
+        fired-row fast scan; cached once per level per shape.
+        """
+        cached = self._np_tables.get(("ids_py", level))
+        if cached is None:
+            if level == 1:
+                self.ensure_level(1)
+                cached = {self.source: [0]}
+            else:
+                cached = {label: slots
+                          for label, (slots, _parents)
+                          in self.slots_for(level).items()}
+            self._np_tables[("ids_py", level)] = cached
+        return cached
+
     def ids_by_label_np(self, level: int):
         """Label → ndarray of the *level* node-ids ending in that label.
 

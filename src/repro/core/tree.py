@@ -641,6 +641,30 @@ class NumpyEIGTree(FlatEIGTree):
         clone._stored = list(self._stored)
         return clone
 
+    @classmethod
+    def adopt_levels(cls, source: ProcessorId,
+                     processors: Sequence[ProcessorId],
+                     buffers: Sequence,
+                     meter: Optional[ComputationMeter] = None) -> "NumpyEIGTree":
+        """Build a tree around existing per-level code buffers, by reference.
+
+        The bridge from a :class:`~repro.core.npsupport.BatchedEIGState` row
+        back to a per-processor tree: *buffers* are adopted as the level
+        buffers without copying and without meter charges (the batched
+        executor accounts for stores itself), so the full per-processor
+        accessor/kernel surface works against a batched execution's state.
+        """
+        tree = cls(source, processors, meter)
+        for level, buffer in enumerate(buffers, start=1):
+            expected = tree._index.level_size(level)
+            if len(buffer) != expected:
+                raise ValueError(
+                    f"level {level} of this tree shape has {expected} nodes, "
+                    f"got {len(buffer)} codes")
+            tree._flat.append(buffer)
+            tree._stored.append(int((buffer != tree._missing_code).sum()))
+        return tree
+
 
 class NumpyRepetitionTree(NumpyEIGTree):
     """ndarray-backed counterpart of :class:`RepetitionTree` (Algorithm C)."""

@@ -62,6 +62,11 @@ class SynchronousNetwork:
             if sender not in self.processors:
                 raise SimulationError(f"unknown sender {sender}")
             charged = sender in counted
+            shared = self._shared_broadcast(outbox)
+            if shared is not None:
+                self._deliver_broadcast(round_number, sender, outbox, shared,
+                                        charged, inboxes)
+                continue
             delivered_count = 0
             entry_total = 0
             bit_total = 0
@@ -104,3 +109,64 @@ class SynchronousNetwork:
                                              delivered_count, entry_total,
                                              bit_total)
         return inboxes
+
+    @staticmethod
+    def _shared_broadcast(outbox: Mapping[ProcessorId, Message]
+                          ) -> Optional[Message]:
+        """The single message object a broadcast outbox shares, else ``None``.
+
+        Correct processors broadcast one shared message to every destination
+        (see :func:`~repro.runtime.messages.broadcast_message`); detecting
+        that lets :meth:`deliver` validate, stamp, and cost the message once
+        instead of ``n − 1`` times.  The identity scan is O(destinations)
+        with no per-destination allocation.
+        """
+        if len(outbox) < 2:
+            return None
+        iterator = iter(outbox.values())
+        first = next(iterator)
+        for message in iterator:
+            if message is not first:
+                return None
+        return first
+
+    def _deliver_broadcast(self, round_number: int, sender: ProcessorId,
+                           outbox: Mapping[ProcessorId, Message],
+                           message: Message, charged: bool,
+                           inboxes: Dict[ProcessorId, Inbox]) -> None:
+        """Deliver one shared message to every destination of *outbox*.
+
+        Per-destination work shrinks to the membership checks and the inbox
+        insert; the ``isinstance`` validation, the sender stamp, and the
+        entry/bit cost run once for the whole broadcast.
+        """
+        if not isinstance(message, Message):
+            raise SimulationError(
+                f"sender {sender} produced a non-message payload for "
+                f"{next(iter(outbox))}")
+        delivered = stamp_sender(message, sender)
+        delivered_count = 0
+        for dest in outbox:
+            if dest not in self.processors:
+                raise SimulationError(
+                    f"message from {sender} addressed to unknown processor {dest}")
+            if dest == sender:
+                continue
+            inbox = inboxes.get(dest)
+            if inbox is None:
+                inbox = inboxes[dest] = {}
+            if sender in inbox:
+                # Defense in depth, as in deliver(): a custom Mapping outbox
+                # yielding a destination twice must not silently drop one.
+                raise SimulationError(
+                    f"sender {sender} delivered twice to {dest} "
+                    f"in round {round_number}")
+            inbox[sender] = delivered
+            delivered_count += 1
+        if charged and delivered_count:
+            entries = delivered.entry_count()
+            bits = delivered.size_bits(self.n, self.value_domain_size)
+            self.metrics.record_messages(round_number, sender,
+                                         delivered_count,
+                                         delivered_count * entries,
+                                         delivered_count * bits)

@@ -121,7 +121,7 @@ def choose_faulty(n: int, count: int, source_faulty: bool = False,
 def run_agreement(spec: ProtocolSpec, config: ProtocolConfig,
                   faulty: Iterable[ProcessorId] = (),
                   adversary: Optional[Adversary] = None,
-                  seed: int = 0) -> RunResult:
+                  seed: int = 0, batched: bool = False) -> RunResult:
     """Execute one agreement instance and return its :class:`RunResult`.
 
     Parameters
@@ -138,6 +138,13 @@ def run_agreement(spec: ProtocolSpec, config: ProtocolConfig,
         :class:`~repro.adversary.base.BenignAdversary`.
     seed:
         Seed forwarded to the adversary for reproducible randomised behaviour.
+    batched:
+        When ``True``, execute all correct processors' rounds as whole-run
+        2-D numpy kernels (:mod:`repro.runtime.batched`) instead of stepping
+        ``n − t`` per-processor state machines.  Observationally identical to
+        the per-processor engines; falls back cleanly to the per-processor
+        driver for non-EIG specs (Algorithm C, the hybrid, the baselines) or
+        when numpy is unavailable.
     """
     spec.validate(config)
     faulty_set = frozenset(faulty)
@@ -146,6 +153,12 @@ def run_agreement(spec: ProtocolSpec, config: ProtocolConfig,
         raise ConfigurationError(f"faulty set mentions unknown processors {sorted(unknown)}")
 
     adversary = adversary if adversary is not None else BenignAdversary()
+    if batched:
+        from .batched import run_batched_if_supported
+        result = run_batched_if_supported(spec, config, faulty_set, adversary,
+                                          seed)
+        if result is not None:
+            return result
     adversary.bind(AdversaryContext(config=config, spec=spec,
                                     faulty=faulty_set, seed=seed))
 
@@ -204,7 +217,8 @@ def run_agreement(spec: ProtocolSpec, config: ProtocolConfig,
 
 def run_many(spec: ProtocolSpec, config: ProtocolConfig,
              scenarios: Sequence[Tuple[Iterable[ProcessorId], Adversary]],
-             seed: int = 0) -> Tuple[RunResult, ...]:
+             seed: int = 0, batched: bool = False) -> Tuple[RunResult, ...]:
     """Run the same protocol/config under several (faulty set, adversary) pairs."""
-    return tuple(run_agreement(spec, config, faulty, adversary, seed=seed + index)
+    return tuple(run_agreement(spec, config, faulty, adversary,
+                               seed=seed + index, batched=batched)
                  for index, (faulty, adversary) in enumerate(scenarios))

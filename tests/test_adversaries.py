@@ -11,7 +11,7 @@ from repro.adversary import (AdversaryContext, BenignAdversary, CrashAdversary,
                              standard_adversaries)
 from repro.core.exponential import ExponentialSpec
 from repro.core.protocol import ProtocolConfig
-from repro.runtime.errors import AdversaryError
+from repro.runtime.errors import AdversaryError, SimulationError
 
 
 def bind(adversary, n=7, t=2, faulty=(5, 6), seed=0):
@@ -34,6 +34,26 @@ class TestContext:
     def test_unbound_adversary_rejected(self):
         with pytest.raises(AdversaryError):
             BenignAdversary().round_messages(1, {})
+
+    def test_rebinding_a_bound_adversary_raises(self):
+        """Stale-context reuse must fail loudly, not silently rebind.
+
+        Shadow machines, rng position, and cached node-id tables all belong
+        to one execution; a second bind() would leak them into the next run.
+        """
+        adversary, config = bind(BenignAdversary())
+        stale_context = adversary.context
+        with pytest.raises(SimulationError):
+            adversary.bind(AdversaryContext(config=config,
+                                            spec=ExponentialSpec(),
+                                            faulty=frozenset({1, 2}),
+                                            seed=5))
+        # The original binding is untouched by the failed rebind.
+        assert adversary.context is stale_context
+
+    def test_fresh_instances_bind_independently(self):
+        bind(BenignAdversary())
+        bind(BenignAdversary(), faulty=(1, 2))
 
 
 class TestShadowMechanics:

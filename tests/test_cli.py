@@ -62,6 +62,23 @@ class TestEngineFlag:
             assert os.environ["REPRO_EIG_ENGINE"] == name
             capsys.readouterr()
 
+    @pytest.mark.skipif(not engine_module.batched_available(),
+                        reason="numpy not installed")
+    def test_run_batched_flag(self, capsys):
+        code = main(["run", "--protocol", "exponential", "--n", "7",
+                     "--t", "2", "--adversary", "two-faced-source",
+                     "--source-faulty", "--batched"])
+        assert code == 0
+        assert "exponential" in capsys.readouterr().out
+
+    @pytest.mark.skipif(not engine_module.batched_available(),
+                        reason="numpy not installed")
+    def test_run_batched_falls_back_for_unsupported_spec(self, capsys):
+        code = main(["run", "--protocol", "hybrid", "--n", "10", "--t", "3",
+                     "--b", "3", "--adversary", "stealth-path", "--batched"])
+        assert code == 0
+        assert "hybrid(b=3)" in capsys.readouterr().out
+
     def test_run_rejects_unregistered_numpy_engine(self, monkeypatch, capsys):
         monkeypatch.setattr(engine_module, "numpy_available", lambda: False)
         with pytest.raises(SystemExit, match="requires numpy"):

@@ -12,6 +12,15 @@ equality of conversions (including ``⊥`` propagation), decisions,
 discoveries, and metrics (including computation units, which the engines
 charge identically by construction).  The numpy cases skip cleanly when numpy
 is not installed.
+
+The batched whole-run executor (``run_agreement(..., batched=True)``, see
+:mod:`repro.runtime.batched`) joins the end-to-end comparisons as a fourth
+mode: the EIG specs it accelerates are pinned four ways
+(reference/fast/numpy/batched, including per-round message stats and
+per-processor computation units), the specs it does not support are pinned to
+fall back cleanly, and the random-liar adversary must stay byte-identical
+across all four modes for the same seed (the rng draw order is part of the
+observational contract).
 """
 
 import pytest
@@ -144,15 +153,23 @@ class TestBatchedResolveAgainstOracle:
                 == array_tree.meter.units - before_array)
 
 
+def _run_mode(mode, spec_factory, config, faulty, adversary, seed):
+    """One full execution in an engine mode ("batched" = the whole-run path)."""
+    batched = mode == "batched"
+    with use_engine("numpy" if batched else mode):
+        return run_agreement(spec_factory(), config, faulty, adversary,
+                             seed=seed, batched=batched)
+
+
 def _run_engine_vs_reference(engine, spec_factory, n, t, faulty,
                              adversary_name, value, seed):
     results = {}
     for run_engine in (engine, "reference"):
-        with use_engine(run_engine):
-            adversary = adversary_registry()[adversary_name]()
-            config = ProtocolConfig(n=n, t=t, initial_value=value)
-            results[run_engine] = run_agreement(spec_factory(), config, faulty,
-                                                adversary, seed=seed)
+        config = ProtocolConfig(n=n, t=t, initial_value=value)
+        results[run_engine] = _run_mode(run_engine, spec_factory, config,
+                                        faulty,
+                                        adversary_registry()[adversary_name](),
+                                        seed)
     candidate, reference = results[engine], results["reference"]
     context = (engine, adversary_name, sorted(faulty), value, seed)
     assert candidate.decisions == reference.decisions, context
@@ -238,3 +255,153 @@ class TestEndToEndEngineEquivalence:
         seed = data.draw(st.integers(min_value=0, max_value=10))
         _run_engine_vs_reference(engine, AlgorithmCSpec, n, t, faulty,
                                  adversary_name, value, seed)
+
+
+#: The EIG specs the batched whole-run executor accelerates, with the same
+#: (n, t) cells the per-engine e2e tests use.
+BATCHED_SPECS = [
+    ("exponential", ExponentialSpec, 7, 2),
+    ("algorithm-b", lambda: AlgorithmBSpec(2), 9, 2),
+    ("algorithm-a", lambda: AlgorithmASpec(3), 10, 3),
+]
+
+ALL_MODES = ("reference", "fast", "numpy", "batched")
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+class TestBatchedRunEquivalence:
+    """The batched executor is observationally identical, four ways."""
+
+    _settings = settings(max_examples=10, deadline=None,
+                         suppress_health_check=[HealthCheck.too_slow])
+
+    @_settings
+    @given(data=st.data())
+    @pytest.mark.parametrize("label, spec_factory, n, t", BATCHED_SPECS)
+    def test_four_way_observational_identity(self, data, label, spec_factory,
+                                             n, t):
+        count = data.draw(st.integers(min_value=0, max_value=t))
+        faulty = frozenset(data.draw(
+            st.sets(st.integers(min_value=0, max_value=n - 1),
+                    min_size=count, max_size=count)))
+        adversary_name = data.draw(st.sampled_from(ADVERSARY_NAMES))
+        value = data.draw(st.integers(min_value=0, max_value=1))
+        seed = data.draw(st.integers(min_value=0, max_value=10))
+        config = ProtocolConfig(n=n, t=t, initial_value=value)
+        results = {
+            mode: _run_mode(mode, spec_factory, config, faulty,
+                            adversary_registry()[adversary_name](), seed)
+            for mode in ALL_MODES
+        }
+        reference = results["reference"]
+        for mode in ALL_MODES[1:]:
+            candidate = results[mode]
+            context = (label, mode, adversary_name, sorted(faulty), value,
+                       seed)
+            assert candidate.decisions == reference.decisions, context
+            assert candidate.discovered == reference.discovered, context
+            assert candidate.discovery_logs == reference.discovery_logs, context
+            assert (candidate.metrics.summary()
+                    == reference.metrics.summary()), context
+            assert (candidate.metrics.computation_units
+                    == reference.metrics.computation_units), context
+            assert candidate.metrics.sent == reference.metrics.sent, context
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    @pytest.mark.parametrize("faulty", [frozenset({5, 6}),
+                                        frozenset({0, 6})],
+                             ids=["correct-source", "faulty-source"])
+    def test_random_liar_is_seed_reproducible_across_modes(self, faulty,
+                                                           seed):
+        """The random liar's rng draw order is part of the contract.
+
+        The same seed must produce byte-identical decisions, discoveries,
+        and discovery logs whichever execution mode runs the adversary —
+        including the batched path, whose shadows broadcast by reference.
+        """
+        from repro.adversary import RandomLiarAdversary
+        config = ProtocolConfig(n=7, t=2, initial_value=1)
+        results = {
+            mode: _run_mode(mode, ExponentialSpec, config, faulty,
+                            RandomLiarAdversary(), seed)
+            for mode in ALL_MODES
+        }
+        reference = results["reference"]
+        for mode in ALL_MODES[1:]:
+            candidate = results[mode]
+            assert candidate.decisions == reference.decisions, (mode, seed)
+            assert candidate.discovered == reference.discovered, (mode, seed)
+            assert (candidate.discovery_logs
+                    == reference.discovery_logs), (mode, seed)
+
+    def test_batched_supported_covers_exactly_the_eig_specs(self):
+        from repro.runtime.batched import batched_supported
+        assert batched_supported(ExponentialSpec(),
+                                 ProtocolConfig(n=7, t=2))
+        assert batched_supported(AlgorithmASpec(3),
+                                 ProtocolConfig(n=10, t=3))
+        assert batched_supported(AlgorithmBSpec(2),
+                                 ProtocolConfig(n=9, t=2))
+        assert not batched_supported(HybridSpec(3),
+                                     ProtocolConfig(n=10, t=3))
+        assert not batched_supported(AlgorithmCSpec(),
+                                     ProtocolConfig(n=14, t=2))
+
+    def test_row_tree_bridges_batched_state_to_per_processor_kernels(self):
+        """BatchedEIGState.row_tree / NumpyEIGTree.adopt_levels round-trip.
+
+        A row extracted from a stacked state must behave exactly like a
+        per-processor tree with the same contents: identical dict-shaped
+        level views, and the per-processor conversion kernel over the row
+        tree must match the whole-run conversion's row.
+        """
+        from repro.core.npsupport import BatchedEIGState, VALUE_CODEC
+        from repro.core.resolve import batched_resolve_levels
+        from repro.core.sequences import sequence_index
+        import numpy as np
+
+        n, count, height, t = 6, 3, 3, 1
+        processors = tuple(range(n))
+        index = sequence_index(0, processors, False)
+        state = BatchedEIGState(index, count)
+        code_of = VALUE_CODEC.code
+
+        def value_at(row, level, node_id):
+            return (row + level + node_id) % 2
+
+        state.set_roots(np.asarray(
+            [code_of(value_at(i, 1, 0)) for i in range(count)],
+            dtype="int32"))
+        for level in range(2, height + 1):
+            size = index.level_size(level)
+            state.append_level(np.asarray(
+                [[code_of(value_at(i, level, node_id))
+                  for node_id in range(size)] for i in range(count)],
+                dtype="int32"))
+
+        batched_levels, _charge = batched_resolve_levels(state, "resolve", t)
+        for i in range(count):
+            tree = state.row_tree(i)
+            for level in range(1, height + 1):
+                expected = {
+                    seq: value_at(i, level, node_id)
+                    for node_id, seq in enumerate(index.sequences(level))
+                }
+                assert tree.level(level) == expected, (i, level)
+            single_levels = numpy_resolve_levels(tree, "resolve", t)
+            for level in range(height):
+                assert (batched_levels[level][i]
+                        == single_levels[level]).all(), (i, level)
+
+    def test_batched_flag_falls_back_cleanly_for_unsupported_specs(self):
+        """batched=True on a non-EIG spec runs the per-processor driver."""
+        config = ProtocolConfig(n=14, t=2, initial_value=1)
+        faulty = frozenset({12, 13})
+        with use_engine("numpy"):
+            batched = run_agreement(AlgorithmCSpec(), config, faulty,
+                                    adversary_registry()["two-faced"](),
+                                    batched=True)
+        reference = _run_mode("reference", AlgorithmCSpec, config, faulty,
+                              adversary_registry()["two-faced"](), 0)
+        assert batched.decisions == reference.decisions
+        assert batched.metrics.summary() == reference.metrics.summary()
