@@ -43,6 +43,7 @@ import pytest
 
 from conftest import load_recorded_perf, recorded_perf_row
 
+from repro.api import RunRequest, execute
 from repro.core.algorithm_b import AlgorithmBSpec
 from repro.core.algorithm_c import AlgorithmCSpec
 from repro.core.engine import numpy_available, use_engine
@@ -126,6 +127,27 @@ def test_batched_matches_numpy_and_beats_it_at_scale():
         f"{label} (n={n}, t={t}): batched executor took {batched_s:.4f}s vs "
         f"per-processor numpy {numpy_s:.4f}s (> 1.1x); whole-run batching "
         f"regressed at the headline cell")
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_facade_auto_resolves_to_batched_at_headline(monkeypatch):
+    """The façade path must reach the batched executor, not just run.
+
+    ``engine="auto"`` on the headline Exponential cell has to resolve to the
+    whole-run batched executor (this is what makes the harness's
+    ``execute_many`` sweeps compound batching with pool parallelism), and the
+    report's run metadata is the proof.
+    """
+    monkeypatch.delenv("REPRO_EIG_ENGINE", raising=False)
+    label, _, _, n, t = NUMPY_GATE_CELL
+    report = execute(RunRequest(protocol=label, n=n, t=t, initial_value=1,
+                                scenario="faulty-source-allies",
+                                battery="worst-case", engine="auto"))
+    assert report.engine == "auto"
+    assert report.engine_resolved == "batched", (
+        f"auto resolved to {report.engine_resolved!r} on the eligible "
+        f"headline cell; the planner lost the batched path")
+    assert report.agreement
 
 
 @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")

@@ -3,22 +3,27 @@
 
 Sets up 16 processors of which 5 are Byzantine — including the source, which
 equivocates while its accomplices amplify the split — and runs the paper's
-hybrid algorithm (Theorem 1).  Despite the worst-case behaviour, every correct
+hybrid algorithm (Theorem 1) through the declarative façade: the run is
+described as a plain-data, JSON-round-trippable ``RunRequest``, the planner
+picks the fastest eligible executor, and the outcome comes back as a
+structured ``RunReport``.  Despite the worst-case behaviour, every correct
 processor decides the same value within the Main Theorem's round bound.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import HybridSpec, ProtocolConfig, hybrid_parameters, run_agreement
-from repro.adversary import EquivocatingSourceWithAlliesAdversary
-from repro.runtime import choose_faulty
+import json
+
+from repro import RunRequest, execute, hybrid_parameters
 
 
 def main() -> None:
     n, t, b = 16, 5, 3
-    config = ProtocolConfig(n=n, t=t, initial_value=1)
-    faulty = choose_faulty(n, t, source_faulty=True)
-    adversary = EquivocatingSourceWithAlliesAdversary()
+    request = RunRequest(
+        protocol="hybrid", protocol_params={"b": b}, n=n, t=t,
+        initial_value=1,
+        scenario="faulty-source-allies", battery="worst-case",
+    )
 
     params = hybrid_parameters(n, t, b)
     print(f"hybrid(b={b}) on n={n}, t={t}")
@@ -26,20 +31,26 @@ def main() -> None:
     print(f"  phase B blocks: {list(params.b_blocks)}  "
           f"(rounds {params.k_ab + 1}..{params.k_ab + params.k_bc})")
     print(f"  phase C rounds: {params.c_rounds}  (total {params.total_rounds} rounds)")
-    print(f"  faulty processors: {sorted(faulty)} (source included)")
     print()
 
-    result = run_agreement(HybridSpec(b), config, faulty, adversary)
+    # The request is plain data: it survives json round trips, so the same
+    # description can be queued, shipped to a worker pool, or POSTed.
+    wire = json.dumps(request.to_dict())
+    report = execute(RunRequest.from_dict(json.loads(wire)))
 
-    print(f"adversary          : {result.adversary}")
-    print(f"rounds executed    : {result.rounds}")
-    print(f"agreement          : {result.agreement}")
-    print(f"decision value     : {result.decision_value}")
-    print(f"largest message    : {result.metrics.max_message_entries()} values")
+    print(f"adversary          : {report.adversary}")
+    print(f"faulty processors  : {list(report.faulty)} (source included)")
+    print(f"engine             : {report.engine_resolved} "
+          f"(requested {report.engine!r})")
+    print(f"rounds executed    : {report.rounds}")
+    print(f"agreement          : {report.agreement}")
+    print(f"decision value     : {report.decision_value}")
+    print(f"largest message    : {report.metrics['max_message_entries']} values")
     print(f"faults detected    : "
-          f"{max(len(found) for found in result.discovered.values())} "
+          f"{max(len(found) for found in report.discovered.values())} "
           f"(by the best-informed correct processor)")
-    assert result.agreement
+    assert report.agreement
+    assert report == type(report).from_dict(report.to_dict())
 
 
 if __name__ == "__main__":

@@ -18,6 +18,16 @@ The package provides:
 
 Quickstart
 ----------
+>>> from repro import RunRequest, execute
+>>> report = execute(RunRequest(
+...     protocol="hybrid", protocol_params={"b": 3}, n=16, t=5,
+...     initial_value=1, scenario="faulty-source-allies",
+...     battery="worst-case"))
+>>> report.agreement
+True
+
+The substrate stays importable for hand-assembled runs:
+
 >>> from repro import ProtocolConfig, HybridSpec, run_agreement, choose_faulty
 >>> from repro.adversary import TwoFacedSourceAdversary
 >>> config = ProtocolConfig(n=16, t=5, initial_value=1)
@@ -30,6 +40,9 @@ True
 
 from __future__ import annotations
 
+from .api import (RunReport, RunRequest, adversary_names, adversary_registry,
+                  build_adversary, build_protocol, execute, execute_many,
+                  protocol_names, protocol_registry)
 from .core import (AlgorithmASpec, AlgorithmBSpec, AlgorithmCSpec,
                    AgreementProtocol, BOTTOM, DEFAULT_VALUE, ExponentialSpec,
                    HybridParameters, HybridSpec, InfoGatheringTree,
@@ -42,10 +55,15 @@ from .core import (AlgorithmASpec, AlgorithmBSpec, AlgorithmCSpec,
 from .runtime import (Message, RunMetrics, RunResult, SynchronousNetwork,
                       choose_faulty, run_agreement, run_many)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # the declarative façade
+    "RunRequest", "RunReport", "execute", "execute_many",
+    "protocol_registry", "adversary_registry",
+    "protocol_names", "adversary_names",
+    "build_protocol", "build_adversary",
     # configuration & execution
     "ProtocolConfig", "ProtocolSpec", "AgreementProtocol",
     "run_agreement", "run_many", "choose_faulty",

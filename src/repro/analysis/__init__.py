@@ -10,7 +10,7 @@ from .bounds import (TheoremBound, algorithm_a_local_computation,
                      theorem2_bound, theorem3_bound, theorem4_bound)
 from .checkers import (RunVerdict, check_agreement, check_discovery_soundness,
                        check_message_bound, check_round_bound, check_validity,
-                       verify_run)
+                       verify_report, verify_run)
 from .coan_model import (CoanPoint, coan_curve, coan_local_computation,
                          coan_max_message_entries, coan_rounds)
 from .reporting import comparison_rows, format_markdown_table, format_table
@@ -24,7 +24,7 @@ __all__ = [
     "algorithm_b_local_computation", "algorithm_c_local_computation",
     "hybrid_local_computation", "main_theorem_round_formula",
     "main_theorem_asymptotic",
-    "RunVerdict", "verify_run", "check_agreement", "check_validity",
+    "RunVerdict", "verify_run", "verify_report", "check_agreement", "check_validity",
     "check_discovery_soundness", "check_round_bound", "check_message_bound",
     "CoanPoint", "coan_curve", "coan_rounds", "coan_max_message_entries",
     "coan_local_computation",

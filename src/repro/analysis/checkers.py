@@ -7,7 +7,11 @@ they live here rather than being re-derived ad hoc:
   conditions of the Byzantine agreement problem;
 * :func:`check_round_bound`, :func:`check_message_bound` — a run stayed
   within the theorem's promises;
-* :func:`verify_run` — all of the above combined into a :class:`RunVerdict`.
+* :func:`verify_run` — all of the above combined into a :class:`RunVerdict`;
+* :func:`verify_report` — the same verdict computed from a serializable
+  :class:`~repro.api.request.RunReport` (the façade's structured outcome),
+  so checks can run on the far side of a process or wire boundary where no
+  live :class:`RunResult` exists.
 """
 
 from __future__ import annotations
@@ -65,36 +69,75 @@ def check_message_bound(result: RunResult, max_entries: int,
     return result.metrics.max_message_entries() <= max_entries * slack
 
 
-def verify_run(result: RunResult, round_bound: Optional[int] = None,
-               message_bound: Optional[int] = None) -> RunVerdict:
-    """Run every applicable check and collect human-readable problems."""
+def _assemble_verdict(agreement: bool, validity: Optional[bool],
+                      discovery_sound: bool, rounds: int, max_entries: int,
+                      decisions, initial_value,
+                      round_bound: Optional[int],
+                      message_bound: Optional[int],
+                      slack: float) -> RunVerdict:
+    """The shared verdict logic behind :func:`verify_run`/:func:`verify_report`."""
     problems: List[str] = []
-    agreement = check_agreement(result)
     if not agreement:
         problems.append(
-            f"agreement violated: decisions {dict(sorted(result.decisions.items()))}")
-    validity = check_validity(result)
+            f"agreement violated: decisions {dict(sorted(decisions.items()))}")
     if validity is False:
         problems.append(
-            f"validity violated: source value {result.config.initial_value!r}, "
-            f"decisions {dict(sorted(result.decisions.items()))}")
-    discovery_sound = check_discovery_soundness(result)
+            f"validity violated: source value {initial_value!r}, "
+            f"decisions {dict(sorted(decisions.items()))}")
     if not discovery_sound:
         problems.append("a correct processor was listed as faulty")
     rounds_ok = None
     if round_bound is not None:
-        rounds_ok = check_round_bound(result, round_bound)
+        rounds_ok = rounds <= round_bound
         if not rounds_ok:
-            problems.append(f"used {result.rounds} rounds > bound {round_bound}")
+            problems.append(f"used {rounds} rounds > bound {round_bound}")
     message_ok = None
     if message_bound is not None:
-        message_ok = check_message_bound(result, message_bound)
+        message_ok = max_entries <= message_bound * slack
         if not message_ok:
             problems.append(
-                f"largest message {result.metrics.max_message_entries()} entries "
-                f"> bound {message_bound}")
+                f"largest message {max_entries} entries "
+                f"> bound {message_bound}"
+                + (f" (slack {slack})" if slack != 1.0 else ""))
     return RunVerdict(agreement=agreement, validity=validity,
                       discovery_sound=discovery_sound,
                       rounds_within_bound=rounds_ok,
                       message_within_bound=message_ok,
                       problems=tuple(problems))
+
+
+def verify_run(result: RunResult, round_bound: Optional[int] = None,
+               message_bound: Optional[int] = None,
+               slack: float = 1.0) -> RunVerdict:
+    """Run every applicable check and collect human-readable problems."""
+    return _assemble_verdict(
+        agreement=check_agreement(result),
+        validity=check_validity(result),
+        discovery_sound=check_discovery_soundness(result),
+        rounds=result.rounds,
+        max_entries=result.metrics.max_message_entries(),
+        decisions=result.decisions,
+        initial_value=result.config.initial_value,
+        round_bound=round_bound, message_bound=message_bound, slack=slack)
+
+
+def verify_report(report, round_bound: Optional[int] = None,
+                  message_bound: Optional[int] = None,
+                  slack: float = 1.0) -> RunVerdict:
+    """:func:`verify_run` over a :class:`~repro.api.request.RunReport`.
+
+    The report already carries the computed verdict ingredients (agreement,
+    validity, discovery soundness, the metrics summary), so this works on
+    deserialized reports without rebuilding a :class:`RunResult`.  *report*
+    is duck-typed to avoid importing :mod:`repro.api` from the analysis
+    layer.
+    """
+    return _assemble_verdict(
+        agreement=report.agreement,
+        validity=report.validity,
+        discovery_sound=report.discovery_sound,
+        rounds=report.rounds,
+        max_entries=report.metrics["max_message_entries"],
+        decisions=report.decisions,
+        initial_value=report.initial_value,
+        round_bound=round_bound, message_bound=message_bound, slack=slack)

@@ -1,0 +1,45 @@
+"""repro.api — the declarative run façade.
+
+One import gives every consumer the same vocabulary for describing and
+executing agreement runs:
+
+* **registries** (:mod:`.registries`) — protocols and adversaries addressed
+  by name with schema-validated plain-data parameters;
+* **requests/reports** (:mod:`.request`) — :class:`RunRequest` and
+  :class:`RunReport`, JSON-round-trippable descriptions of a run and its
+  outcome;
+* **planner** (:mod:`.planner`) — ``engine="auto"`` resolution to
+  batched → numpy → fast based on spec eligibility and numpy availability,
+  with explicit choices overriding ambient (env-var / process-default)
+  settings loudly;
+* **façade** (:mod:`.facade`) — :func:`execute` for one request,
+  :func:`execute_many` for sweeps over the process pool.
+
+>>> from repro.api import RunRequest, execute
+>>> report = execute(RunRequest(protocol="hybrid", protocol_params={"b": 3},
+...                             n=16, t=5, initial_value=1,
+...                             scenario="faulty-source-allies",
+...                             battery="worst-case"))
+>>> report.agreement
+True
+"""
+
+from __future__ import annotations
+
+from .facade import execute, execute_grouped, execute_many, plan_request
+from .planner import ExecutionPlan, plan_run
+from .registries import (ParamSpec, RegistryEntry, RegistryError,
+                         adversary_names, adversary_registry, build_adversary,
+                         build_protocol, protocol_names, protocol_registry,
+                         request_fields_for_spec)
+from .request import AUTO, ENGINE_CHOICES, RunReport, RunRequest
+
+__all__ = [
+    "RunRequest", "RunReport", "AUTO", "ENGINE_CHOICES",
+    "execute", "execute_many", "execute_grouped", "plan_request",
+    "ExecutionPlan", "plan_run",
+    "ParamSpec", "RegistryEntry", "RegistryError",
+    "protocol_registry", "adversary_registry",
+    "protocol_names", "adversary_names",
+    "build_protocol", "build_adversary", "request_fields_for_spec",
+]

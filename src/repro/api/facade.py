@@ -1,0 +1,105 @@
+"""``execute`` / ``execute_many``: the one entry point every consumer shares.
+
+The CLI, the E1–E9 experiment harness, the examples, and the benchmarks all
+describe work as :class:`~repro.api.request.RunRequest` values and hand them
+here.  :func:`execute` resolves the request through the registries, asks the
+planner for an executor, runs the agreement instance under the planned engine
+(without mutating the process-wide default), and returns a structured
+:class:`~repro.api.request.RunReport`.
+
+:func:`execute_many` is the sweep form: requests are distributed over a
+process pool (they are plain-data dataclasses, so they pickle as-is), and
+each worker re-plans its request locally — which is how eligible EIG cells
+compound whole-run **batched stepping** with cross-cell **process
+parallelism**.  The parent's ambient engine constraint (environment variable
+or :func:`~repro.core.engine.set_default_engine`) is forwarded to workers so
+spawn-started pools plan identically to the parent.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, List, Optional
+
+from ..core.engine import ambient_engine, set_default_engine, use_engine
+from ..runtime.simulation import run_agreement
+from .planner import ExecutionPlan, plan_run
+from .request import RunRequest, RunReport
+
+_ENV_VAR = "REPRO_EIG_ENGINE"
+
+
+def plan_request(request: RunRequest) -> ExecutionPlan:
+    """Resolve *request* and return the planner's verdict without running it."""
+    spec, config, faulty, _ = request.resolve_parts()
+    return plan_run(request, spec, config, faulty)
+
+
+def execute(request: RunRequest) -> RunReport:
+    """Run one request end to end and return its :class:`RunReport`."""
+    spec, config, faulty, adversary = request.resolve_parts()
+    plan = plan_run(request, spec, config, faulty)
+    with use_engine(plan.engine):
+        result = run_agreement(spec, config, faulty, adversary,
+                               seed=request.seed, batched=plan.batched)
+    return RunReport.from_result(result, engine=request.engine,
+                                 engine_resolved=plan.resolved,
+                                 scenario=request.scenario, seed=request.seed)
+
+
+def _pool_worker_init(ambient: Optional[str]) -> None:  # pragma: no cover - subprocess
+    if ambient is not None:
+        os.environ[_ENV_VAR] = ambient
+        set_default_engine(ambient)
+
+
+def execute_many(requests: Iterable[RunRequest], parallel: bool = True,
+                 max_workers: Optional[int] = None) -> List[RunReport]:
+    """Execute every request, preserving order; parallel over a process pool.
+
+    Agreement instances are independent, so sweeps scale with the core count;
+    requests whose plan resolves to the batched executor additionally step
+    all their processors per round as single 2-D kernels *inside* their
+    worker.  Falls back to in-process execution for a single request, for
+    ``parallel=False``, or when the platform cannot spawn a pool.
+    """
+    requests = list(requests)
+    if not requests:
+        return []
+    if not parallel or len(requests) == 1:
+        return [execute(request) for request in requests]
+    max_workers = max(1, min(max_workers or os.cpu_count() or 1,
+                             len(requests)))
+    if max_workers == 1:
+        # A one-worker pool is serial execution plus fork overhead.
+        return [execute(request) for request in requests]
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers,
+                                 initializer=_pool_worker_init,
+                                 initargs=(ambient_engine(),)) as pool:
+            return list(pool.map(execute, requests))
+    except (OSError, PermissionError):  # pragma: no cover - sandboxed platforms
+        return [execute(request) for request in requests]
+
+
+def execute_grouped(groups: Iterable[Iterable[RunRequest]],
+                    parallel: bool = True,
+                    max_workers: Optional[int] = None
+                    ) -> List[List[RunReport]]:
+    """Run several request groups through **one** :func:`execute_many` call.
+
+    The groups are flattened into a single sweep (one pool for everything,
+    maximum cell-level parallelism) and the reports are handed back
+    re-grouped, aligned with the input.  This is how grid-shaped consumers
+    (the experiment harness) avoid paying pool startup once per group.
+    """
+    groups = [list(group) for group in groups]
+    flat = execute_many([request for group in groups for request in group],
+                        parallel=parallel, max_workers=max_workers)
+    regrouped: List[List[RunReport]] = []
+    cursor = 0
+    for group in groups:
+        regrouped.append(flat[cursor:cursor + len(group)])
+        cursor += len(group)
+    return regrouped

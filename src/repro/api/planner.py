@@ -1,0 +1,143 @@
+"""The execution planner: resolve a request's ``engine`` to a concrete executor.
+
+Before this module existed, engine choice was scattered plumbing: callers
+threaded ``batched=`` flags into :func:`repro.runtime.simulation.run_agreement`
+and exported ``REPRO_EIG_ENGINE`` for the process pool by hand.  The planner
+centralises the decision.  Given a :class:`~repro.api.request.RunRequest` and
+the spec/config it resolves to, :func:`plan_run` returns an
+:class:`ExecutionPlan` saying which per-processor engine to install and
+whether to take the batched whole-run path.
+
+Resolution rules
+----------------
+``engine="auto"`` (the default) picks the fastest executor the run is
+eligible for::
+
+    batched  — numpy importable and the spec steps plain EIG machines
+               (Exponential, Algorithms A and B)
+    numpy    — numpy importable (non-EIG specs, or batched-ineligible runs)
+    fast     — always available
+    reference— never chosen automatically; it exists to be asked for
+
+unless the *environment* constrains the choice: ``REPRO_EIG_ENGINE`` or a
+:func:`~repro.core.engine.set_default_engine` call naming ``"fast"`` or
+``"reference"`` pins auto to that per-processor engine (an oracle or
+no-vectorization run stays one); an ambient ``"numpy"`` still upgrades to
+batched where eligible, because batched *is* the numpy layer.
+
+An **explicit** engine on the request always wins over the ambient settings —
+with a :class:`RuntimeWarning` naming both sides when they conflict, never
+silently.  An explicit ``"batched"`` on an ineligible run degrades to the best
+per-processor engine, also with a warning.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, FrozenSet, Optional
+
+from ..core.engine import (BATCHED, FAST, NUMPY, REFERENCE, ambient_engine,
+                           numpy_available, validate_engine)
+from .request import AUTO, RunRequest
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..core.protocol import ProtocolConfig, ProtocolSpec
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """The planner's verdict for one run."""
+
+    #: The per-processor engine to install for the run's duration.
+    engine: str
+    #: Whether to take the batched whole-run executor.
+    batched: bool
+    #: What the request asked for (``"auto"`` included).
+    requested: str
+    #: The ambient constraint the planner saw, if any.
+    ambient: Optional[str]
+    #: One line of human-readable justification (surfaces in ``--json`` docs).
+    reason: str
+
+    @property
+    def resolved(self) -> str:
+        """The executor name recorded in run metadata."""
+        return BATCHED if self.batched else self.engine
+
+
+def _batched_eligible(spec: "ProtocolSpec", config: "ProtocolConfig",
+                      faulty: FrozenSet[int]) -> bool:
+    from ..runtime.batched import batched_supported
+    if not batched_supported(spec, config):
+        return False
+    # The batched runner also declines degenerate runs where no correct
+    # non-source processor participates; plan the fallback it would take so
+    # the report's engine metadata matches what actually executed.
+    return any(p not in faulty and p != config.source
+               for p in config.processors)
+
+
+def plan_run(request: RunRequest, spec: "ProtocolSpec",
+             config: "ProtocolConfig",
+             faulty: FrozenSet[int] = frozenset()) -> ExecutionPlan:
+    """Resolve *request*'s engine choice against eligibility and environment."""
+    requested = request.engine
+    ambient = ambient_engine()
+
+    if requested == AUTO:
+        if ambient in (FAST, REFERENCE):
+            return ExecutionPlan(
+                engine=ambient, batched=False, requested=requested,
+                ambient=ambient,
+                reason=f"auto deferred to the ambient {ambient!r} engine "
+                       f"(REPRO_EIG_ENGINE / set_default_engine)")
+        if _batched_eligible(spec, config, faulty):
+            return ExecutionPlan(
+                engine=NUMPY, batched=True, requested=requested,
+                ambient=ambient,
+                reason="auto: EIG spec eligible for whole-run batched "
+                       "stepping")
+        if numpy_available():
+            return ExecutionPlan(
+                engine=NUMPY, batched=False, requested=requested,
+                ambient=ambient,
+                reason="auto: batched-ineligible spec on the vectorized "
+                       "numpy engine")
+        return ExecutionPlan(
+            engine=FAST, batched=False, requested=requested, ambient=ambient,
+            reason="auto: numpy unavailable, flat-array fast engine")
+
+    if requested == BATCHED:
+        if ambient not in (None, NUMPY):
+            warnings.warn(
+                f"explicit engine='batched' overrides the ambient "
+                f"{ambient!r} engine (REPRO_EIG_ENGINE / set_default_engine)",
+                RuntimeWarning, stacklevel=3)
+        if _batched_eligible(spec, config, faulty):
+            return ExecutionPlan(
+                engine=NUMPY, batched=True, requested=requested,
+                ambient=ambient, reason="explicit batched request")
+        fallback = NUMPY if numpy_available() else FAST
+        warnings.warn(
+            f"engine='batched' is not supported for this run "
+            f"({spec.name}: non-EIG spec or numpy unavailable); using the "
+            f"per-processor {fallback!r} engine instead",
+            RuntimeWarning, stacklevel=3)
+        return ExecutionPlan(
+            engine=fallback, batched=False, requested=requested,
+            ambient=ambient,
+            reason=f"batched unsupported here; per-processor {fallback!r} "
+                   f"fallback")
+
+    # An explicit per-processor engine: it wins over the ambient settings,
+    # loudly when they disagree.
+    engine = validate_engine(requested)
+    if ambient is not None and ambient != engine:
+        warnings.warn(
+            f"explicit engine={engine!r} overrides the ambient {ambient!r} "
+            f"engine (REPRO_EIG_ENGINE / set_default_engine)",
+            RuntimeWarning, stacklevel=3)
+    return ExecutionPlan(engine=engine, batched=False, requested=requested,
+                         ambient=ambient,
+                         reason=f"explicit {engine!r} request")

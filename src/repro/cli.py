@@ -1,10 +1,18 @@
-"""Command-line interface: run single executions or regenerate experiment tables.
+"""Command-line interface: declarative runs, sweeps, and experiment tables.
 
-Two subcommands:
+Three subcommands, all built on the :mod:`repro.api` façade:
 
 ``repro run``
-    Execute one agreement instance (protocol, parameters, adversary, faulty
-    set) and print the outcome and costs.
+    Execute one agreement instance described by flags (protocol, parameters,
+    adversary, faulty set, engine).  ``--json`` emits the structured
+    :class:`~repro.api.request.RunReport`; the exit code is 0 only when
+    agreement held and validity held where it applied.
+
+``repro sweep``
+    Execute a JSON file of serialized :class:`~repro.api.request.RunRequest`
+    objects through :func:`~repro.api.facade.execute_many` (parallel over the
+    process pool, batched inside eligible EIG cells) and print a summary
+    table or, with ``--json``, the full report list.
 
 ``repro experiments``
     Regenerate the paper's tables/figures (the E1–E9 harness) at a chosen
@@ -16,46 +24,46 @@ Examples
 
     python -m repro run --protocol hybrid --n 16 --t 5 --b 3 \\
         --adversary equivocating-source-allies --faults 5 --source-faulty
+    python -m repro run --protocol exponential --n 13 --t 4 --json
+    python -m repro sweep requests.json --json
     python -m repro experiments --scale small --only E1 E8
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import warnings
 from typing import List, Optional, Sequence
 
-from .adversary import adversary_registry
 from .analysis import format_table
-from .baselines import DolevStrongSpec, PeaseShostakLamportSpec, PhaseKingSpec
-from .core.algorithm_a import AlgorithmASpec
-from .core.algorithm_b import AlgorithmBSpec
-from .core.algorithm_c import AlgorithmCSpec
-from .core.engine import ENGINES, batched_available, set_default_engine
-from .core.exponential import ExponentialSpec
-from .core.hybrid import HybridSpec
-from .core.protocol import ProtocolConfig, ProtocolSpec
+from .api import (ENGINE_CHOICES, RegistryError, RunReport, RunRequest,
+                  adversary_names, execute, execute_many, protocol_names,
+                  protocol_registry)
+from .core.engine import ENGINES, set_default_engine
 from .experiments import run_all_experiments
-from .runtime.simulation import choose_faulty, run_agreement
+from .runtime.errors import ConfigurationError
+from .runtime.simulation import choose_faulty
 
 
-def build_spec(name: str, b: int) -> ProtocolSpec:
-    """Instantiate a protocol spec from its CLI name."""
-    factories = {
-        "exponential": lambda: ExponentialSpec(),
-        "algorithm-a": lambda: AlgorithmASpec(b),
-        "algorithm-b": lambda: AlgorithmBSpec(b),
-        "algorithm-c": lambda: AlgorithmCSpec(),
-        "hybrid": lambda: HybridSpec(b),
-        "psl": lambda: PeaseShostakLamportSpec(),
-        "phase-king": lambda: PhaseKingSpec(),
-        "dolev-strong": lambda: DolevStrongSpec(),
-    }
-    if name not in factories:
-        raise SystemExit(f"unknown protocol {name!r}; choose from {sorted(factories)}")
-    return factories[name]()
+def build_request(protocol: str, n: int, t: int, b: int = 3,
+                  value: object = 1, faults: Optional[int] = None,
+                  source_faulty: bool = False, adversary: str = "benign",
+                  seed: int = 0, engine: str = "auto") -> RunRequest:
+    """Assemble the :class:`RunRequest` the ``run`` flags describe."""
+    entry = protocol_registry().get(protocol)
+    if entry is None:
+        raise SystemExit(
+            f"unknown protocol {protocol!r}; choose from "
+            f"{sorted(protocol_names())}")
+    params = {"b": b} if "b" in entry.schema else {}
+    fault_count = faults if faults is not None else t
+    faulty = choose_faulty(n, fault_count, source_faulty=source_faulty)
+    return RunRequest(protocol=protocol, protocol_params=params, n=n, t=t,
+                      initial_value=value, faulty=tuple(faulty),
+                      adversary=adversary, seed=seed, engine=engine)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -65,7 +73,8 @@ def _parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one agreement instance")
-    run.add_argument("--protocol", default="hybrid")
+    run.add_argument("--protocol", default="hybrid",
+                     choices=sorted(protocol_names()))
     run.add_argument("--n", type=int, default=16)
     run.add_argument("--t", type=int, default=5)
     run.add_argument("--b", type=int, default=3,
@@ -75,16 +84,28 @@ def _parser() -> argparse.ArgumentParser:
                      help="number of faulty processors (default: t)")
     run.add_argument("--source-faulty", action="store_true")
     run.add_argument("--adversary", default="equivocating-source-allies",
-                     choices=sorted(adversary_registry()))
+                     choices=sorted(adversary_names()))
     run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--engine", choices=ENGINES, default=None,
-                     help="EIG engine: numpy (vectorized, needs numpy), "
-                          "fast (default), or reference (the oracle)")
+    run.add_argument("--engine", choices=ENGINE_CHOICES, default="auto",
+                     help="executor: auto (planner picks batched→numpy→fast "
+                          "by eligibility), batched (whole-run 2-D kernels), "
+                          "or a per-processor engine (numpy/fast/reference). "
+                          "An explicit choice overrides REPRO_EIG_ENGINE "
+                          "with a warning.")
     run.add_argument("--batched", action="store_true",
-                     help="step all correct processors per round as whole-run "
-                          "2-D numpy kernels (EIG specs only; implies the "
-                          "numpy engine, falls back to the per-processor "
-                          "driver when unsupported)")
+                     help="deprecated alias for --engine batched")
+    run.add_argument("--json", action="store_true",
+                     help="print the structured RunReport as JSON")
+
+    sweep = sub.add_parser(
+        "sweep", help="execute a JSON file of RunRequests in parallel")
+    sweep.add_argument("requests", help="path to a JSON list of RunRequest "
+                                        "objects (or {\"requests\": [...]})")
+    sweep.add_argument("--serial", action="store_true",
+                       help="run in-process instead of over the process pool")
+    sweep.add_argument("--max-workers", type=int, default=None)
+    sweep.add_argument("--json", action="store_true",
+                       help="print the full RunReport list as JSON")
 
     experiments = sub.add_parser("experiments",
                                  help="regenerate the paper's tables and figures")
@@ -92,17 +113,96 @@ def _parser() -> argparse.ArgumentParser:
     experiments.add_argument("--only", nargs="*", default=None,
                              help="experiment ids to include (e.g. E1 E8)")
     experiments.add_argument("--engine", choices=ENGINES, default=None,
-                             help="EIG engine used by every execution "
-                                  "(propagated to parallel workers)")
+                             help="pin the ambient EIG engine for every "
+                                  "execution (fast/reference disable "
+                                  "batching; numpy keeps it); default lets "
+                                  "the planner pick per cell")
     return parser
 
 
-def _select_engine(engine: Optional[str]) -> None:
-    """Install *engine* as the process default and export it for workers.
+def _execute_or_exit(request: RunRequest) -> RunReport:
+    try:
+        return execute(request)
+    except (RegistryError, ConfigurationError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    engine = args.engine
+    if args.batched:
+        if engine in ("auto", "numpy", "batched"):
+            # Batched runs on the numpy storage layer, so --batched composes
+            # with those; it IS the batched request.
+            engine = "batched"
+        else:
+            warnings.warn(
+                f"--batched is a deprecated alias for --engine batched; "
+                f"honouring the explicit --engine {engine}", RuntimeWarning,
+                stacklevel=2)
+    request = build_request(args.protocol, args.n, args.t, b=args.b,
+                            value=args.value, faults=args.faults,
+                            source_faulty=args.source_faulty,
+                            adversary=args.adversary, seed=args.seed,
+                            engine=engine)
+    report = _execute_or_exit(request)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_table([report.summary()],
+                           title=f"{report.protocol} on n={args.n}, "
+                                 f"t={args.t}, faulty={list(report.faulty)}"))
+        print()
+        print(f"decisions: {dict(sorted(report.decisions.items()))}")
+        print(f"engine: {report.engine_resolved} (requested {report.engine})")
+    return 0 if report.succeeded else 1
+
+
+def _load_requests(path: str) -> List[RunRequest]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{path} is not valid JSON: {exc}") from None
+    if isinstance(payload, dict):
+        payload = payload.get("requests")
+    if not isinstance(payload, list):
+        raise SystemExit(
+            f"{path} must hold a JSON list of RunRequest objects "
+            f"(or an object with a \"requests\" list)")
+    try:
+        return [RunRequest.from_dict(item) for item in payload]
+    except (RegistryError, ConfigurationError, TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid request in {path}: {exc}") from None
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    requests = _load_requests(args.requests)
+    if not requests:
+        raise SystemExit(f"{args.requests} contains no requests")
+    try:
+        reports = execute_many(requests, parallel=not args.serial,
+                               max_workers=args.max_workers)
+    except (RegistryError, ConfigurationError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    if args.json:
+        print(json.dumps([report.to_dict() for report in reports],
+                         indent=2, sort_keys=True))
+    else:
+        rows = [report.summary() for report in reports]
+        print(format_table(rows, title=f"sweep of {len(reports)} requests"))
+    return 0 if all(report.succeeded for report in reports) else 1
+
+
+def _select_ambient_engine(engine: Optional[str]) -> None:
+    """Pin the ambient engine process-wide and export it for pool workers.
 
     Setting ``REPRO_EIG_ENGINE`` alongside the in-process default is what
-    carries the choice into the parallel experiment runner's process pool
-    (worker initialisers re-read the environment on spawn).
+    carries the choice into the parallel executor's process pool (worker
+    initialisers re-read the environment on spawn).  The façade's ``auto``
+    planner defers to this ambient choice: ``fast``/``reference`` also
+    disable batched stepping, ``numpy`` keeps it for eligible cells.
     """
     if engine is None:
         return
@@ -113,44 +213,8 @@ def _select_engine(engine: Optional[str]) -> None:
     os.environ["REPRO_EIG_ENGINE"] = engine
 
 
-def _command_run(args: argparse.Namespace) -> int:
-    batched = getattr(args, "batched", False)
-    if batched and not batched_available():
-        warnings.warn("--batched requires numpy, which is not installed; "
-                      "running the per-processor driver instead",
-                      RuntimeWarning, stacklevel=2)
-        batched = False
-    if batched and args.engine not in (None, "numpy"):
-        # An explicit per-processor engine choice wins over --batched: the
-        # user asked to run on that engine (e.g. to cross-check the oracle),
-        # and the batched executor only exists on the numpy layer.
-        warnings.warn(
-            f"--batched runs on the numpy engine; honouring "
-            f"--engine {args.engine} with the per-processor driver instead",
-            RuntimeWarning, stacklevel=2)
-        batched = False
-    if batched and args.engine is None:
-        # The batched executor runs on the numpy storage layer; selecting it
-        # up front keeps any per-processor fallback pieces consistent.
-        _select_engine("numpy")
-    else:
-        _select_engine(args.engine)
-    spec = build_spec(args.protocol, args.b)
-    config = ProtocolConfig(n=args.n, t=args.t, initial_value=args.value)
-    fault_count = args.faults if args.faults is not None else args.t
-    faulty = choose_faulty(args.n, fault_count, source_faulty=args.source_faulty)
-    adversary = adversary_registry()[args.adversary]()
-    result = run_agreement(spec, config, faulty, adversary, seed=args.seed,
-                           batched=batched)
-    print(format_table([result.summary()], title=f"{spec.name} on n={args.n}, "
-                                                 f"t={args.t}, faulty={sorted(faulty)}"))
-    print()
-    print(f"decisions: {dict(sorted(result.decisions.items()))}")
-    return 0 if result.succeeded else 1
-
-
 def _command_experiments(args: argparse.Namespace) -> int:
-    _select_engine(args.engine)
+    _select_ambient_engine(args.engine)
     tables = run_all_experiments(scale=args.scale)
     wanted = None
     if args.only:
@@ -168,6 +232,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _parser().parse_args(list(argv) if argv is not None else None)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
     return _command_experiments(args)
 
 

@@ -102,6 +102,32 @@ def get_default_engine() -> str:
     return _default_engine
 
 
+def ambient_engine() -> Optional[str]:
+    """The engine the *environment* asked for, or ``None`` when unconstrained.
+
+    "Ambient" means a choice made outside the individual run request: the
+    ``REPRO_EIG_ENGINE`` environment variable, or a process-wide
+    :func:`set_default_engine` call that moved the default off ``"fast"``.
+    The execution planner (:mod:`repro.api.planner`) lets its ``"auto"``
+    resolution defer to an ambient choice, while an **explicit** engine on a
+    request overrides it with a warning — the request is the more specific
+    instruction.
+
+    A ``set_default_engine("fast")`` call is indistinguishable from the
+    built-in default and therefore reads as unconstrained; select ``"fast"``
+    per request (or via the environment variable) when it must win.
+    """
+    requested = os.environ.get(_ENV_VAR)
+    if requested in ENGINES and not (requested == NUMPY
+                                     and not numpy_available()):
+        return requested
+    # An invalid or unusable environment request falls through to the
+    # process default, which may itself carry an explicit pin.
+    if _default_engine != FAST:
+        return _default_engine
+    return None
+
+
 def set_default_engine(engine: str) -> None:
     """Set the process-wide default engine (one of :data:`ENGINES`)."""
     global _default_engine

@@ -6,33 +6,40 @@ vs measured" — that the benchmarks print with
 :func:`repro.analysis.reporting.format_table` and that EXPERIMENTS.md records.
 The functions take explicit ``(n, t, b)`` ranges so benchmarks can run small
 instances quickly while the examples run the larger sweeps.
+
+All default sweeps are described as serializable
+:class:`~repro.api.request.RunRequest` values and routed through the façade's
+:func:`~repro.api.facade.execute_many`, so the (spec, scenario) cells run in
+parallel over the process pool **and** the eligible EIG cells (Exponential,
+Algorithms A and B) take the whole-run batched executor inside their workers
+— the two speedups compound.  Callers that pass hand-built
+:class:`~repro.experiments.workloads.Scenario` objects (whose adversary
+factories cannot be named in a request) keep the in-process path.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
-                    Tuple)
+from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 from ..analysis.bounds import (algorithm_c_local_computation, exponential_bound,
                                theorem1_bound, theorem2_bound, theorem3_bound,
                                theorem4_bound)
-from ..analysis.checkers import verify_run
+from ..analysis.checkers import verify_report
 from ..analysis.tradeoff import dominance_table, tradeoff_curve
+from ..api import (RunReport, RunRequest, build_protocol, execute,
+                   execute_grouped, execute_many, request_fields_for_spec)
 from ..baselines import DolevStrongSpec, PeaseShostakLamportSpec, PhaseKingSpec
 from ..core.algorithm_a import AlgorithmASpec, algorithm_a_resilience
 from ..core.algorithm_b import AlgorithmBSpec, algorithm_b_resilience
 from ..core.algorithm_c import AlgorithmCSpec, algorithm_c_resilience
-from ..core.engine import get_default_engine, set_default_engine
 from ..core.exponential import ExponentialSpec
 from ..core.hybrid import HybridSpec, hybrid_parameters
 from ..core.protocol import ProtocolConfig, ProtocolSpec
 from ..core.values import DEFAULT_VALUE, Value
 from ..runtime.simulation import RunResult, run_agreement
-from .workloads import (Scenario, adversarial_scenarios, standard_scenarios,
-                        worst_case_scenarios)
+from .workloads import SCENARIO_BATTERIES, Scenario
 
 
 def measure(spec: ProtocolSpec, n: int, t: int, scenario: Scenario,
@@ -43,28 +50,101 @@ def measure(spec: ProtocolSpec, n: int, t: int, scenario: Scenario,
                          seed=seed)
 
 
-def _measure_worst(spec_factory: Callable[[], ProtocolSpec], n: int, t: int,
-                   scenarios: Sequence[Scenario],
-                   round_bound: int, message_bound: int) -> Dict[str, object]:
-    """Run *spec* under every scenario and aggregate the worst observations."""
+def scenario_requests(protocol: str, params: Mapping[str, object],
+                      n: int, t: int, battery: str,
+                      names: Optional[Sequence[str]] = None,
+                      initial_value: Value = 1, seed: int = 0,
+                      engine: str = "auto") -> List[RunRequest]:
+    """One :class:`RunRequest` per named scenario of *battery* at ``(n, t)``."""
+    if names is None:
+        names = [s.name for s in SCENARIO_BATTERIES[battery](n, t)]
+    return [RunRequest(protocol=protocol, protocol_params=dict(params),
+                       n=n, t=t, initial_value=initial_value,
+                       scenario=name, battery=battery, seed=seed,
+                       engine=engine)
+            for name in names]
+
+
+def _worst_of_reports(reports: Sequence[RunReport], round_bound: int,
+                      message_bound: int) -> Dict[str, object]:
+    """Aggregate the worst observations over one protocol's scenario reports."""
     max_entries = 0
     max_units = 0
     all_ok = True
     rounds = 0
-    for scenario in scenarios:
-        result = measure(spec_factory(), n, t, scenario)
-        verdict = verify_run(result, round_bound=round_bound,
-                             message_bound=message_bound)
+    for report in reports:
+        verdict = verify_report(report, round_bound=round_bound,
+                                message_bound=message_bound)
         all_ok = all_ok and verdict.ok
-        max_entries = max(max_entries, result.metrics.max_message_entries())
-        max_units = max(max_units, result.metrics.max_computation_units())
-        rounds = max(rounds, result.rounds)
+        max_entries = max(max_entries, report.metrics["max_message_entries"])
+        max_units = max(max_units, report.metrics["max_computation_units"])
+        rounds = max(rounds, report.rounds)
     return {
         "measured_rounds": rounds,
         "measured_max_entries": max_entries,
         "measured_max_computation": max_units,
         "all_scenarios_agree": all_ok,
     }
+
+
+#: One protocol's slot in a worst-case grid: ``(protocol, params, n, t,
+#: round_bound, message_bound)``.
+_WorstJob = Tuple[str, Mapping[str, object], int, int, int, int]
+
+
+def _measure_worst_grid(jobs: Sequence[_WorstJob],
+                        battery: str = "standard",
+                        scenarios: Optional[Sequence[Scenario]] = None
+                        ) -> List[Dict[str, object]]:
+    """Aggregate worst-case observations for every job, one result per job.
+
+    With ``scenarios=None`` (every default sweep) all jobs' scenario cells
+    are flattened into a **single** :func:`~repro.api.facade.execute_many`
+    call — one process pool for the whole grid, parallel across cells,
+    batched inside eligible EIG cells.  Explicit *scenarios* objects (which
+    may carry unregistered adversary factories) run in process through
+    :func:`measure`.
+    """
+    if scenarios is None:
+        per_job_reports = execute_grouped(
+            scenario_requests(protocol, params, n, t, battery)
+            for protocol, params, n, t, _, _ in jobs)
+        return [_worst_of_reports(reports, round_bound, message_bound)
+                for (_, _, _, _, round_bound, message_bound), reports
+                in zip(jobs, per_job_reports)]
+
+    results = []
+    for protocol, params, n, t, round_bound, message_bound in jobs:
+        reports = [_report_for_scenario(build_protocol(protocol, params),
+                                        n, t, scenario)
+                   for scenario in scenarios]
+        results.append(_worst_of_reports(reports, round_bound, message_bound))
+    return results
+
+
+def _report_for_scenario(spec: ProtocolSpec, n: int, t: int,
+                         scenario: Scenario) -> RunReport:
+    """In-process run of one hand-built scenario, reported truthfully.
+
+    Hand-built scenarios execute under the process-default engine via
+    :func:`measure`; the report's engine audit trail records that engine
+    rather than pretending a planner ran.
+    """
+    from ..core.engine import get_default_engine
+    engine = get_default_engine()
+    return RunReport.from_result(measure(spec, n, t, scenario),
+                                 engine=engine, engine_resolved=engine,
+                                 scenario=scenario.name)
+
+
+def _measure_worst(protocol: str, params: Mapping[str, object], n: int, t: int,
+                   round_bound: int, message_bound: int,
+                   scenarios: Optional[Sequence[Scenario]] = None,
+                   battery: str = "standard") -> Dict[str, object]:
+    """Single-job form of :func:`_measure_worst_grid`."""
+    return _measure_worst_grid(
+        [(protocol, params, n, t, round_bound, message_bound)],
+        battery=battery, scenarios=scenarios)[0]
 
 
 # ---------------------------------------------------------------------------
@@ -77,15 +157,14 @@ def experiment_theorem1(n: int, t: Optional[int] = None,
                         ) -> List[Dict[str, object]]:
     """Hybrid rounds / message size / phase structure vs the Main Theorem."""
     t = t if t is not None else algorithm_a_resilience(n)
-    scenarios = scenarios if scenarios is not None else worst_case_scenarios(n, t)
+    admitted = [(b, theorem1_bound(n, t, b), hybrid_parameters(n, t, b))
+                for b in b_values if 2 < b <= t]
+    measured_list = _measure_worst_grid(
+        [("hybrid", {"b": b}, n, t, bound.rounds, bound.max_message_entries)
+         for b, bound, _ in admitted],
+        battery="worst-case", scenarios=scenarios)
     rows: List[Dict[str, object]] = []
-    for b in b_values:
-        if not 2 < b <= t:
-            continue
-        bound = theorem1_bound(n, t, b)
-        params = hybrid_parameters(n, t, b)
-        measured = _measure_worst(lambda b=b: HybridSpec(b), n, t, scenarios,
-                                  bound.rounds, bound.max_message_entries)
+    for (b, bound, params), measured in zip(admitted, measured_list):
         row = bound.as_row()
         row.update(measured)
         row.update({
@@ -109,14 +188,14 @@ def experiment_theorem2(n: int, t: Optional[int] = None,
                         ) -> List[Dict[str, object]]:
     """Algorithm A(b): measured costs against the Theorem 2 bounds."""
     t = t if t is not None else algorithm_a_resilience(n)
-    scenarios = scenarios if scenarios is not None else standard_scenarios(n, t)
+    admitted = [(b, theorem2_bound(n, t, b))
+                for b in b_values if 2 < b <= t]
+    measured_list = _measure_worst_grid(
+        [("algorithm-a", {"b": b}, n, t, bound.rounds,
+          bound.max_message_entries) for b, bound in admitted],
+        scenarios=scenarios)
     rows = []
-    for b in b_values:
-        if not 2 < b <= t:
-            continue
-        bound = theorem2_bound(n, t, b)
-        measured = _measure_worst(lambda b=b: AlgorithmASpec(b), n, t, scenarios,
-                                  bound.rounds, bound.max_message_entries)
+    for (_, bound), measured in zip(admitted, measured_list):
         row = bound.as_row()
         row.update(measured)
         rows.append(row)
@@ -129,14 +208,14 @@ def experiment_theorem3(n: int, t: Optional[int] = None,
                         ) -> List[Dict[str, object]]:
     """Algorithm B(b): measured costs against the Theorem 3 bounds."""
     t = t if t is not None else algorithm_b_resilience(n)
-    scenarios = scenarios if scenarios is not None else standard_scenarios(n, t)
+    admitted = [(b, theorem3_bound(n, t, b))
+                for b in b_values if 1 < b <= t]
+    measured_list = _measure_worst_grid(
+        [("algorithm-b", {"b": b}, n, t, bound.rounds,
+          bound.max_message_entries) for b, bound in admitted],
+        scenarios=scenarios)
     rows = []
-    for b in b_values:
-        if not 1 < b <= t:
-            continue
-        bound = theorem3_bound(n, t, b)
-        measured = _measure_worst(lambda b=b: AlgorithmBSpec(b), n, t, scenarios,
-                                  bound.rounds, bound.max_message_entries)
+    for (_, bound), measured in zip(admitted, measured_list):
         row = bound.as_row()
         row.update(measured)
         rows.append(row)
@@ -151,16 +230,22 @@ def experiment_theorem4(n_values: Iterable[int],
                         scenarios_for: Optional[Callable[[int, int], Sequence[Scenario]]] = None
                         ) -> List[Dict[str, object]]:
     """Algorithm C: rounds ``t + 1``, messages ``O(n)``, computation ``O(n^2.5)``."""
+    admitted = [(n, algorithm_c_resilience(n), theorem4_bound(
+        n, algorithm_c_resilience(n))) for n in n_values
+        if algorithm_c_resilience(n) >= 1]
+    if scenarios_for is None:
+        measured_list = _measure_worst_grid(
+            [("algorithm-c", {}, n, t, bound.rounds,
+              bound.max_message_entries) for n, t, bound in admitted])
+    else:
+        # Per-(n, t) scenario objects cannot share one grid call.
+        measured_list = [
+            _measure_worst("algorithm-c", {}, n, t, bound.rounds,
+                           bound.max_message_entries,
+                           scenarios=scenarios_for(n, t))
+            for n, t, bound in admitted]
     rows = []
-    for n in n_values:
-        t = algorithm_c_resilience(n)
-        if t < 1:
-            continue
-        scenarios = (scenarios_for(n, t) if scenarios_for is not None
-                     else standard_scenarios(n, t))
-        bound = theorem4_bound(n, t)
-        measured = _measure_worst(AlgorithmCSpec, n, t, scenarios,
-                                  bound.rounds, bound.max_message_entries)
+    for (n, t, bound), measured in zip(admitted, measured_list):
         row = bound.as_row()
         row.update(measured)
         row["computation_model_n^2.5"] = round(algorithm_c_local_computation(n), 1)
@@ -177,13 +262,14 @@ def experiment_exponential_growth(n_values: Iterable[int],
                                   ) -> List[Dict[str, object]]:
     """Exponential Algorithm: message and computation growth as n (and t) grow."""
     t_of_n = t_of_n if t_of_n is not None else algorithm_a_resilience
+    admitted = [(n, max(1, t_of_n(n)), exponential_bound(n, max(1, t_of_n(n))))
+                for n in n_values]
+    measured_list = _measure_worst_grid(
+        [("exponential", {}, n, t, bound.rounds, bound.max_message_entries)
+         for n, t, bound in admitted],
+        battery="worst-case")
     rows = []
-    for n in n_values:
-        t = max(1, t_of_n(n))
-        bound = exponential_bound(n, t)
-        scenarios = worst_case_scenarios(n, t)
-        measured = _measure_worst(ExponentialSpec, n, t, scenarios,
-                                  bound.rounds, bound.max_message_entries)
+    for (_, _, bound), measured in zip(admitted, measured_list):
         row = bound.as_row()
         row.update(measured)
         rows.append(row)
@@ -212,23 +298,27 @@ def experiment_block_progress(n: int, t: int, b: int,
     """Per-scenario: how many faults each correct processor globally detected,
     round by round, while running Algorithm A(b) — the paper's progress
     dichotomy made visible."""
-    scenarios = scenarios if scenarios is not None else worst_case_scenarios(n, t)
+    if scenarios is None:
+        reports = execute_many(scenario_requests("algorithm-a", {"b": b},
+                                                 n, t, "worst-case"))
+    else:
+        reports = [_report_for_scenario(AlgorithmASpec(b), n, t, scenario)
+                   for scenario in scenarios]
     rows = []
-    for scenario in scenarios:
-        result = measure(AlgorithmASpec(b), n, t, scenario)
+    for report in reports:
         detections_per_round: Dict[int, int] = {}
-        for log in result.discovery_logs.values():
+        for log in report.discovery_logs.values():
             for round_number, count in log.items():
                 detections_per_round[round_number] = max(
                     detections_per_round.get(round_number, 0), count)
         rows.append({
-            "scenario": scenario.name,
-            "faults": scenario.fault_count,
-            "agreement": result.agreement,
+            "scenario": report.scenario,
+            "faults": report.faults,
+            "agreement": report.agreement,
             "total_detected_max": max(
-                (len(found) for found in result.discovered.values()), default=0),
+                (len(found) for found in report.discovered.values()), default=0),
             "detections_by_round": dict(sorted(detections_per_round.items())),
-            "rounds": result.rounds,
+            "rounds": report.rounds,
         })
     return rows
 
@@ -276,36 +366,49 @@ def experiment_baselines(n: int, t: int,
         candidates.append(HybridSpec(min(3, t)))
     if t >= 2 and t <= algorithm_b_resilience(n):
         candidates.append(AlgorithmBSpec(min(2, t)))
-    rows = []
+    admitted: List[Tuple[ProtocolSpec, int, List[RunRequest]]] = []
     for spec in candidates:
         effective_t = min(t, t_for.get(spec.name.split("(")[0], t))
         if effective_t < 1:
             continue
-        scenario_list = (scenarios if scenarios is not None
-                         else worst_case_scenarios(n, effective_t))
         config = ProtocolConfig(n=n, t=effective_t, initial_value=1)
         try:
             spec.validate(config)
         except Exception:
             continue
-        max_entries = 0
-        rounds = 0
-        ok = True
-        for scenario in scenario_list:
-            fresh_spec = type(spec)(**({"b": getattr(spec, "b")}
-                                       if hasattr(spec, "b") else {}))
-            result = run_agreement(fresh_spec, config, scenario.faulty,
-                                   scenario.adversary())
-            ok = ok and result.succeeded
-            rounds = max(rounds, result.rounds)
-            max_entries = max(max_entries, result.metrics.max_message_entries())
+        if scenarios is None:
+            protocol, params = request_fields_for_spec(spec)
+            requests = scenario_requests(protocol, params, n, effective_t,
+                                         "worst-case")
+        else:
+            requests = []
+        admitted.append((spec, effective_t, requests))
+
+    # One flat execute_grouped over every admitted (spec, scenario) cell: the
+    # pool parallelises across cells while eligible EIG cells batch inside.
+    reports_by_spec: Dict[int, List[RunReport]] = {}
+    if scenarios is None:
+        grouped = execute_grouped(requests for _, _, requests in admitted)
+        reports_by_spec = dict(enumerate(grouped))
+
+    rows = []
+    for index, (spec, effective_t, _) in enumerate(admitted):
+        if scenarios is None:
+            reports = reports_by_spec[index]
+        else:
+            protocol, params = request_fields_for_spec(spec)
+            reports = [
+                _report_for_scenario(build_protocol(protocol, params),
+                                     n, effective_t, scenario)
+                for scenario in scenarios]
         rows.append({
             "protocol": spec.name,
             "n": n,
             "t": effective_t,
-            "rounds": rounds,
-            "max_message_entries": max_entries,
-            "all_scenarios_agree": ok,
+            "rounds": max((r.rounds for r in reports), default=0),
+            "max_message_entries": max(
+                (r.metrics["max_message_entries"] for r in reports), default=0),
+            "all_scenarios_agree": all(r.succeeded for r in reports),
         })
     return rows
 
@@ -314,24 +417,15 @@ def experiment_baselines(n: int, t: int,
 # The parallel experiment runner: one worker per (spec, scenario) cell
 # ---------------------------------------------------------------------------
 
-#: Named scenario batteries a cell can reference.  Cells carry the battery
-#: *name* plus the scenario *name* instead of the scenario object because the
-#: batteries contain lambdas (adversary factories) that cannot cross a
-#: process boundary; workers regenerate the battery deterministically.
-SCENARIO_BATTERIES: Dict[str, Callable[[int, int], Sequence[Scenario]]] = {
-    "standard": standard_scenarios,
-    "adversarial": adversarial_scenarios,
-    "worst-case": worst_case_scenarios,
-}
-
-
 @dataclass(frozen=True)
 class ExperimentCell:
     """One unit of parallel work: run *spec* at ``(n, t)`` under one scenario.
 
     Everything in a cell is picklable, so cells can be shipped to process-pool
     workers as-is.  ``battery``/``scenario`` name a scenario of one of the
-    :data:`SCENARIO_BATTERIES`, which the worker regenerates locally.
+    :data:`~repro.experiments.workloads.SCENARIO_BATTERIES`, which the worker
+    regenerates locally.  A cell is the spec-object twin of a
+    :class:`~repro.api.request.RunRequest`; :meth:`to_request` converts.
     """
 
     spec: ProtocolSpec
@@ -356,6 +450,15 @@ class ExperimentCell:
             f"battery {self.battery!r} at (n={self.n}, t={self.t}) has no "
             f"scenario named {self.scenario!r}")
 
+    def to_request(self, engine: str = "auto") -> RunRequest:
+        """The serializable façade request equivalent to this cell."""
+        protocol, params = request_fields_for_spec(self.spec)
+        return RunRequest(protocol=protocol, protocol_params=params,
+                          n=self.n, t=self.t,
+                          initial_value=self.initial_value,
+                          scenario=self.scenario, battery=self.battery,
+                          seed=self.seed, engine=engine)
+
 
 def grid_cells(specs: Sequence[ProtocolSpec],
                grid: Iterable[Tuple[int, int]],
@@ -378,27 +481,24 @@ def grid_cells(specs: Sequence[ProtocolSpec],
     return cells
 
 
-def run_cell(cell: ExperimentCell) -> Dict[str, object]:
-    """Execute one cell and return a flat, picklable summary row."""
-    scenario = cell.resolve_scenario()
-    result = measure(cell.spec, cell.n, cell.t, scenario,
-                     initial_value=cell.initial_value, seed=cell.seed)
+def _cell_row(cell: ExperimentCell, report: RunReport) -> Dict[str, object]:
+    """Flatten one cell's report into the harness's tabular row layout."""
     row: Dict[str, object] = {
-        "protocol": result.protocol,
-        "scenario": scenario.name,
+        "protocol": report.protocol,
+        "scenario": report.scenario,
         "battery": cell.battery,
-        "faults": len(result.faulty),
-        "succeeded": result.succeeded,
-        "discovery_sound": result.soundness_of_discovery(),
+        "faults": report.faults,
+        "succeeded": report.succeeded,
+        "discovery_sound": report.discovery_sound,
     }
-    row.update(result.summary())
+    row.update(report.summary())
     return row
 
 
-def _pool_worker_init(engine: Optional[str]) -> None:  # pragma: no cover - subprocess
-    if engine is not None:
-        os.environ["REPRO_EIG_ENGINE"] = engine
-        set_default_engine(engine)
+def run_cell(cell: ExperimentCell,
+             engine: str = "auto") -> Dict[str, object]:
+    """Execute one cell through the façade and return its summary row."""
+    return _cell_row(cell, execute(cell.to_request(engine=engine)))
 
 
 def run_cells(cells: Sequence[ExperimentCell], parallel: bool = True,
@@ -406,32 +506,23 @@ def run_cells(cells: Sequence[ExperimentCell], parallel: bool = True,
               engine: Optional[str] = None) -> List[Dict[str, object]]:
     """Run every cell and return its summary rows, preserving cell order.
 
-    With ``parallel=True`` (the default) the cells are distributed over a
-    process pool, one worker task per ``(spec, scenario)`` cell — agreement
-    instances are independent, so sweeps scale with the core count.  Workers
-    inherit the requested *engine* (default: the parent's default engine).
-    Falls back to in-process execution when only one cell is requested or the
-    platform cannot spawn a pool.
+    Cells convert to façade requests and run through
+    :func:`~repro.api.facade.execute_many`: with ``parallel=True`` (the
+    default) one process-pool task per ``(spec, scenario)`` cell — agreement
+    instances are independent, so sweeps scale with the core count — and,
+    because the default ``engine="auto"`` re-plans inside each worker, the
+    eligible EIG cells additionally step all their processors per round as
+    whole-run batched kernels.  Pass an explicit *engine* name to pin every
+    cell (``"fast"``/``"reference"`` for oracle sweeps).
     """
     cells = list(cells)
     if not cells:
         return []
-    if not parallel or len(cells) == 1:
-        return [run_cell(cell) for cell in cells]
-    if engine is None:
-        # Resolve now so spawn-started workers (which re-import the engine
-        # module and would fall back to the environment default) inherit the
-        # parent's effective engine, not just fork-started ones.
-        engine = get_default_engine()
-    if max_workers is not None:
-        max_workers = max(1, min(max_workers, len(cells)))
-    try:
-        with ProcessPoolExecutor(max_workers=max_workers,
-                                 initializer=_pool_worker_init,
-                                 initargs=(engine,)) as pool:
-            return list(pool.map(run_cell, cells))
-    except (OSError, PermissionError):  # pragma: no cover - sandboxed platforms
-        return [run_cell(cell) for cell in cells]
+    requests = [cell.to_request(engine=engine or "auto") for cell in cells]
+    reports = execute_many(requests, parallel=parallel,
+                           max_workers=max_workers)
+    return [_cell_row(cell, report)
+            for cell, report in zip(cells, reports)]
 
 
 def run_grid_parallel(specs: Sequence[ProtocolSpec],

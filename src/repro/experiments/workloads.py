@@ -112,6 +112,18 @@ def fault_count_sweep(n: int, t: int, source_faulty: bool = True,
                             source=source)
 
 
+#: Named scenario batteries a serializable run description can reference.
+#: Requests and experiment cells carry a battery *name* plus a scenario
+#: *name* instead of the scenario object because the batteries contain
+#: lambdas (adversary factories) that cannot cross a process boundary;
+#: workers regenerate the battery deterministically from the names.
+SCENARIO_BATTERIES = {
+    "standard": standard_scenarios,
+    "adversarial": adversarial_scenarios,
+    "worst-case": worst_case_scenarios,
+}
+
+
 def scenario_by_name(name: str, n: int, t: int,
                      source: ProcessorId = 0) -> Optional[Scenario]:
     """Look up one standard scenario by name (used by the examples' CLI)."""

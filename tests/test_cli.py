@@ -1,22 +1,32 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface (run / sweep / experiments)."""
 
+import json
 import os
 
 import pytest
 
-from repro.cli import build_spec, main
+from repro.api import RunReport
+from repro.cli import build_request, main
 from repro.core import engine as engine_module
 
 
-class TestBuildSpec:
+class TestBuildRequest:
     def test_known_protocols(self):
-        assert build_spec("exponential", 3).name == "exponential"
-        assert build_spec("hybrid", 3).name == "hybrid(b=3)"
-        assert build_spec("algorithm-b", 2).name == "algorithm-b(b=2)"
+        assert build_request("exponential", 7, 2).protocol == "exponential"
+        request = build_request("hybrid", 16, 5, b=3)
+        assert request.protocol == "hybrid"
+        assert request.protocol_params == {"b": 3}
+        # parameter-less protocols do not receive the block parameter
+        assert build_request("algorithm-c", 14, 2, b=3).protocol_params == {}
 
     def test_unknown_protocol_exits(self):
         with pytest.raises(SystemExit):
-            build_spec("raft", 3)
+            build_request("raft", 7, 2)
+
+    def test_faulty_set_from_flags(self):
+        request = build_request("exponential", 7, 2, faults=2,
+                                source_faulty=True)
+        assert request.faulty == (0, 6)
 
 
 class TestRunCommand:
@@ -39,6 +49,33 @@ class TestRunCommand:
                      "--faults", "1", "--adversary", "silent"])
         assert code == 0
 
+    def test_agreement_failure_sets_exit_code(self, capsys):
+        # 3 > t faults with an equivocating source: agreement breaks.
+        code = main(["run", "--protocol", "exponential", "--n", "7", "--t", "2",
+                     "--faults", "3", "--source-faulty",
+                     "--adversary", "equivocating-source-allies"])
+        assert code == 1
+
+    def test_json_output_round_trips(self, capsys):
+        code = main(["run", "--protocol", "exponential", "--n", "7", "--t", "2",
+                     "--adversary", "two-faced-source", "--source-faulty",
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        report = RunReport.from_dict(payload)
+        assert report.protocol == "exponential"
+        assert report.agreement
+        assert report.engine == "auto"
+        assert report.to_dict() == payload
+
+    def test_json_reports_engine_metadata(self, capsys):
+        code = main(["run", "--protocol", "exponential", "--n", "7", "--t", "2",
+                     "--adversary", "silent", "--engine", "fast", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "fast"
+        assert payload["engine_resolved"] == "fast"
+
 
 class TestEngineFlag:
     @pytest.fixture(autouse=True)
@@ -58,24 +95,44 @@ class TestEngineFlag:
                          "--t", "2", "--adversary", "two-faced-source",
                          "--source-faulty", "--engine", name])
             assert code == 0, name
-            # The choice is exported for parallel workers.
-            assert os.environ["REPRO_EIG_ENGINE"] == name
             capsys.readouterr()
+
+    def test_run_engine_auto_reports_resolution(self, capsys):
+        code = main(["run", "--protocol", "exponential", "--n", "7", "--t", "2",
+                     "--adversary", "silent", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        expected = ("batched" if engine_module.batched_available()
+                    else "fast")
+        assert payload["engine_resolved"] == expected
 
     @pytest.mark.skipif(not engine_module.batched_available(),
                         reason="numpy not installed")
     def test_run_batched_flag(self, capsys):
         code = main(["run", "--protocol", "exponential", "--n", "7",
                      "--t", "2", "--adversary", "two-faced-source",
-                     "--source-faulty", "--batched"])
+                     "--source-faulty", "--batched", "--json"])
         assert code == 0
-        assert "exponential" in capsys.readouterr().out
+        assert json.loads(capsys.readouterr().out)["engine_resolved"] == "batched"
+
+    @pytest.mark.skipif(not engine_module.batched_available(),
+                        reason="numpy not installed")
+    def test_batched_flag_composes_with_numpy_engine(self, capsys):
+        # --batched runs on the numpy layer, so --engine numpy must not
+        # degrade it to the per-processor path.
+        code = main(["run", "--protocol", "exponential", "--n", "7",
+                     "--t", "2", "--adversary", "silent",
+                     "--batched", "--engine", "numpy", "--json"])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["engine_resolved"] == "batched"
 
     @pytest.mark.skipif(not engine_module.batched_available(),
                         reason="numpy not installed")
     def test_run_batched_falls_back_for_unsupported_spec(self, capsys):
-        code = main(["run", "--protocol", "hybrid", "--n", "10", "--t", "3",
-                     "--b", "3", "--adversary", "stealth-path", "--batched"])
+        with pytest.warns(RuntimeWarning, match="not supported"):
+            code = main(["run", "--protocol", "hybrid", "--n", "10", "--t", "3",
+                         "--b", "3", "--adversary", "stealth-path",
+                         "--engine", "batched"])
         assert code == 0
         assert "hybrid(b=3)" in capsys.readouterr().out
 
@@ -85,11 +142,79 @@ class TestEngineFlag:
             main(["run", "--protocol", "exponential", "--n", "7", "--t", "2",
                   "--engine", "numpy"])
 
+    def test_explicit_engine_overrides_environment_with_warning(
+            self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_EIG_ENGINE", "reference")
+        with pytest.warns(RuntimeWarning, match="overrides the ambient"):
+            code = main(["run", "--protocol", "exponential", "--n", "7",
+                         "--t", "2", "--adversary", "silent",
+                         "--engine", "fast", "--json"])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["engine_resolved"] == "fast"
+
     def test_experiments_accept_engine(self, capsys):
         code = main(["experiments", "--scale", "small", "--only", "E8",
                      "--engine", "fast"])
         assert code == 0
         assert "E8-dominance" in capsys.readouterr().out
+        # The ambient choice is exported for parallel workers.
+        assert os.environ["REPRO_EIG_ENGINE"] == "fast"
+
+
+class TestSweepCommand:
+    @pytest.fixture()
+    def request_file(self, tmp_path):
+        payload = {"requests": [
+            {"protocol": "exponential", "n": 7, "t": 2, "initial_value": 1,
+             "scenario": "faulty-source-allies", "battery": "worst-case"},
+            {"protocol": "algorithm-c", "n": 14, "t": 2, "initial_value": 1,
+             "faulty": [12, 13], "adversary": "stealth-path",
+             "engine": "fast"},
+        ]}
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_sweep_prints_summary_table(self, request_file, capsys):
+        code = main(["sweep", request_file, "--serial"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sweep of 2 requests" in out
+        assert "exponential" in out and "algorithm-c" in out
+
+    def test_sweep_json_reports_round_trip(self, request_file, capsys):
+        code = main(["sweep", request_file, "--serial", "--json"])
+        assert code == 0
+        reports = [RunReport.from_dict(item)
+                   for item in json.loads(capsys.readouterr().out)]
+        assert [r.protocol for r in reports] == ["exponential", "algorithm-c"]
+        assert all(r.succeeded for r in reports)
+
+    def test_sweep_parallel_matches_serial(self, request_file, capsys):
+        code = main(["sweep", request_file, "--max-workers", "2", "--json"])
+        assert code == 0
+        parallel = capsys.readouterr().out
+        code = main(["sweep", request_file, "--serial", "--json"])
+        assert code == 0
+        assert json.loads(parallel) == json.loads(capsys.readouterr().out)
+
+    def test_sweep_rejects_malformed_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([{"protocol": "exponential", "n": 7,
+                                     "t": 2, "bogus_field": 1}]))
+        with pytest.raises(SystemExit, match="bogus_field"):
+            main(["sweep", str(path)])
+
+    def test_sweep_rejects_non_integer_faulty(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([{"protocol": "exponential", "n": 7,
+                                     "t": 2, "faulty": ["x"]}]))
+        with pytest.raises(SystemExit, match="invalid request"):
+            main(["sweep", str(path)])
+
+    def test_sweep_missing_file_exits(self):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["sweep", "/nonexistent/requests.json"])
 
 
 class TestExperimentsCommand:
