@@ -28,7 +28,11 @@ gated on:
    the Exponential ``n=7, t=2`` cell), and with ``REPRO_PERF_STRICT=1`` a
    fresh measurement of the smoke grid must come in under 1.5× its recorded
    fast-engine baseline (opt-in because absolute times are
-   machine-dependent).
+   machine-dependent).  When the recording times the **sharded run
+   executor**, its grid must extend at least two processors past the
+   largest single-process Exponential cell, inside the recorded per-cell
+   budget, and must beat the single-process batched engine in the
+   cache-bound ``n ≥ 16`` regime.
 
 Every numpy assertion auto-skips when numpy is unavailable, so tier-1 stays
 green on bare environments.
@@ -211,6 +215,66 @@ def test_recorded_baseline_shows_no_small_level_crossover():
     assert ratio >= 1, (
         f"recorded batched executor is {ratio}x the fast engine at "
         f"Exponential n=7,t=2 — the small-level crossover is back")
+
+
+def test_recorded_sharded_backend_extends_the_grid():
+    """The sharded recording must reach past the single-process grid.
+
+    The sharded run executor's acceptance claim: it completes an Exponential
+    cell at an ``n`` at least 2 larger than the largest single-process cell
+    of the classic grid, inside the recording's per-cell wall-clock budget —
+    and it beats the single-process batched engine in the cache-bound
+    ``n ≥ 16`` regime it exists for.
+    """
+    report = load_recorded_perf()
+    if report is None:
+        pytest.skip("BENCH_perf.json not recorded yet (run benchmarks/bench_perf.py)")
+    if "sharded" not in report.get("engines", []):
+        pytest.skip("recorded BENCH_perf.json does not time the sharded "
+                    "backend (partial --engine recording or no numpy)")
+    budget = report.get("large_cell_budget_seconds")
+    assert budget, "sharded recording lacks its per-cell wall-clock budget"
+    sharded_rows = [row for row in report.get("rows", [])
+                    if row.get("protocol") == "exponential"
+                    and "sharded_seconds" in row]
+    assert sharded_rows, "sharded mode recorded but no sharded cells exist"
+    classic = max(row["n"] for row in report["rows"]
+                  if row.get("protocol") == "exponential"
+                  and "reference_seconds" in row)
+    frontier = max(row["n"] for row in sharded_rows)
+    assert frontier >= classic + 2, (
+        f"sharded grid stops at n={frontier}; the single-process grid "
+        f"already reaches n={classic}")
+    for row in sharded_rows:
+        assert row["sharded_seconds"] <= budget, (
+            f"recorded sharded Exponential n={row['n']} t={row['t']} took "
+            f"{row['sharded_seconds']}s, over the {budget}s budget")
+        if (row["n"] >= 16 and row.get("sharded_vs_batched") is not None
+                and (report.get("cpu_count") or 1) >= 2):
+            # On a single-CPU recording box the backend pays full claims
+            # serialization with zero parallel compute — the win needs
+            # cores; there the budget and frontier assertions above are the
+            # acceptance anchor.
+            assert row["sharded_vs_batched"] >= 1, (
+                f"sharded backend is {row['sharded_vs_batched']}x the "
+                f"single-process batched engine at n={row['n']} with "
+                f"{report['cpu_count']} CPUs — it lost the cache-bound "
+                f"regime it exists for")
+
+
+def test_sharded_only_subset_records_no_classic_junk_rows():
+    """``--engine sharded`` must not emit timing-free rows for classic cells.
+
+    A timing-free row (no ``*_seconds`` keys, ``speedup: None``) written
+    into BENCH_perf.json would break every recorded-baseline gate above.
+    No cells are actually timed here (the large grid is disabled), so this
+    is a pure bookkeeping check.
+    """
+    from bench_perf import run_benchmark
+    report = run_benchmark(repetitions=1, engines=["sharded"],
+                           include_large=False)
+    assert report["rows"] == []
+    assert report["headline"] is None
 
 
 def test_fresh_measurement_within_recorded_baseline():

@@ -40,9 +40,10 @@ True
 
 from __future__ import annotations
 
-from .api import (RunReport, RunRequest, adversary_names, adversary_registry,
-                  build_adversary, build_protocol, execute, execute_many,
-                  protocol_names, protocol_registry)
+from .api import (RunReport, RunRequest, SweepSpec, adversary_names,
+                  adversary_registry, build_adversary, build_protocol,
+                  execute, execute_many, executor_names, executor_registry,
+                  iter_execute, protocol_names, protocol_registry, run_sweep)
 from .core import (AlgorithmASpec, AlgorithmBSpec, AlgorithmCSpec,
                    AgreementProtocol, BOTTOM, DEFAULT_VALUE, ExponentialSpec,
                    HybridParameters, HybridSpec, InfoGatheringTree,
@@ -60,8 +61,10 @@ __version__ = "1.1.0"
 __all__ = [
     "__version__",
     # the declarative façade
-    "RunRequest", "RunReport", "execute", "execute_many",
+    "RunRequest", "RunReport", "SweepSpec",
+    "execute", "execute_many", "iter_execute", "run_sweep",
     "protocol_registry", "adversary_registry",
+    "executor_registry", "executor_names",
     "protocol_names", "adversary_names",
     "build_protocol", "build_adversary",
     # configuration & execution

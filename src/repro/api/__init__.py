@@ -5,15 +5,22 @@ executing agreement runs:
 
 * **registries** (:mod:`.registries`) — protocols and adversaries addressed
   by name with schema-validated plain-data parameters;
-* **requests/reports** (:mod:`.request`) — :class:`RunRequest` and
-  :class:`RunReport`, JSON-round-trippable descriptions of a run and its
-  outcome;
+* **requests/reports** (:mod:`.request`) — :class:`RunRequest`,
+  :class:`RunReport`, and :class:`SweepSpec`, JSON-round-trippable
+  descriptions of runs, their outcomes, and whole sweeps;
 * **planner** (:mod:`.planner`) — ``engine="auto"`` resolution to
   batched → numpy → fast based on spec eligibility and numpy availability,
   with explicit choices overriding ambient (env-var / process-default)
   settings loudly;
+* **executors** (:mod:`.executors`) — the pluggable execution layer
+  (``submit``/``iter_reports``/``close``) with a name→factory registry:
+  ``"serial"``, ``"pool"``, and the row-sharding ``"sharded"`` backend for
+  large-``n`` runs;
 * **façade** (:mod:`.facade`) — :func:`execute` for one request,
-  :func:`execute_many` for sweeps over the process pool.
+  :func:`iter_execute` for streaming sweeps over any executor,
+  :func:`execute_many` for the classic list-shaped pool sweep;
+* **sweeps** (:mod:`.sweep`) — :func:`run_sweep`/:func:`iter_sweep` with a
+  JSONL checkpoint log and crash-safe resume.
 
 >>> from repro.api import RunRequest, execute
 >>> report = execute(RunRequest(protocol="hybrid", protocol_params={"b": 3},
@@ -26,18 +33,30 @@ True
 
 from __future__ import annotations
 
-from .facade import execute, execute_grouped, execute_many, plan_request
-from .planner import ExecutionPlan, plan_run
+from .executors import (DEFAULT_EXECUTOR, Executor, PoolExecutor,
+                        SerialExecutor, ShardedRunExecutor, build_executor,
+                        executor_names, executor_registry, resolve_executor)
+from .facade import (execute, execute_grouped, execute_many, iter_execute,
+                     plan_request)
+from .planner import ExecutionPlan, plan_run, plan_shardable
 from .registries import (ParamSpec, RegistryEntry, RegistryError,
                          adversary_names, adversary_registry, build_adversary,
                          build_protocol, protocol_names, protocol_registry,
                          request_fields_for_spec)
-from .request import AUTO, ENGINE_CHOICES, RunReport, RunRequest
+from .request import (AUTO, ENGINE_CHOICES, SEED_POLICIES, RunReport,
+                      RunRequest, SweepSpec, derive_seed)
+from .sweep import iter_sweep, read_checkpoint, run_sweep, sweep_digest
 
 __all__ = [
-    "RunRequest", "RunReport", "AUTO", "ENGINE_CHOICES",
-    "execute", "execute_many", "execute_grouped", "plan_request",
-    "ExecutionPlan", "plan_run",
+    "RunRequest", "RunReport", "SweepSpec", "AUTO", "ENGINE_CHOICES",
+    "SEED_POLICIES", "derive_seed",
+    "execute", "execute_many", "execute_grouped", "iter_execute",
+    "plan_request",
+    "ExecutionPlan", "plan_run", "plan_shardable",
+    "Executor", "SerialExecutor", "PoolExecutor", "ShardedRunExecutor",
+    "executor_registry", "executor_names", "build_executor",
+    "resolve_executor", "DEFAULT_EXECUTOR",
+    "iter_sweep", "run_sweep", "read_checkpoint", "sweep_digest",
     "ParamSpec", "RegistryEntry", "RegistryError",
     "protocol_registry", "adversary_registry",
     "protocol_names", "adversary_names",

@@ -1,0 +1,295 @@
+"""The pluggable execution layer: ``submit`` / ``iter_reports`` / ``close``.
+
+Distributed-systems practice models the algorithm being simulated and the
+substrate running it as separate concerns; this module is that separation
+for :mod:`repro.api`.  An :class:`Executor` accepts serializable
+:class:`~repro.api.request.RunRequest` values via :meth:`~Executor.submit`
+and streams ``(index, report)`` pairs back through
+:meth:`~Executor.iter_reports` **as runs finish** — which is what lets
+sweeps checkpoint durably (:mod:`repro.api.sweep`) and callers act on early
+results while later cells are still running.
+
+Three built-in backends, addressable by name through
+:func:`executor_registry` (the same :class:`~repro.api.registries.RegistryEntry`
+machinery as the protocol/adversary registries):
+
+``serial``
+    In-process, one request at a time, reports streamed in submission order.
+    The substrate of ``execute`` and every fallback path.
+``pool``
+    The process-pool sweep executor previously hard-coded inside
+    ``execute_many``: one worker per request slot, ambient-engine
+    forwarding, completion-order streaming, and clean degradation to serial
+    for single requests / one-worker pools / platforms without process
+    spawning.
+``sharded``
+    The large-``n`` backend: each *single run* is row-sharded across worker
+    processes (:mod:`repro.runtime.sharding`) — the coordinator keeps the
+    adversary and message accounting, the workers step contiguous blocks of
+    the run's :class:`~repro.core.npsupport.BatchedEIGState` row stack, and
+    cross-shard claims travel as serialized code ndarrays once per round.
+    Requests whose plan is not batched-eligible fall back to the ordinary
+    planner path, so a mixed sweep still completes.
+
+Requests are executed exactly as :func:`repro.api.facade.execute` would —
+same planner, same reports — so swapping backends never changes results,
+only where the work happens.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..core.engine import ambient_engine, use_engine
+from ..runtime.errors import ConfigurationError
+from .registries import ParamSpec, RegistryEntry, RegistryError
+from .request import RunReport, RunRequest
+
+#: What callers may pass wherever an executor is accepted: an instance, a
+#: registered name, or ``None`` for the default (``"pool"``).
+ExecutorSpec = Union["Executor", str, None]
+
+
+class Executor:
+    """The execution-substrate protocol: ``submit`` / ``iter_reports`` / ``close``.
+
+    Subclasses implement :meth:`iter_reports`; everything else — submission
+    bookkeeping, context management, close-state checks — is shared.
+    ``iter_reports`` drains the requests submitted so far and yields
+    ``(index, report)`` pairs as each run finishes (the order is
+    backend-defined; indexes are assigned by :meth:`submit` in submission
+    order and are stable across backends).
+    """
+
+    #: Registry name, overridden per backend (surfaced in errors and docs).
+    name = "executor"
+
+    def __init__(self) -> None:
+        self._pending: List[Tuple[int, RunRequest]] = []
+        self._submitted = 0
+        self._closed = False
+
+    def submit(self, request: RunRequest) -> int:
+        """Queue *request* and return its sweep index."""
+        if self._closed:
+            raise ConfigurationError(
+                f"cannot submit to a closed {self.name!r} executor")
+        index = self._submitted
+        self._submitted += 1
+        self._pending.append((index, request))
+        return index
+
+    def iter_reports(self) -> Iterator[Tuple[int, RunReport]]:
+        """Yield ``(index, report)`` for every pending request, as they finish."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources; further submissions are rejected."""
+        self._closed = True
+
+    def _take_pending(self) -> List[Tuple[int, RunRequest]]:
+        pending, self._pending = self._pending, []
+        return pending
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """In-process execution, streamed in submission order."""
+
+    name = "serial"
+
+    def iter_reports(self) -> Iterator[Tuple[int, RunReport]]:
+        from .facade import execute
+        for index, request in self._take_pending():
+            yield index, execute(request)
+
+
+def _pool_worker_init(ambient: Optional[str]) -> None:  # pragma: no cover
+    """Re-pin the parent's ambient engine inside a spawned pool worker."""
+    if ambient is not None:
+        from ..core.engine import set_default_engine
+        os.environ["REPRO_EIG_ENGINE"] = ambient
+        set_default_engine(ambient)
+
+
+def _execute_for_pool(request: RunRequest) -> RunReport:
+    from .facade import execute
+    return execute(request)
+
+
+class PoolExecutor(Executor):
+    """Process-pool sweeps: one worker slot per request, completion-order stream.
+
+    Workers re-plan each request locally, so eligible EIG cells compound
+    whole-run batched stepping with cross-cell process parallelism — exactly
+    the behaviour ``execute_many`` always had, now streamable.  Degrades to
+    serial execution for a single pending request, an effective worker count
+    of one, or platforms that cannot spawn a process pool.
+    """
+
+    name = "pool"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__()
+        self.max_workers = max_workers
+
+    def iter_reports(self) -> Iterator[Tuple[int, RunReport]]:
+        from .facade import execute
+        pending = self._take_pending()
+        if not pending:
+            return
+        workers = max(1, min(self.max_workers or os.cpu_count() or 1,
+                             len(pending)))
+        if workers == 1 or len(pending) == 1:
+            # A one-worker pool is serial execution plus fork overhead.
+            for index, request in pending:
+                yield index, execute(request)
+            return
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers,
+                                       initializer=_pool_worker_init,
+                                       initargs=(ambient_engine(),))
+        except (OSError, PermissionError):  # pragma: no cover - sandboxes
+            for index, request in pending:
+                yield index, execute(request)
+            return
+        with pool:
+            try:
+                futures = {pool.submit(_execute_for_pool, request): index
+                           for index, request in pending}
+            except (OSError, PermissionError):  # pragma: no cover - sandboxes
+                pool.shutdown(wait=False)
+                for index, request in pending:
+                    yield index, execute(request)
+                return
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding,
+                                         return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield futures[future], future.result()
+
+
+class ShardedRunExecutor(Executor):
+    """The large-``n`` backend: row-shard each submitted run across processes.
+
+    Requests run one after another (each already uses every worker), each
+    split over *shards* worker processes by
+    :func:`repro.runtime.sharding.run_sharded_if_supported` —
+    observationally identical to the single-process batched engine.
+    Batched-ineligible requests (non-EIG specs, explicit per-processor
+    engines, numpy-less environments) fall back to the ordinary planner
+    path, so mixed sweeps still complete; their reports carry the engine the
+    fallback actually used, while sharded runs record
+    ``engine_resolved == "sharded"``.
+    """
+
+    name = "sharded"
+
+    def __init__(self, shards: Optional[int] = None) -> None:
+        super().__init__()
+        if shards is not None and shards < 1:
+            raise ConfigurationError(
+                f"a sharded executor needs at least one shard, got {shards}")
+        self.shards = shards
+
+    def iter_reports(self) -> Iterator[Tuple[int, RunReport]]:
+        for index, request in self._take_pending():
+            yield index, self._execute_one(request)
+
+    def _execute_one(self, request: RunRequest) -> RunReport:
+        from ..runtime.sharding import run_sharded_if_supported
+        from .facade import execute
+        from .planner import plan_run
+        spec, config, faulty, adversary = request.resolve_parts()
+        plan = plan_run(request, spec, config, faulty)
+        if plan.batched:
+            with use_engine(plan.engine):
+                result = run_sharded_if_supported(spec, config, faulty,
+                                                  adversary, request.seed,
+                                                  shards=self.shards)
+            if result is not None:
+                return RunReport.from_result(
+                    result, engine=request.engine, engine_resolved="sharded",
+                    scenario=request.scenario, seed=request.seed)
+        return execute(request)
+
+
+# ---------------------------------------------------------------------------
+# The executor registry — same machinery as the protocol/adversary registries.
+# ---------------------------------------------------------------------------
+
+def _executor_entries() -> Tuple[RegistryEntry, ...]:
+    return (
+        RegistryEntry(
+            "serial", SerialExecutor,
+            doc="in-process, one request at a time, submission order"),
+        RegistryEntry(
+            "pool", PoolExecutor,
+            doc="process pool across requests (the execute_many substrate)",
+            params=(ParamSpec(
+                "max_workers", int,
+                doc="worker processes (default: one per CPU, capped at the "
+                    "request count)"),)),
+        RegistryEntry(
+            "sharded", ShardedRunExecutor,
+            doc="row-shard each single run across worker processes "
+                "(large-n batched runs)",
+            params=(ParamSpec(
+                "shards", int,
+                doc="worker processes per run (default: the CPU count, "
+                    "capped at the run's row count)"),)),
+    )
+
+
+_EXECUTORS: Dict[str, RegistryEntry] = {e.name: e for e in _executor_entries()}
+
+#: The backend used when callers pass ``executor=None``.
+DEFAULT_EXECUTOR = "pool"
+
+
+def executor_registry() -> Dict[str, RegistryEntry]:
+    """Mapping of every registered executor name to its entry."""
+    return dict(_EXECUTORS)
+
+
+def executor_names() -> Tuple[str, ...]:
+    return tuple(_EXECUTORS)
+
+
+def build_executor(name: str,
+                   params: Optional[Dict[str, object]] = None) -> Executor:
+    """Instantiate the named executor with schema-validated *params*."""
+    try:
+        entry = _EXECUTORS[name]
+    except KeyError:
+        raise RegistryError(
+            f"unknown executor {name!r}; registered: "
+            f"{sorted(_EXECUTORS)}") from None
+    return entry.build(params)
+
+
+def resolve_executor(executor: ExecutorSpec,
+                     params: Optional[Dict[str, object]] = None
+                     ) -> Tuple[Executor, bool]:
+    """Normalise an executor argument to ``(instance, caller_owns_it)``.
+
+    Accepts an :class:`Executor` instance (returned as-is, not owned — the
+    caller that built it closes it), a registered name, or ``None`` for
+    :data:`DEFAULT_EXECUTOR`.  Name/None resolutions are built fresh and
+    owned by the caller of this function, which should close them.
+    """
+    if isinstance(executor, Executor):
+        if params:
+            raise ConfigurationError(
+                "executor parameters apply to names, not to an already-built "
+                "executor instance")
+        return executor, False
+    return build_executor(executor or DEFAULT_EXECUTOR, params), True

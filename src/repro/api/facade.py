@@ -1,33 +1,33 @@
-"""``execute`` / ``execute_many``: the one entry point every consumer shares.
+"""``execute`` / ``iter_execute`` / ``execute_many``: the shared entry points.
 
 The CLI, the E1–E9 experiment harness, the examples, and the benchmarks all
 describe work as :class:`~repro.api.request.RunRequest` values and hand them
 here.  :func:`execute` resolves the request through the registries, asks the
-planner for an executor, runs the agreement instance under the planned engine
-(without mutating the process-wide default), and returns a structured
+planner for an engine, runs the agreement instance (without mutating the
+process-wide default), and returns a structured
 :class:`~repro.api.request.RunReport`.
 
-:func:`execute_many` is the sweep form: requests are distributed over a
-process pool (they are plain-data dataclasses, so they pickle as-is), and
-each worker re-plans its request locally — which is how eligible EIG cells
-compound whole-run **batched stepping** with cross-cell **process
-parallelism**.  The parent's ambient engine constraint (environment variable
-or :func:`~repro.core.engine.set_default_engine`) is forwarded to workers so
-spawn-started pools plan identically to the parent.
+Sweeps run on the pluggable execution layer (:mod:`repro.api.executors`):
+:func:`iter_execute` streams ``(index, report)`` pairs through any executor
+backend **as runs finish** — the primitive durable checkpointed sweeps
+(:mod:`repro.api.sweep`) are built on — while :func:`execute_many` and
+:func:`execute_grouped` keep their historical list-shaped signatures as thin
+wrappers over the ``"pool"`` backend (one process per request slot, workers
+re-planning locally so eligible EIG cells compound whole-run **batched
+stepping** with cross-cell process parallelism, ambient engine constraints
+forwarded to spawned workers).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from ..core.engine import ambient_engine, set_default_engine, use_engine
+from ..core.engine import use_engine
 from ..runtime.simulation import run_agreement
+from .executors import ExecutorSpec, PoolExecutor, resolve_executor
 from .planner import ExecutionPlan, plan_run
-from .request import RunRequest, RunReport
-
-_ENV_VAR = "REPRO_EIG_ENGINE"
+from .request import RunReport, RunRequest
 
 
 def plan_request(request: RunRequest) -> ExecutionPlan:
@@ -48,10 +48,27 @@ def execute(request: RunRequest) -> RunReport:
                                  scenario=request.scenario, seed=request.seed)
 
 
-def _pool_worker_init(ambient: Optional[str]) -> None:  # pragma: no cover - subprocess
-    if ambient is not None:
-        os.environ[_ENV_VAR] = ambient
-        set_default_engine(ambient)
+def iter_execute(requests: Iterable[RunRequest],
+                 executor: ExecutorSpec = None
+                 ) -> Iterator[Tuple[int, RunReport]]:
+    """Stream ``(index, report)`` pairs as the requests finish.
+
+    *executor* selects the backend: an
+    :class:`~repro.api.executors.Executor` instance (closed by its builder,
+    not here), a registry name (``"serial"``, ``"pool"``, ``"sharded"``), or
+    ``None`` for the default pool.  Indexes follow submission order; yield
+    order is the backend's completion order, so a consumer can checkpoint or
+    render results while later cells still run.
+    """
+    runner, owned = resolve_executor(executor)
+    try:
+        for request in requests:
+            runner.submit(request)
+        for index, report in runner.iter_reports():
+            yield index, report
+    finally:
+        if owned:
+            runner.close()
 
 
 def execute_many(requests: Iterable[RunRequest], parallel: bool = True,
@@ -62,7 +79,9 @@ def execute_many(requests: Iterable[RunRequest], parallel: bool = True,
     requests whose plan resolves to the batched executor additionally step
     all their processors per round as single 2-D kernels *inside* their
     worker.  Falls back to in-process execution for a single request, for
-    ``parallel=False``, or when the platform cannot spawn a pool.
+    ``parallel=False``, or when the platform cannot spawn a pool.  (A thin
+    wrapper over the ``"pool"`` executor backend — use :func:`iter_execute`
+    for streaming or a different backend.)
     """
     requests = list(requests)
     if not requests:
@@ -74,13 +93,13 @@ def execute_many(requests: Iterable[RunRequest], parallel: bool = True,
     if max_workers == 1:
         # A one-worker pool is serial execution plus fork overhead.
         return [execute(request) for request in requests]
-    try:
-        with ProcessPoolExecutor(max_workers=max_workers,
-                                 initializer=_pool_worker_init,
-                                 initargs=(ambient_engine(),)) as pool:
-            return list(pool.map(execute, requests))
-    except (OSError, PermissionError):  # pragma: no cover - sandboxed platforms
-        return [execute(request) for request in requests]
+    reports: Dict[int, RunReport] = {}
+    with PoolExecutor(max_workers=max_workers) as runner:
+        for request in requests:
+            runner.submit(request)
+        for index, report in runner.iter_reports():
+            reports[index] = report
+    return [reports[index] for index in range(len(requests))]
 
 
 def execute_grouped(groups: Iterable[Iterable[RunRequest]],

@@ -29,6 +29,12 @@ An **explicit** engine on the request always wins over the ambient settings —
 with a :class:`RuntimeWarning` naming both sides when they conflict, never
 silently.  An explicit ``"batched"`` on an ineligible run degrades to the best
 per-processor engine, also with a warning.
+
+The planner decides the *engine*; the *executor backend* a run is placed on
+(:mod:`repro.api.executors` — serial, pool, or the sharded large-``n``
+backend) is orthogonal and chosen by the caller.  :func:`plan_shardable`
+answers the one question that couples them: whether a run's plan would let
+the sharded backend split its row stack (exactly the batched-eligible runs).
 """
 
 from __future__ import annotations
@@ -76,6 +82,18 @@ def _batched_eligible(spec: "ProtocolSpec", config: "ProtocolConfig",
     # the report's engine metadata matches what actually executed.
     return any(p not in faulty and p != config.source
                for p in config.processors)
+
+
+def plan_shardable(spec: "ProtocolSpec", config: "ProtocolConfig",
+                   faulty: FrozenSet[int] = frozenset()) -> bool:
+    """Whether the sharded run executor could row-split this run.
+
+    True exactly when the run is batched-eligible — the sharded backend is
+    the batched engine with its row stack partitioned across processes, so
+    the two share one eligibility rule.  Ineligible runs placed on a
+    ``"sharded"`` executor fall back to the ordinary planner path.
+    """
+    return _batched_eligible(spec, config, faulty)
 
 
 def plan_run(request: RunRequest, spec: "ProtocolSpec",

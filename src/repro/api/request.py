@@ -22,8 +22,9 @@ The faulty set can be given two ways, mirroring how the harness works:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..core.protocol import ProtocolConfig
 from ..core.values import DEFAULT_VALUE, Value, default_domain
@@ -34,6 +35,23 @@ from ..runtime.errors import ConfigurationError
 ENGINE_CHOICES = ("auto", "batched", "numpy", "fast", "reference")
 
 AUTO = "auto"
+
+#: How a sweep assigns per-request seeds: keep each request's own seed, or
+#: derive one deterministically from the sweep seed and the request index.
+SEED_POLICIES = ("fixed", "derive")
+
+
+def derive_seed(sweep_seed: int, index: int) -> int:
+    """The deterministic seed of request *index* in a ``seed_policy="derive"`` sweep.
+
+    A stable cryptographic hash (not Python's salted ``hash``) of the sweep
+    seed and the request's position, truncated to a non-negative 31-bit
+    value, so resumed, re-serialized, or cross-process sweeps reproduce the
+    exact executions of the original run.
+    """
+    digest = hashlib.sha256(
+        f"repro-sweep:{sweep_seed}:{index}".encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFFFFFF
 
 
 def _int_keyed(mapping: Mapping[Any, Any], convert) -> Dict[int, Any]:
@@ -154,6 +172,80 @@ class RunRequest:
             kwargs["faulty"] = tuple(kwargs["faulty"])
         if "domain" in kwargs:
             kwargs["domain"] = tuple(kwargs["domain"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A serializable sweep: requests + executor choice + seed policy.
+
+    The sweep twin of :class:`RunRequest`: everything needed to (re)run a
+    whole sweep — the request list, the executor backend it should run on
+    (a :func:`~repro.api.executors.executor_registry` name plus plain-data
+    parameters), and how per-request seeds are assigned — survives
+    ``json.dumps``/``json.loads`` exactly.  Checkpointed sweeps
+    (:mod:`repro.api.sweep`) hash the canonical serialization, so a resume
+    against a different sweep is refused instead of silently merged.
+
+    ``seed_policy="fixed"`` runs every request with the seed it carries;
+    ``"derive"`` replaces each seed with :func:`derive_seed(sweep_seed,
+    index) <derive_seed>`, making resumed and re-executed sweeps reproduce
+    the original executions exactly.
+    """
+
+    requests: Tuple[RunRequest, ...]
+    executor: str = "pool"
+    executor_params: Mapping[str, Any] = field(default_factory=dict)
+    seed_policy: str = "fixed"
+    sweep_seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "requests", tuple(self.requests))
+        object.__setattr__(self, "executor_params",
+                           dict(self.executor_params))
+        for request in self.requests:
+            if not isinstance(request, RunRequest):
+                raise ConfigurationError(
+                    f"a sweep holds RunRequest values, got {request!r}")
+        if self.seed_policy not in SEED_POLICIES:
+            raise ConfigurationError(
+                f"unknown seed policy {self.seed_policy!r}; expected one of "
+                f"{SEED_POLICIES}")
+
+    def resolved_requests(self) -> Tuple[RunRequest, ...]:
+        """The requests as they will execute, seed policy applied."""
+        if self.seed_policy == "fixed":
+            return self.requests
+        return tuple(replace(request, seed=derive_seed(self.sweep_seed, i))
+                     for i, request in enumerate(self.requests))
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": [request.to_dict() for request in self.requests],
+            "executor": self.executor,
+            "executor_params": dict(self.executor_params),
+            "seed_policy": self.seed_policy,
+            "sweep_seed": self.sweep_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown SweepSpec field(s) {sorted(unknown)}; "
+                f"accepted: {sorted(known)}")
+        requests = data.get("requests")
+        if not isinstance(requests, Sequence) or isinstance(requests, str):
+            raise ConfigurationError(
+                "a serialized sweep needs a \"requests\" list")
+        kwargs = dict(data)
+        kwargs["requests"] = tuple(
+            request if isinstance(request, RunRequest)
+            else RunRequest.from_dict(request)
+            for request in requests)
         return cls(**kwargs)
 
 

@@ -1,0 +1,186 @@
+"""Durable sweeps: streaming execution with a JSONL checkpoint log.
+
+A sweep of hundreds of agreement runs should survive a crash without
+re-running what already finished.  :func:`iter_sweep` streams a
+:class:`~repro.api.request.SweepSpec` through an executor and, when given a
+checkpoint path, appends one JSON line per completed request **as it
+finishes** (flushed immediately, so a killed process loses at most the run
+in flight).  ``resume=True`` replays the log first: completed requests are
+yielded from the log and skipped by the executor, and the merged report set
+equals an uninterrupted run — exactly, when the sweep's seed policy is
+``"derive"`` (per-request seeds are positional, not stateful).
+
+Checkpoint format (one JSON object per line)::
+
+    {"kind": "repro-sweep-checkpoint", "version": 1,
+     "total": 12, "sweep_sha256": "..."}          # header line
+    {"index": 0, "report": { ...RunReport... }}   # one line per completion
+    {"index": 3, "report": { ... }}               # completion order, not
+    ...                                           # submission order
+
+The header pins the sweep's canonical SHA-256
+(:func:`sweep_digest`), so resuming against a *different* sweep — edited
+requests, another executor, a changed seed policy — fails loudly instead of
+merging unrelated results.  A truncated final line (the crash happened
+mid-write) is ignored.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..runtime.errors import ConfigurationError
+from .executors import ExecutorSpec, resolve_executor
+from .request import RunReport, SweepSpec
+
+CHECKPOINT_KIND = "repro-sweep-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+def sweep_digest(spec: SweepSpec) -> str:
+    """The canonical SHA-256 of a sweep (what a checkpoint header pins)."""
+    canonical = json.dumps(spec.to_dict(), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def read_checkpoint(path: str, spec: SweepSpec) -> Dict[int, RunReport]:
+    """The completed ``{index: report}`` entries of a checkpoint log.
+
+    Validates the header against *spec* (kind, version, sweep digest) and
+    tolerates a truncated final line.  An empty or missing file reads as no
+    completions.
+    """
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        return {}
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError:
+        raise ConfigurationError(
+            f"{path} is not a sweep checkpoint (unreadable header line)")
+    if not isinstance(header, dict) or header.get("kind") != CHECKPOINT_KIND:
+        raise ConfigurationError(
+            f"{path} is not a sweep checkpoint (expected a "
+            f"{CHECKPOINT_KIND!r} header)")
+    if header.get("version") != CHECKPOINT_VERSION:
+        raise ConfigurationError(
+            f"{path} is a version {header.get('version')} checkpoint; this "
+            f"build reads version {CHECKPOINT_VERSION}")
+    digest = sweep_digest(spec)
+    if header.get("sweep_sha256") != digest:
+        raise ConfigurationError(
+            f"{path} was recorded for a different sweep "
+            f"(checkpoint {str(header.get('sweep_sha256'))[:12]}…, this "
+            f"sweep {digest[:12]}…); refusing to merge unrelated results")
+    completed: Dict[int, RunReport] = {}
+    total = len(spec.requests)
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            break  # truncated final line: the crash happened mid-write
+        if not isinstance(entry, dict) or not isinstance(
+                entry.get("report"), dict):
+            raise ConfigurationError(
+                f"{path} has a malformed completion line (expected an "
+                f"object with \"index\" and \"report\"): {line[:80]!r}")
+        index = entry.get("index")
+        if not isinstance(index, int) or not 0 <= index < total:
+            raise ConfigurationError(
+                f"{path} names request index {index!r}, outside this "
+                f"sweep's 0..{total - 1}")
+        completed[index] = RunReport.from_dict(entry["report"])
+    return completed
+
+
+def _write_header(handle, spec: SweepSpec) -> None:
+    handle.write(json.dumps({
+        "kind": CHECKPOINT_KIND,
+        "version": CHECKPOINT_VERSION,
+        "total": len(spec.requests),
+        "sweep_sha256": sweep_digest(spec),
+    }, sort_keys=True) + "\n")
+    handle.flush()
+
+
+def iter_sweep(spec: SweepSpec, checkpoint: Optional[str] = None,
+               resume: bool = False, executor: ExecutorSpec = None
+               ) -> Iterator[Tuple[int, RunReport]]:
+    """Stream a sweep's ``(index, report)`` pairs, checkpointing as they finish.
+
+    Already-completed requests (``resume=True`` with an existing checkpoint)
+    are yielded first, straight from the log; the rest stream from the
+    executor in completion order.  *executor* overrides the spec's backend
+    choice (an :class:`~repro.api.executors.Executor` instance or registry
+    name); ``None`` builds the spec's own ``executor``/``executor_params``.
+    """
+    requests = spec.resolved_requests()
+    completed: Dict[int, RunReport] = {}
+    if checkpoint and resume:
+        completed = read_checkpoint(checkpoint, spec)
+    for index in sorted(completed):
+        yield index, completed[index]
+    remaining = [(i, request) for i, request in enumerate(requests)
+                 if i not in completed]
+    if not remaining:
+        return
+
+    if executor is None and spec.executor:
+        runner, owned = resolve_executor(spec.executor,
+                                         dict(spec.executor_params))
+    else:
+        runner, owned = resolve_executor(executor)
+    log = None
+    try:
+        if checkpoint:
+            fresh = not os.path.exists(checkpoint)
+            if not fresh and not resume:
+                # Never clobber an existing log: it may be the only record
+                # of a crashed sweep's completed requests.
+                raise ConfigurationError(
+                    f"checkpoint {checkpoint} already exists; pass "
+                    f"resume=True (repro sweep --resume) to continue it, or "
+                    f"delete the file to start the sweep fresh")
+            log = open(checkpoint, "w" if fresh else "a", encoding="utf-8")
+            if fresh:
+                _write_header(log, spec)
+        submitted = {}
+        for index, request in remaining:
+            submitted[runner.submit(request)] = index
+        for ticket, report in runner.iter_reports():
+            index = submitted[ticket]
+            if log is not None:
+                log.write(json.dumps({"index": index,
+                                      "report": report.to_dict()},
+                                     sort_keys=True) + "\n")
+                log.flush()
+            yield index, report
+    finally:
+        if log is not None:
+            log.close()
+        if owned:
+            runner.close()
+
+
+def run_sweep(spec: SweepSpec, checkpoint: Optional[str] = None,
+              resume: bool = False, executor: ExecutorSpec = None
+              ) -> List[RunReport]:
+    """Run a sweep to completion and return its reports in request order."""
+    reports: Dict[int, RunReport] = {}
+    for index, report in iter_sweep(spec, checkpoint=checkpoint,
+                                    resume=resume, executor=executor):
+        reports[index] = report
+    missing = [i for i in range(len(spec.requests)) if i not in reports]
+    if missing:  # pragma: no cover - executors yield every submission
+        raise ConfigurationError(
+            f"sweep finished without reports for request(s) {missing}")
+    return [reports[i] for i in range(len(spec.requests))]

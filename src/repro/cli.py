@@ -1,6 +1,6 @@
 """Command-line interface: declarative runs, sweeps, and experiment tables.
 
-Three subcommands, all built on the :mod:`repro.api` façade:
+Four subcommands, all built on the :mod:`repro.api` façade:
 
 ``repro run``
     Execute one agreement instance described by flags (protocol, parameters,
@@ -10,9 +10,19 @@ Three subcommands, all built on the :mod:`repro.api` façade:
 
 ``repro sweep``
     Execute a JSON file of serialized :class:`~repro.api.request.RunRequest`
-    objects through :func:`~repro.api.facade.execute_many` (parallel over the
-    process pool, batched inside eligible EIG cells) and print a summary
-    table or, with ``--json``, the full report list.
+    objects (or a whole :class:`~repro.api.request.SweepSpec`; ``-`` reads
+    stdin) on a chosen executor backend — ``--executor
+    {serial,pool,sharded}`` — with optional durability: ``--checkpoint
+    out.jsonl`` appends one JSON line per completed request as it finishes,
+    and ``--resume`` replays the log after a crash, skipping what already
+    completed.  Prints a summary table or, with ``--json``, the full report
+    list.
+
+``repro validate``
+    Dry-run the registry/planner checks for a request file (``-`` for
+    stdin): every request is resolved and planned — reporting the engine the
+    planner would use and whether the sharded backend could split it —
+    without executing anything.
 
 ``repro experiments``
     Regenerate the paper's tables/figures (the E1–E9 harness) at a chosen
@@ -26,6 +36,9 @@ Examples
         --adversary equivocating-source-allies --faults 5 --source-faulty
     python -m repro run --protocol exponential --n 13 --t 4 --json
     python -m repro sweep requests.json --json
+    python -m repro sweep requests.json --checkpoint out.jsonl --resume
+    repro-requests | python -m repro sweep - --executor sharded
+    python -m repro validate requests.json
     python -m repro experiments --scale small --only E1 E8
 """
 
@@ -40,8 +53,9 @@ from typing import List, Optional, Sequence
 
 from .analysis import format_table
 from .api import (ENGINE_CHOICES, RegistryError, RunReport, RunRequest,
-                  adversary_names, execute, execute_many, protocol_names,
-                  protocol_registry)
+                  SweepSpec, adversary_names, build_executor, execute,
+                  executor_names, plan_run, plan_shardable, protocol_names,
+                  protocol_registry, run_sweep)
 from .core.engine import ENGINES, set_default_engine
 from .experiments import run_all_experiments
 from .runtime.errors import ConfigurationError
@@ -98,14 +112,39 @@ def _parser() -> argparse.ArgumentParser:
                      help="print the structured RunReport as JSON")
 
     sweep = sub.add_parser(
-        "sweep", help="execute a JSON file of RunRequests in parallel")
-    sweep.add_argument("requests", help="path to a JSON list of RunRequest "
-                                        "objects (or {\"requests\": [...]})")
+        "sweep", help="execute a JSON file of RunRequests on an executor")
+    sweep.add_argument("requests",
+                       help="path to a JSON list of RunRequest objects, a "
+                            "{\"requests\": [...]} object, or a full "
+                            "SweepSpec; '-' reads the file from stdin")
+    sweep.add_argument("--executor", choices=sorted(executor_names()),
+                       default=None,
+                       help="execution backend (default: the sweep file's "
+                            "choice, else the process pool); 'sharded' "
+                            "row-splits each eligible run across worker "
+                            "processes")
     sweep.add_argument("--serial", action="store_true",
-                       help="run in-process instead of over the process pool")
-    sweep.add_argument("--max-workers", type=int, default=None)
+                       help="alias for --executor serial")
+    sweep.add_argument("--max-workers", type=int, default=None,
+                       help="worker processes for the pool executor")
+    sweep.add_argument("--shards", type=int, default=None,
+                       help="worker processes per run for the sharded "
+                            "executor (default: the CPU count)")
+    sweep.add_argument("--checkpoint", metavar="PATH", default=None,
+                       help="append one JSON line per completed request to "
+                            "PATH as it finishes (crash-durable JSONL log)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="replay an existing --checkpoint log first and "
+                            "skip its completed requests")
     sweep.add_argument("--json", action="store_true",
                        help="print the full RunReport list as JSON")
+
+    validate = sub.add_parser(
+        "validate", help="dry-run registry/planner checks for a request file")
+    validate.add_argument("requests",
+                          help="path to a JSON request file ('-' for stdin)")
+    validate.add_argument("--json", action="store_true",
+                          help="print the per-request verdicts as JSON")
 
     experiments = sub.add_parser("experiments",
                                  help="regenerate the paper's tables and figures")
@@ -157,33 +196,105 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0 if report.succeeded else 1
 
 
-def _load_requests(path: str) -> List[RunRequest]:
+#: Keys that mark a {"requests": [...]} payload as a full SweepSpec.
+_SWEEP_KEYS = ("executor", "executor_params", "seed_policy", "sweep_seed")
+
+
+def _read_payload(path: str) -> object:
+    """The parsed JSON payload of *path*, with ``-`` reading stdin."""
     try:
-        with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
+        if path == "-":
+            text = sys.stdin.read()
+        else:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
     except OSError as exc:
         raise SystemExit(f"cannot read {path}: {exc}") from None
+    try:
+        return json.loads(text)
     except json.JSONDecodeError as exc:
-        raise SystemExit(f"{path} is not valid JSON: {exc}") from None
+        source = "stdin" if path == "-" else path
+        raise SystemExit(f"{source} is not valid JSON: {exc}") from None
+
+
+def _parse_request_items(payload: object, source: str) -> List[object]:
+    """The raw request dicts of a payload (list, or dict with a list)."""
     if isinstance(payload, dict):
         payload = payload.get("requests")
     if not isinstance(payload, list):
         raise SystemExit(
-            f"{path} must hold a JSON list of RunRequest objects "
+            f"{source} must hold a JSON list of RunRequest objects "
             f"(or an object with a \"requests\" list)")
+    return payload
+
+
+def _load_sweep(path: str) -> SweepSpec:
+    """A :class:`SweepSpec` from *path*: a request list or a full spec."""
+    source = "stdin" if path == "-" else path
+    payload = _read_payload(path)
     try:
-        return [RunRequest.from_dict(item) for item in payload]
+        if isinstance(payload, dict) and any(key in payload
+                                             for key in _SWEEP_KEYS):
+            return SweepSpec.from_dict(payload)
+        items = _parse_request_items(payload, source)
+        return SweepSpec(
+            requests=tuple(RunRequest.from_dict(item) for item in items))
     except (RegistryError, ConfigurationError, TypeError, ValueError) as exc:
-        raise SystemExit(f"invalid request in {path}: {exc}") from None
+        raise SystemExit(f"invalid request in {source}: {exc}") from None
+
+
+def _load_requests(path: str) -> List[RunRequest]:
+    source = "stdin" if path == "-" else path
+    items = _parse_request_items(_read_payload(path), source)
+    try:
+        return [RunRequest.from_dict(item) for item in items]
+    except (RegistryError, ConfigurationError, TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid request in {source}: {exc}") from None
+
+
+def _sweep_executor(args: argparse.Namespace, spec: SweepSpec):
+    """The executor the flags select, or ``None`` to use the spec's own.
+
+    A bare parameter flag implies its backend (``--shards`` → sharded,
+    ``--max-workers`` → pool); a parameter flag naming a *different*
+    backend is an error rather than a silently dropped option.
+    """
+    name = args.executor
+    if name is None and args.serial:
+        name = "serial"
+    if name is None and args.shards is not None:
+        name = "sharded"
+    if name is None and args.max_workers is not None:
+        name = "pool"
+    if args.shards is not None and name != "sharded":
+        raise SystemExit(
+            f"--shards applies to the sharded executor, but the sweep runs "
+            f"on {name!r}; drop the flag or pass --executor sharded")
+    if args.max_workers is not None and name != "pool":
+        raise SystemExit(
+            f"--max-workers applies to the pool executor, but the sweep "
+            f"runs on {name!r}; drop the flag or pass --executor pool")
+    if name is None:
+        return None  # defer to the sweep file's executor/executor_params
+    params = {}
+    if name == "pool" and args.max_workers is not None:
+        params["max_workers"] = args.max_workers
+    if name == "sharded" and args.shards is not None:
+        params["shards"] = args.shards
+    return build_executor(name, params)
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    requests = _load_requests(args.requests)
-    if not requests:
+    spec = _load_sweep(args.requests)
+    if not spec.requests:
         raise SystemExit(f"{args.requests} contains no requests")
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume needs --checkpoint pointing at the log "
+                         "of the interrupted sweep")
     try:
-        reports = execute_many(requests, parallel=not args.serial,
-                               max_workers=args.max_workers)
+        reports = run_sweep(spec, checkpoint=args.checkpoint,
+                            resume=args.resume,
+                            executor=_sweep_executor(args, spec))
     except (RegistryError, ConfigurationError, ValueError) as exc:
         raise SystemExit(str(exc)) from None
     if args.json:
@@ -193,6 +304,42 @@ def _command_sweep(args: argparse.Namespace) -> int:
         rows = [report.summary() for report in reports]
         print(format_table(rows, title=f"sweep of {len(reports)} requests"))
     return 0 if all(report.succeeded for report in reports) else 1
+
+
+def _command_validate(args: argparse.Namespace) -> int:
+    """Resolve and plan every request without executing anything."""
+    items = _parse_request_items(_read_payload(args.requests),
+                                 "stdin" if args.requests == "-" else
+                                 args.requests)
+    if not items:
+        raise SystemExit(f"{args.requests} contains no requests")
+    rows: List[dict] = []
+    failures = 0
+    for position, item in enumerate(items):
+        row = {"index": position, "protocol": "?", "n": "?", "t": "?",
+               "adversary": "?", "engine": "?", "resolved": "?",
+               "shardable": "?", "status": "ok"}
+        try:
+            request = RunRequest.from_dict(item)
+            row.update({"protocol": request.protocol, "n": request.n,
+                        "t": request.t, "engine": request.engine,
+                        "adversary": request.scenario or request.adversary})
+            spec, config, faulty, _ = request.resolve_parts()
+            plan = plan_run(request, spec, config, faulty)
+            row["resolved"] = plan.resolved
+            row["shardable"] = plan_shardable(spec, config, faulty)
+        except (RegistryError, ConfigurationError, TypeError,
+                ValueError) as exc:
+            failures += 1
+            row["status"] = f"error: {exc}"
+        rows.append(row)
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(format_table(
+            rows, title=f"validated {len(rows)} request(s), "
+                        f"{failures} invalid"))
+    return 1 if failures else 0
 
 
 def _select_ambient_engine(engine: Optional[str]) -> None:
@@ -234,6 +381,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_run(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "validate":
+        return _command_validate(args)
     return _command_experiments(args)
 
 

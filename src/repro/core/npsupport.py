@@ -151,9 +151,66 @@ class ValueCodec:
             mask[self.code(value)] = True
         return mask
 
+    # -- cross-process synchronisation ---------------------------------------
+    def snapshot(self, start: int = 1) -> List[Value]:
+        """The interned values of codes ``[start, len)``, in code order.
+
+        The sharded run executor ships these slices to its worker processes,
+        whose codecs replay them with :meth:`adopt` so that code ndarrays
+        serialized on one side decode identically on the other.
+        """
+        return list(self._value_of[start:])
+
+    def adopt(self, values, start: int) -> None:
+        """Replay a peer codec's :meth:`snapshot` slice beginning at *start*.
+
+        The codec is append-only and interns in first-seen order, so a fresh
+        (or fork-inherited) codec that adopts every slice a peer sends, in
+        order, assigns byte-identical codes.  A mismatch means the two sides
+        interned values independently — a protocol bug — and raises rather
+        than silently decoding garbage.
+        """
+        for offset, value in enumerate(values):
+            expected = start + offset
+            if expected < len(self._value_of):
+                if self._value_of[expected] == value:
+                    continue
+                raise RuntimeError(
+                    f"value codec desync: code {expected} is "
+                    f"{self._value_of[expected]!r} here but {value!r} on the "
+                    f"peer")
+            code = self.code(value)
+            if code != expected:
+                raise RuntimeError(
+                    f"value codec desync: {value!r} interned as code {code}, "
+                    f"peer expected {expected}")
+
 
 #: The process-wide codec shared by every numpy-engine tree and message.
 VALUE_CODEC = ValueCodec()
+
+
+def shard_bounds(count: int, shards: int) -> List[tuple]:
+    """Balanced contiguous ``[start, stop)`` row ranges for a sharded run.
+
+    Splits *count* stacked rows into at most *shards* non-empty slices whose
+    sizes differ by at most one — the partition the sharded run executor uses
+    to hand each worker process a contiguous block of a
+    :class:`BatchedEIGState` row stack.  Row order (participants first, then
+    shadow rows) is preserved, so global row indices are
+    ``range(start, stop)`` for each bound.
+    """
+    if count <= 0 or shards <= 0:
+        return []
+    shards = min(shards, count)
+    base, extra = divmod(count, shards)
+    bounds = []
+    start = 0
+    for i in range(shards):
+        stop = start + base + (1 if i < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
 
 
 class BatchedEIGState:

@@ -8,13 +8,17 @@ The functions take explicit ``(n, t, b)`` ranges so benchmarks can run small
 instances quickly while the examples run the larger sweeps.
 
 All default sweeps are described as serializable
-:class:`~repro.api.request.RunRequest` values and routed through the façade's
-:func:`~repro.api.facade.execute_many`, so the (spec, scenario) cells run in
+:class:`~repro.api.request.RunRequest` values and routed through the
+executor-backed façade (:func:`~repro.api.facade.execute_many` /
+:func:`~repro.api.facade.execute_grouped`, thin wrappers over the ``"pool"``
+backend of :mod:`repro.api.executors`), so the (spec, scenario) cells run in
 parallel over the process pool **and** the eligible EIG cells (Exponential,
 Algorithms A and B) take the whole-run batched executor inside their workers
-— the two speedups compound.  Callers that pass hand-built
-:class:`~repro.experiments.workloads.Scenario` objects (whose adversary
-factories cannot be named in a request) keep the in-process path.
+— the two speedups compound.  :func:`run_cells` additionally accepts an
+explicit executor (e.g. ``"sharded"`` for large-``n`` grids).  Callers that
+pass hand-built :class:`~repro.experiments.workloads.Scenario` objects
+(whose adversary factories cannot be named in a request) keep the in-process
+path.
 """
 
 from __future__ import annotations
@@ -29,7 +33,8 @@ from ..analysis.bounds import (algorithm_c_local_computation, exponential_bound,
 from ..analysis.checkers import verify_report
 from ..analysis.tradeoff import dominance_table, tradeoff_curve
 from ..api import (RunReport, RunRequest, build_protocol, execute,
-                   execute_grouped, execute_many, request_fields_for_spec)
+                   execute_grouped, execute_many, iter_execute,
+                   request_fields_for_spec)
 from ..baselines import DolevStrongSpec, PeaseShostakLamportSpec, PhaseKingSpec
 from ..core.algorithm_a import AlgorithmASpec, algorithm_a_resilience
 from ..core.algorithm_b import AlgorithmBSpec, algorithm_b_resilience
@@ -503,24 +508,32 @@ def run_cell(cell: ExperimentCell,
 
 def run_cells(cells: Sequence[ExperimentCell], parallel: bool = True,
               max_workers: Optional[int] = None,
-              engine: Optional[str] = None) -> List[Dict[str, object]]:
+              engine: Optional[str] = None,
+              executor: object = None) -> List[Dict[str, object]]:
     """Run every cell and return its summary rows, preserving cell order.
 
-    Cells convert to façade requests and run through
-    :func:`~repro.api.facade.execute_many`: with ``parallel=True`` (the
-    default) one process-pool task per ``(spec, scenario)`` cell — agreement
-    instances are independent, so sweeps scale with the core count — and,
-    because the default ``engine="auto"`` re-plans inside each worker, the
-    eligible EIG cells additionally step all their processors per round as
-    whole-run batched kernels.  Pass an explicit *engine* name to pin every
-    cell (``"fast"``/``"reference"`` for oracle sweeps).
+    Cells convert to façade requests and run on the pluggable execution
+    layer (:mod:`repro.api.executors`): with the default ``executor=None``
+    and ``parallel=True`` that is the ``"pool"`` backend — one process-pool
+    task per ``(spec, scenario)`` cell, agreement instances being
+    independent — and, because the default ``engine="auto"`` re-plans inside
+    each worker, the eligible EIG cells additionally step all their
+    processors per round as whole-run batched kernels.  Pass an explicit
+    *executor* (an :class:`~repro.api.executors.Executor` instance or
+    registry name such as ``"sharded"``) to place the whole grid on another
+    backend, or an explicit *engine* name to pin every cell
+    (``"fast"``/``"reference"`` for oracle sweeps).
     """
     cells = list(cells)
     if not cells:
         return []
     requests = [cell.to_request(engine=engine or "auto") for cell in cells]
-    reports = execute_many(requests, parallel=parallel,
-                           max_workers=max_workers)
+    if executor is not None:
+        by_index = dict(iter_execute(requests, executor=executor))
+        reports = [by_index[i] for i in range(len(requests))]
+    else:
+        reports = execute_many(requests, parallel=parallel,
+                               max_workers=max_workers)
     return [_cell_row(cell, report)
             for cell, report in zip(cells, reports)]
 
@@ -530,12 +543,13 @@ def run_grid_parallel(specs: Sequence[ProtocolSpec],
                       battery: str = "standard",
                       scenario_names: Optional[Sequence[str]] = None,
                       max_workers: Optional[int] = None,
-                      engine: Optional[str] = None) -> List[Dict[str, object]]:
+                      engine: Optional[str] = None,
+                      executor: object = None) -> List[Dict[str, object]]:
     """Convenience wrapper: build the grid's cells and run them in parallel."""
     cells = grid_cells(specs, grid, battery=battery,
                        scenario_names=scenario_names)
     return run_cells(cells, parallel=True, max_workers=max_workers,
-                     engine=engine)
+                     engine=engine, executor=executor)
 
 
 # ---------------------------------------------------------------------------

@@ -49,6 +49,11 @@ machines (the Exponential Algorithm, Algorithms A and B) when numpy is
 importable.  ``run_agreement(..., batched=True)`` falls back cleanly to the
 per-processor driver for everything else (Algorithm C, the hybrid, the
 baselines, or a numpy-less environment).
+
+At large ``n`` the level stacks outgrow one interpreter's cache;
+:mod:`repro.runtime.sharding` splits this run's row stack across worker
+processes (the coordinator subclasses :class:`_BatchedRun`, keeping the
+adversary plumbing here authoritative).
 """
 
 from __future__ import annotations
@@ -256,6 +261,49 @@ class _ShadowProcessor:
             f"(the per-processor driver builds full protocol machines)")
 
 
+def convert_stacked_rows(state, segment, t: int, trackers, meters,
+                         discovery_logs, main_indices, decision_pids,
+                         decisions, round_number: int, total_rounds: int,
+                         enable_fault_discovery: bool) -> None:
+    """Shift a whole row stack back to fresh roots: one conversion pass.
+
+    The resolve votes, the Fault Discovery Rule During Conversion, the
+    ``shift_{k→1}`` reset, the final-round decisions, and the exact
+    per-processor meter charges live here **once**, shared by the
+    single-process batched run and the sharded workers — their parity is
+    structural, not maintained by hand.  All row-indexed sequences
+    (*trackers*, *meters*, *discovery_logs*, *decision_pids*) align with
+    *state*'s rows; *main_indices* lists the rows that belong to correct
+    participants (shadow rows ride along charging the callers' shared
+    sink), and at the final round ``decisions[decision_pids[i]]`` receives
+    row *i*'s decided value.
+    """
+    from ..core.npsupport import (BOTTOM_CODE, DEFAULT_CODE, VALUE_CODEC,
+                                  require_numpy)
+    np = require_numpy()
+    levels, charge = batched_resolve_levels(state, segment.conversion, t)
+    for i in main_indices:
+        meters[i].charge(charge)
+    if segment.conversion_discovery and enable_fault_discovery:
+        fresh_sets = discover_during_conversion_batched(
+            state.index, levels, state.num_levels,
+            [tracker.suspects for tracker in trackers], t, meters)
+        main_set = set(main_indices)
+        for i, fresh in enumerate(fresh_sets):
+            added = trackers[i].add_all(fresh, round_number)
+            if added and i in main_set:
+                log = discovery_logs[i]
+                log[round_number] = log.get(round_number, 0) + len(added)
+    roots = levels[0][:, 0]
+    roots = np.where(roots == BOTTOM_CODE, DEFAULT_CODE, roots)
+    state.reset_to_roots(roots)
+    for i in main_indices:
+        meters[i].charge()  # reset_to_root stores one node
+    if round_number == total_rounds:
+        for i in main_indices:
+            decisions[decision_pids[i]] = VALUE_CODEC.value(int(roots[i]))
+
+
 class _BatchedRun:
     """One batched execution (see the module docstring)."""
 
@@ -341,7 +389,6 @@ class _BatchedRun:
 
     # -- driver ----------------------------------------------------------------
     def run(self) -> "RunResult":
-        from .simulation import RunResult
         self.adversary.bind(AdversaryContext(
             config=self.config, spec=_ShadowSpecProxy(self.spec, self),
             faulty=self.faulty, seed=self.seed))
@@ -351,6 +398,24 @@ class _BatchedRun:
                 self._round_one()
             else:
                 self._round(round_number)
+        return self._build_result()
+
+    def _build_result(self) -> "RunResult":
+        """Collect the per-participant observations held by this process."""
+        return self._assemble_result(
+            [(tuple(sorted(self.trackers[i].suspects)),
+              dict(self.discovery_logs[i]),
+              self.meters[i].units)
+             for i in range(self.main_count)])
+
+    def _assemble_result(self, per_participant) -> "RunResult":
+        """Build the :class:`RunResult` from ``(suspects, log, units)`` rows.
+
+        *per_participant* is aligned with :attr:`participants`; the sharded
+        coordinator feeds it rows gathered from worker processes, the
+        single-process run feeds it its own trackers/meters.
+        """
+        from .simulation import RunResult
         discovered: Dict[ProcessorId, Tuple[ProcessorId, ...]] = {}
         discovery_logs: Dict[ProcessorId, Dict[int, int]] = {}
         if self.source_correct:
@@ -360,9 +425,10 @@ class _BatchedRun:
             self.metrics.record_computation(source, 0)
             self.metrics.record_discoveries(source, 0)
         for i, pid in enumerate(self.participants):
-            discovered[pid] = tuple(sorted(self.trackers[i].suspects))
-            discovery_logs[pid] = dict(self.discovery_logs[i])
-            self.metrics.record_computation(pid, self.meters[i].units)
+            suspects, log, units = per_participant[i]
+            discovered[pid] = tuple(suspects)
+            discovery_logs[pid] = dict(log)
+            self.metrics.record_computation(pid, units)
             self.metrics.record_discoveries(pid, len(discovered[pid]))
         return RunResult(
             protocol=self.spec.name,
@@ -378,7 +444,6 @@ class _BatchedRun:
 
     # -- rounds ----------------------------------------------------------------
     def _round_one(self) -> None:
-        np = self.np
         config = self.config
         source = config.source
         messages: Dict[ProcessorId, Optional[Message]] = {
@@ -388,40 +453,49 @@ class _BatchedRun:
                 (source,), config.initial_value, source, 1)
         table = _BroadcastTable(messages, config.processors)
         faulty_outboxes = self._faulty_outboxes(1, table)
+        roots = self._initial_roots(faulty_outboxes)
         if self.source_correct:
-            roots = np.full(self.count,
-                            self.codec.code(config.initial_value),
-                            dtype=self.code_dtype)
             self._charge_sender(1, source, entry_count=1, level=1)
             # The source decides in round 1 and halts (it never sends again).
             self.decisions[source] = config.initial_value
-        else:
-            roots = np.empty(self.count, dtype=self.code_dtype)
-            source_outbox = faulty_outboxes.get(source, {})
-            root_seq = (source,)
-            for i, pid in enumerate(self.row_pids):
-                message = source_outbox.get(pid)
-                claimed = None if message is None else message.value_for(
-                    root_seq)
-                roots[i] = self.codec.code(
-                    coerce_value(claimed, config.domain))
+        self._install_roots(roots)
+        self._observe_delivery(1, messages, faulty_outboxes)
+
+    def _initial_roots(self, faulty_outboxes: Dict[ProcessorId, Outbox]):
+        """Every row's root code: the source's (claimed) value, coerced."""
+        np = self.np
+        config = self.config
+        if self.source_correct:
+            return np.full(self.count,
+                           self.codec.code(config.initial_value),
+                           dtype=self.code_dtype)
+        roots = np.empty(self.count, dtype=self.code_dtype)
+        source_outbox = faulty_outboxes.get(config.source, {})
+        root_seq = (config.source,)
+        for i, pid in enumerate(self.row_pids):
+            message = source_outbox.get(pid)
+            claimed = None if message is None else message.value_for(root_seq)
+            roots[i] = self.codec.code(coerce_value(claimed, config.domain))
+        return roots
+
+    def _install_roots(self, roots) -> None:
         self.state.set_roots(roots)
         for i in range(self.main_count):
             self.meters[i].charge()  # set_root stores one node
-        self._observe_delivery(1, messages, faulty_outboxes)
 
-    def _round(self, round_number: int) -> None:
-        np = self.np
-        prev_level = self.state.num_levels
-        prev_size = self.index.level_size(prev_level)
+    def _round_broadcasts(self, round_number: int, prev_level: int
+                          ) -> Dict[ProcessorId, Optional[Message]]:
+        """Every correct participant's whole-round broadcast, by row reference."""
         messages: Dict[ProcessorId, Optional[Message]] = {
             pid: None for pid in self.correct}
         for i, pid in enumerate(self.participants):
             messages[pid] = NumpyLevelMessage(
                 self.index, prev_level, self.state.row_view(prev_level, i),
                 pid, round_number)
-        table = _BroadcastTable(messages, self.config.processors)
-        faulty_outboxes = self._faulty_outboxes(round_number, table)
+        return messages
+
+    def _record_round_messages(self, round_number: int, prev_level: int,
+                               prev_size: int) -> None:
         deliveries = self.n - 1
         round_entries = deliveries * prev_size
         round_bits = round_entries * entry_bits(prev_level, self.domain_size,
@@ -429,6 +503,15 @@ class _BatchedRun:
         for pid in self.participants:
             self.metrics.record_messages(round_number, pid, deliveries,
                                          round_entries, round_bits)
+
+    def _round(self, round_number: int) -> None:
+        np = self.np
+        prev_level = self.state.num_levels
+        prev_size = self.index.level_size(prev_level)
+        messages = self._round_broadcasts(round_number, prev_level)
+        table = _BroadcastTable(messages, self.config.processors)
+        faulty_outboxes = self._faulty_outboxes(round_number, table)
+        self._record_round_messages(round_number, prev_level, prev_size)
 
         # One claims row per distinct claim vector of the round: the previous
         # level stack itself (serving echoes and every correct broadcast),
@@ -517,32 +600,11 @@ class _BatchedRun:
         self._observe_delivery(round_number, messages, faulty_outboxes)
 
     def _convert(self, round_number: int, segment) -> None:
-        np = self.np
-        from ..core.npsupport import BOTTOM_CODE, DEFAULT_CODE
-        levels, charge = batched_resolve_levels(self.state,
-                                                segment.conversion,
-                                                self.config.t)
-        for i in range(self.main_count):
-            self.meters[i].charge(charge)
-        if segment.conversion_discovery and self.enable_fault_discovery:
-            fresh_sets = discover_during_conversion_batched(
-                self.index, levels, self.state.num_levels,
-                [tracker.suspects for tracker in self.trackers],
-                self.config.t, self.meters)
-            for i, fresh in enumerate(fresh_sets):
-                added = self.trackers[i].add_all(fresh, round_number)
-                if added and i < self.main_count:
-                    log = self.discovery_logs[i]
-                    log[round_number] = (log.get(round_number, 0)
-                                         + len(added))
-        roots = levels[0][:, 0]
-        roots = np.where(roots == BOTTOM_CODE, DEFAULT_CODE, roots)
-        self.state.reset_to_roots(roots)
-        for i in range(self.main_count):
-            self.meters[i].charge()  # reset_to_root stores one node
-        if round_number == self.total_rounds:
-            for i, pid in enumerate(self.participants):
-                self.decisions[pid] = self.codec.value(int(roots[i]))
+        convert_stacked_rows(
+            self.state, segment, self.config.t, self.trackers, self.meters,
+            self.discovery_logs, range(self.main_count), self.participants,
+            self.decisions, round_number, self.total_rounds,
+            self.enable_fault_discovery)
 
     # -- adversary plumbing -----------------------------------------------------
     def _faulty_outboxes(self, round_number: int,

@@ -217,6 +217,169 @@ class TestSweepCommand:
             main(["sweep", "/nonexistent/requests.json"])
 
 
+class TestSweepExecutors:
+    @pytest.fixture()
+    def request_file(self, tmp_path):
+        payload = {"requests": [
+            {"protocol": "exponential", "n": 7, "t": 2, "initial_value": 1,
+             "scenario": "faulty-source-allies", "battery": "worst-case"},
+            {"protocol": "algorithm-a", "n": 10, "t": 3,
+             "protocol_params": {"b": 3}, "initial_value": 1,
+             "scenario": "silent", "battery": "standard"},
+        ]}
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_sweep_reads_stdin(self, request_file, capsys, monkeypatch):
+        import io
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO(open(request_file).read()))
+        code = main(["sweep", "-", "--serial"])
+        assert code == 0
+        assert "sweep of 2 requests" in capsys.readouterr().out
+
+    def test_sweep_executor_flag_matches_serial(self, request_file, capsys):
+        code = main(["sweep", request_file, "--executor", "serial", "--json"])
+        assert code == 0
+        serial = capsys.readouterr().out
+        code = main(["sweep", request_file, "--serial", "--json"])
+        assert code == 0
+        assert json.loads(serial) == json.loads(capsys.readouterr().out)
+
+    @pytest.mark.skipif(not engine_module.batched_available(),
+                        reason="numpy not installed")
+    def test_sweep_sharded_executor(self, request_file, capsys):
+        code = main(["sweep", request_file, "--executor", "sharded",
+                     "--shards", "2", "--json"])
+        assert code == 0
+        reports = [RunReport.from_dict(item)
+                   for item in json.loads(capsys.readouterr().out)]
+        assert all(r.succeeded for r in reports)
+        assert {r.engine_resolved for r in reports} == {"sharded"}
+
+    def test_sweep_file_may_carry_a_sweep_spec(self, tmp_path, capsys):
+        payload = {
+            "requests": [
+                {"protocol": "exponential", "n": 7, "t": 2,
+                 "initial_value": 1, "scenario": "faulty-source-allies",
+                 "battery": "worst-case"}],
+            "executor": "serial",
+            "seed_policy": "derive",
+            "sweep_seed": 21,
+        }
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(payload))
+        code = main(["sweep", str(path), "--json"])
+        assert code == 0
+        from repro.api import derive_seed
+        (report,) = [RunReport.from_dict(item)
+                     for item in json.loads(capsys.readouterr().out)]
+        assert report.seed == derive_seed(21, 0)
+
+    def test_sweep_checkpoint_and_resume(self, request_file, tmp_path,
+                                         capsys):
+        checkpoint = str(tmp_path / "sweep.jsonl")
+        code = main(["sweep", request_file, "--serial",
+                     "--checkpoint", checkpoint, "--json"])
+        assert code == 0
+        first = json.loads(capsys.readouterr().out)
+        lines = open(checkpoint).read().splitlines()
+        assert len(lines) == 3  # header + 2 completions
+        code = main(["sweep", request_file, "--serial",
+                     "--checkpoint", checkpoint, "--resume", "--json"])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out) == first
+        # The resumed run appended nothing: everything was already logged.
+        assert open(checkpoint).read().splitlines() == lines
+
+    def test_resume_without_checkpoint_exits(self, request_file):
+        with pytest.raises(SystemExit, match="--checkpoint"):
+            main(["sweep", request_file, "--resume"])
+
+    def test_existing_checkpoint_without_resume_exits(self, request_file,
+                                                      tmp_path, capsys):
+        checkpoint = str(tmp_path / "sweep.jsonl")
+        assert main(["sweep", request_file, "--serial",
+                     "--checkpoint", checkpoint]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="already exists"):
+            main(["sweep", request_file, "--serial",
+                  "--checkpoint", checkpoint])
+
+    def test_bare_shards_flag_implies_sharded_executor(self, request_file,
+                                                       capsys):
+        code = main(["sweep", request_file, "--shards", "2", "--json"])
+        assert code == 0
+        reports = [RunReport.from_dict(item)
+                   for item in json.loads(capsys.readouterr().out)]
+        expected = ("sharded" if engine_module.batched_available()
+                    else "fast")
+        assert reports[0].engine_resolved == expected
+
+    def test_mismatched_executor_parameter_flags_exit(self, request_file):
+        with pytest.raises(SystemExit, match="--shards applies"):
+            main(["sweep", request_file, "--serial", "--shards", "2"])
+        with pytest.raises(SystemExit, match="--max-workers applies"):
+            main(["sweep", request_file, "--executor", "sharded",
+                  "--max-workers", "4"])
+        with pytest.raises(SystemExit, match="--max-workers applies"):
+            main(["sweep", request_file, "--shards", "2",
+                  "--max-workers", "4"])
+
+
+class TestValidateCommand:
+    def test_validate_reports_resolution_without_executing(self, tmp_path,
+                                                           capsys):
+        payload = [
+            {"protocol": "exponential", "n": 7, "t": 2, "initial_value": 1,
+             "scenario": "faulty-source-allies", "battery": "worst-case"},
+            {"protocol": "algorithm-c", "n": 14, "t": 2, "initial_value": 1,
+             "faulty": [12, 13], "adversary": "stealth-path",
+             "engine": "fast"},
+        ]
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps(payload))
+        code = main(["validate", str(path), "--json"])
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["status"] for row in rows] == ["ok", "ok"]
+        expected = ("batched" if engine_module.batched_available()
+                    else "fast")
+        assert rows[0]["resolved"] == expected
+        assert rows[1]["resolved"] == "fast"
+        assert rows[1]["shardable"] is False
+
+    def test_validate_flags_invalid_requests(self, tmp_path, capsys):
+        payload = [
+            {"protocol": "exponential", "n": 7, "t": 2},
+            {"protocol": "raft", "n": 7, "t": 2},
+            {"protocol": "hybrid", "n": 10, "t": 3,
+             "protocol_params": {"b": "three"}},
+        ]
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps(payload))
+        code = main(["validate", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "2 invalid" in out
+        assert "unknown protocol 'raft'" in out
+        assert "must be an integer" in out
+
+    def test_validate_reads_stdin(self, capsys, monkeypatch):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(
+            [{"protocol": "exponential", "n": 7, "t": 2}])))
+        assert main(["validate", "-"]) == 0
+        assert "0 invalid" in capsys.readouterr().out
+
+    def test_validate_empty_file_exits(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("[]")
+        with pytest.raises(SystemExit, match="contains no requests"):
+            main(["validate", str(path)])
+
+
 class TestExperimentsCommand:
     def test_only_filter_limits_output(self, capsys):
         code = main(["experiments", "--scale", "small", "--only", "E8"])

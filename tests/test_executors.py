@@ -1,0 +1,402 @@
+"""Tests for the pluggable execution layer and durable sweeps.
+
+Covers the executor registry (names, parameter schemas), the
+submit/iter_reports/close protocol of every backend, streaming via
+``iter_execute``, ``SweepSpec`` serialization and the deterministic
+``seed_policy="derive"`` derivation, and the JSONL checkpoint/resume cycle
+— including a sweep killed mid-flight by a failing executor whose resumed
+report set must equal an uninterrupted run's.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (DEFAULT_EXECUTOR, Executor, PoolExecutor, RunReport,
+                       RunRequest, SerialExecutor, ShardedRunExecutor,
+                       SweepSpec, RegistryError, build_executor, derive_seed,
+                       execute, executor_names, executor_registry,
+                       iter_execute, iter_sweep, read_checkpoint,
+                       resolve_executor, run_sweep, sweep_digest)
+from repro.core import engine as engine_module
+from repro.runtime.errors import ConfigurationError
+
+
+def small_requests(count=3, protocol="exponential", **overrides):
+    fields = dict(protocol=protocol, n=7, t=2, initial_value=1,
+                  scenario="faulty-source-allies", battery="worst-case")
+    fields.update(overrides)
+    return [RunRequest(**dict(fields, seed=index)) for index in range(count)]
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert set(executor_names()) == {"serial", "pool", "sharded"}
+        assert DEFAULT_EXECUTOR in executor_names()
+
+    def test_build_by_name(self):
+        assert isinstance(build_executor("serial"), SerialExecutor)
+        pool = build_executor("pool", {"max_workers": 2})
+        assert isinstance(pool, PoolExecutor) and pool.max_workers == 2
+        sharded = build_executor("sharded", {"shards": 3})
+        assert isinstance(sharded, ShardedRunExecutor) and sharded.shards == 3
+
+    def test_unknown_name(self):
+        with pytest.raises(RegistryError, match="unknown executor"):
+            build_executor("gpu")
+
+    def test_unknown_parameter(self):
+        with pytest.raises(RegistryError, match="unknown parameter"):
+            build_executor("serial", {"max_workers": 2})
+
+    def test_schemas_are_introspectable(self):
+        assert "max_workers" in executor_registry()["pool"].schema
+        assert "shards" in executor_registry()["sharded"].schema
+
+    def test_resolve_executor(self):
+        instance = SerialExecutor()
+        assert resolve_executor(instance) == (instance, False)
+        built, owned = resolve_executor("serial")
+        assert isinstance(built, SerialExecutor) and owned
+        default, owned = resolve_executor(None)
+        assert isinstance(default, PoolExecutor) and owned
+        with pytest.raises(ConfigurationError, match="already-built"):
+            resolve_executor(instance, {"max_workers": 2})
+
+
+class TestExecutorProtocol:
+    def test_submit_assigns_sequential_indexes(self):
+        executor = SerialExecutor()
+        requests = small_requests(3)
+        assert [executor.submit(r) for r in requests] == [0, 1, 2]
+        reports = dict(executor.iter_reports())
+        assert sorted(reports) == [0, 1, 2]
+        assert all(isinstance(r, RunReport) for r in reports.values())
+
+    def test_serial_streams_in_submission_order(self):
+        executor = SerialExecutor()
+        for request in small_requests(3):
+            executor.submit(request)
+        assert [index for index, _ in executor.iter_reports()] == [0, 1, 2]
+
+    def test_closed_executor_rejects_submissions(self):
+        executor = SerialExecutor()
+        executor.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            executor.submit(small_requests(1)[0])
+
+    def test_context_manager_closes(self):
+        with SerialExecutor() as executor:
+            pass
+        with pytest.raises(ConfigurationError, match="closed"):
+            executor.submit(small_requests(1)[0])
+
+    def test_iter_reports_drains_pending_once(self):
+        executor = SerialExecutor()
+        executor.submit(small_requests(1)[0])
+        assert len(list(executor.iter_reports())) == 1
+        assert list(executor.iter_reports()) == []
+
+    def test_every_backend_matches_execute(self):
+        requests = small_requests(3)
+        expected = [execute(r) for r in requests]
+        for backend in (SerialExecutor(), PoolExecutor(max_workers=2),
+                        ShardedRunExecutor(shards=2)):
+            with backend:
+                for request in requests:
+                    backend.submit(request)
+                reports = dict(backend.iter_reports())
+            for index, report in enumerate(expected):
+                got = reports[index]
+                assert got.decisions == report.decisions, backend.name
+                assert got.metrics == report.metrics, backend.name
+                assert got.discovered == report.discovered, backend.name
+
+    def test_pool_completes_every_request(self):
+        requests = small_requests(4)
+        with PoolExecutor(max_workers=2) as pool:
+            for request in requests:
+                pool.submit(request)
+            reports = dict(pool.iter_reports())
+        assert sorted(reports) == [0, 1, 2, 3]
+
+
+class TestShardedExecutor:
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(ConfigurationError, match="at least one shard"):
+            ShardedRunExecutor(shards=0)
+
+    @pytest.mark.skipif(not engine_module.batched_available(),
+                        reason="numpy not installed")
+    def test_reports_sharded_engine_resolution(self):
+        request = small_requests(1)[0]
+        with ShardedRunExecutor(shards=2) as executor:
+            executor.submit(request)
+            ((_, report),) = list(executor.iter_reports())
+        assert report.engine_resolved == "sharded"
+        assert report.engine == "auto"
+        assert report.agreement
+
+    def test_ineligible_request_falls_back_to_planner_path(self):
+        request = RunRequest(protocol="hybrid", protocol_params={"b": 3},
+                             n=10, t=3, initial_value=1,
+                             scenario="faulty-source-allies",
+                             battery="worst-case")
+        with ShardedRunExecutor(shards=2) as executor:
+            executor.submit(request)
+            ((_, report),) = list(executor.iter_reports())
+        assert report.engine_resolved != "sharded"
+        assert report == execute(request)
+
+    @pytest.mark.skipif(not engine_module.batched_available(),
+                        reason="numpy not installed")
+    def test_observationally_identical_to_plain_execute(self):
+        for request in small_requests(2, protocol="algorithm-a",
+                                      protocol_params={"b": 3}, n=10, t=3):
+            plain = execute(request)
+            with ShardedRunExecutor(shards=2) as executor:
+                executor.submit(request)
+                ((_, sharded),) = list(executor.iter_reports())
+            assert sharded.decisions == plain.decisions
+            assert sharded.discovered == plain.discovered
+            assert sharded.discovery_logs == plain.discovery_logs
+            assert sharded.metrics == plain.metrics
+
+
+class TestIterExecute:
+    def test_yields_every_index(self):
+        requests = small_requests(3)
+        pairs = dict(iter_execute(requests, executor="serial"))
+        assert sorted(pairs) == [0, 1, 2]
+
+    def test_streaming_is_lazy_for_serial(self):
+        requests = small_requests(3)
+        iterator = iter_execute(requests, executor="serial")
+        index, report = next(iterator)
+        assert index == 0 and report.agreement
+        iterator.close()
+
+    def test_accepts_instance_without_closing_it(self):
+        executor = SerialExecutor()
+        list(iter_execute(small_requests(1), executor=executor))
+        executor.submit(small_requests(1)[0])  # still open
+
+
+class TestSeedDerivation:
+    def test_deterministic_and_position_dependent(self):
+        assert derive_seed(42, 0) == derive_seed(42, 0)
+        assert derive_seed(42, 0) != derive_seed(42, 1)
+        assert derive_seed(42, 0) != derive_seed(43, 0)
+        assert all(0 <= derive_seed(s, i) < 2 ** 31
+                   for s in (0, 1, 2 ** 40) for i in range(4))
+
+    def test_derive_policy_rewrites_request_seeds(self):
+        spec = SweepSpec(requests=small_requests(3), seed_policy="derive",
+                         sweep_seed=42)
+        resolved = spec.resolved_requests()
+        assert [r.seed for r in resolved] == [derive_seed(42, i)
+                                              for i in range(3)]
+
+    def test_fixed_policy_keeps_request_seeds(self):
+        requests = small_requests(3)
+        spec = SweepSpec(requests=requests)
+        assert spec.resolved_requests() == tuple(requests)
+
+    def test_derived_sweeps_reproduce_exactly(self):
+        spec = SweepSpec(requests=small_requests(3), executor="serial",
+                         seed_policy="derive", sweep_seed=11)
+        assert run_sweep(spec) == run_sweep(spec)
+
+
+class TestSweepSpec:
+    def test_round_trips_through_json(self):
+        spec = SweepSpec(requests=small_requests(2), executor="sharded",
+                         executor_params={"shards": 2},
+                         seed_policy="derive", sweep_seed=5)
+        wire = json.dumps(spec.to_dict(), sort_keys=True)
+        assert SweepSpec.from_dict(json.loads(wire)) == spec
+
+    def test_rejects_unknown_seed_policy(self):
+        with pytest.raises(ConfigurationError, match="seed policy"):
+            SweepSpec(requests=small_requests(1), seed_policy="random")
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError, match="unknown SweepSpec"):
+            SweepSpec.from_dict({"requests": [], "retries": 3})
+
+    def test_rejects_non_request_payloads(self):
+        with pytest.raises(ConfigurationError, match="RunRequest"):
+            SweepSpec(requests=[object()])
+
+    def test_digest_tracks_content(self):
+        spec = SweepSpec(requests=small_requests(2))
+        assert sweep_digest(spec) == sweep_digest(
+            SweepSpec(requests=small_requests(2)))
+        assert sweep_digest(spec) != sweep_digest(
+            SweepSpec(requests=small_requests(2), sweep_seed=1))
+
+
+class FailingExecutor(SerialExecutor):
+    """Executes *fail_after* requests, then dies — a simulated crash."""
+
+    def __init__(self, fail_after: int) -> None:
+        super().__init__()
+        self.fail_after = fail_after
+
+    def iter_reports(self):
+        for finished, pair in enumerate(super().iter_reports()):
+            if finished >= self.fail_after:
+                raise RuntimeError("simulated mid-sweep crash")
+            yield pair
+
+
+class TestCheckpointResume:
+    @pytest.fixture()
+    def spec(self):
+        return SweepSpec(requests=small_requests(4), executor="serial",
+                         seed_policy="derive", sweep_seed=13)
+
+    def test_checkpoint_records_completions_as_they_finish(self, spec,
+                                                           tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        reports = run_sweep(spec, checkpoint=path)
+        lines = [json.loads(line)
+                 for line in open(path, encoding="utf-8").read().splitlines()]
+        assert lines[0]["kind"] == "repro-sweep-checkpoint"
+        assert lines[0]["total"] == 4
+        assert lines[0]["sweep_sha256"] == sweep_digest(spec)
+        assert sorted(entry["index"] for entry in lines[1:]) == [0, 1, 2, 3]
+        revived = {entry["index"]: RunReport.from_dict(entry["report"])
+                   for entry in lines[1:]}
+        assert [revived[i] for i in range(4)] == reports
+
+    def test_crash_resume_skips_completed_and_merges_exactly(self, spec,
+                                                             tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        with pytest.raises(RuntimeError, match="simulated mid-sweep crash"):
+            run_sweep(spec, checkpoint=path, executor=FailingExecutor(2))
+        completed = read_checkpoint(path, spec)
+        assert sorted(completed) == [0, 1]
+
+        executed_on_resume = []
+
+        class Recording(SerialExecutor):
+            def submit(recording_self, request):
+                executed_on_resume.append(request)
+                return super().submit(request)
+
+        merged = run_sweep(spec, checkpoint=path, resume=True,
+                           executor=Recording())
+        # Only the two unfinished requests were re-executed...
+        assert len(executed_on_resume) == 2
+        assert [r.seed for r in executed_on_resume] == [derive_seed(13, 2),
+                                                        derive_seed(13, 3)]
+        # ...and the merged report set equals an uninterrupted run's.
+        assert merged == run_sweep(spec)
+        # The log now covers the full sweep for any further resume.
+        assert sorted(read_checkpoint(path, spec)) == [0, 1, 2, 3]
+
+    def test_fully_checkpointed_resume_executes_nothing(self, spec,
+                                                        tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        reports = run_sweep(spec, checkpoint=path)
+
+        class Exploding(SerialExecutor):
+            def iter_reports(self):
+                raise AssertionError("nothing should execute")
+                yield  # pragma: no cover
+
+        assert run_sweep(spec, checkpoint=path, resume=True,
+                         executor=Exploding()) == reports
+
+    def test_resume_refuses_a_different_sweep(self, spec, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        run_sweep(spec, checkpoint=path)
+        other = SweepSpec(requests=small_requests(4), executor="serial",
+                          seed_policy="derive", sweep_seed=14)
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            run_sweep(other, checkpoint=path, resume=True)
+
+    def test_truncated_final_line_is_tolerated(self, spec, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        with pytest.raises(RuntimeError):
+            run_sweep(spec, checkpoint=path, executor=FailingExecutor(2))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"index": 2, "report": {"proto')  # crash mid-write
+        assert sorted(read_checkpoint(path, spec)) == [0, 1]
+        assert run_sweep(spec, checkpoint=path, resume=True) == run_sweep(spec)
+
+    def test_existing_checkpoint_is_never_clobbered(self, spec, tmp_path):
+        """Forgetting --resume must not erase a crash log."""
+        path = str(tmp_path / "sweep.jsonl")
+        with pytest.raises(RuntimeError):
+            run_sweep(spec, checkpoint=path, executor=FailingExecutor(2))
+        before = open(path, encoding="utf-8").read()
+        with pytest.raises(ConfigurationError, match="already exists"):
+            run_sweep(spec, checkpoint=path)
+        assert open(path, encoding="utf-8").read() == before
+        # resume continues it, as the error message instructs.
+        assert run_sweep(spec, checkpoint=path, resume=True) == run_sweep(spec)
+
+    def test_malformed_completion_line_is_rejected_loudly(self, spec,
+                                                          tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        with pytest.raises(RuntimeError):
+            run_sweep(spec, checkpoint=path, executor=FailingExecutor(2))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('42\n')  # valid JSON, not a completion entry
+        with pytest.raises(ConfigurationError, match="malformed completion"):
+            read_checkpoint(path, spec)
+        path2 = str(tmp_path / "sweep2.jsonl")
+        with pytest.raises(RuntimeError):
+            run_sweep(spec, checkpoint=path2, executor=FailingExecutor(1))
+        with open(path2, "a", encoding="utf-8") as handle:
+            handle.write('{"index": 2}\n')  # report missing
+        with pytest.raises(ConfigurationError, match="malformed completion"):
+            read_checkpoint(path2, spec)
+
+    def test_non_checkpoint_file_is_rejected(self, spec, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"kind": "something-else"}\n')
+        with pytest.raises(ConfigurationError, match="not a sweep checkpoint"):
+            read_checkpoint(str(path), spec)
+
+    def test_missing_checkpoint_reads_empty(self, spec, tmp_path):
+        assert read_checkpoint(str(tmp_path / "absent.jsonl"), spec) == {}
+
+    def test_iter_sweep_yields_completed_first_then_streams(self, spec,
+                                                            tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        with pytest.raises(RuntimeError):
+            run_sweep(spec, checkpoint=path, executor=FailingExecutor(2))
+        order = [index for index, _ in
+                 iter_sweep(spec, checkpoint=path, resume=True)]
+        assert order[:2] == [0, 1]
+        assert sorted(order) == [0, 1, 2, 3]
+
+
+class TestFacadePinning:
+    """execute/execute_many/execute_grouped keep their exact behaviour."""
+
+    def test_execute_many_signature_and_order(self):
+        from repro.api import execute_grouped, execute_many
+        requests = small_requests(3)
+        serial = execute_many(requests, parallel=False)
+        pooled = execute_many(requests, parallel=True, max_workers=2)
+        assert pooled == serial == [execute(r) for r in requests]
+        grouped = execute_grouped([requests[:2], requests[2:]],
+                                  max_workers=2)
+        assert grouped == [serial[:2], serial[2:]]
+
+    def test_run_cells_accepts_an_executor(self):
+        from repro.experiments import grid_cells, run_cells
+        from repro.core.exponential import ExponentialSpec
+        cells = grid_cells([ExponentialSpec()], [(7, 2)],
+                           battery="worst-case",
+                           scenario_names=["faulty-source-allies"])
+        default = run_cells(cells, parallel=False)
+        via_serial = run_cells(cells, executor="serial")
+        assert [row["decisions"] if "decisions" in row else row["succeeded"]
+                for row in via_serial] == \
+               [row["decisions"] if "decisions" in row else row["succeeded"]
+                for row in default]
