@@ -14,10 +14,14 @@ from .base import Adversary, AdversaryContext, BenignAdversary, ShadowAdversary
 from .crash import CrashAdversary, SilentAdversary, StaggeredCrashAdversary
 from .liars import (ConsistentLiarAdversary, EchoSuppressorAdversary,
                     RandomLiarAdversary, TwoFacedAdversary, another_value)
+from .moving import MovingTargetAdversary
+from .omission import (CrashRecoveryAdversary, ReceiveOmissionAdversary,
+                       SendOmissionAdversary)
 from .source_attacks import (DelayedEquivocationAdversary,
                              EquivocatingSourceWithAlliesAdversary,
                              TwoFacedSourceAdversary)
 from .stealth import MinimalExposureAdversary, StealthPathAdversary
+from .transient import TransientCorruptionAdversary
 
 __all__ = [
     "Adversary",
@@ -36,6 +40,11 @@ __all__ = [
     "DelayedEquivocationAdversary",
     "StealthPathAdversary",
     "MinimalExposureAdversary",
+    "TransientCorruptionAdversary",
+    "SendOmissionAdversary",
+    "ReceiveOmissionAdversary",
+    "CrashRecoveryAdversary",
+    "MovingTargetAdversary",
     "another_value",
     "standard_adversaries",
     "adversary_registry",
@@ -58,6 +67,11 @@ def adversary_registry() -> Dict[str, Callable[[], Adversary]]:
         "delayed-equivocation": DelayedEquivocationAdversary,
         "stealth-path": StealthPathAdversary,
         "minimal-exposure": MinimalExposureAdversary,
+        "transient-corruption": TransientCorruptionAdversary,
+        "send-omission": SendOmissionAdversary,
+        "receive-omission": ReceiveOmissionAdversary,
+        "crash-recovery": CrashRecoveryAdversary,
+        "moving-target": MovingTargetAdversary,
     }
 
 

@@ -28,6 +28,7 @@ from ..runtime.messages import Inbox, Message, Outbox
 
 if TYPE_CHECKING:  # imported only for annotations, to avoid an import cycle
     from ..core.protocol import AgreementProtocol, ProtocolConfig, ProtocolSpec
+    from ..runtime.corruption import StateView
 
 
 @dataclass(frozen=True)
@@ -56,8 +57,15 @@ class Adversary(abc.ABC):
 
     name = "adversary"
 
+    #: ``None`` when the strategy is expressible under the batched whole-run
+    #: executor (a claims-matrix edit); otherwise a one-line reason string.
+    #: The batched and sharded drivers fall back to the per-processor path
+    #: when set, and the planner/``repro validate`` surface the reason.
+    batched_fallback_reason: Optional[str] = None
+
     def __init__(self) -> None:
         self.context: Optional[AdversaryContext] = None
+        self._seed_override: Optional[int] = None
 
     def bind(self, context: AdversaryContext) -> None:
         """Attach the adversary to one execution.  Called once by the driver.
@@ -75,6 +83,24 @@ class Adversary(abc.ABC):
                 f"run (stale shadow/rng state must not leak across "
                 f"executions)")
         self.context = context
+
+    def reseed(self, seed: int) -> None:
+        """Override the rng seed the next :meth:`bind` will use.
+
+        Every randomised strategy draws from one :class:`random.Random`
+        seeded at bind time; the search mutator perturbs that stream through
+        this single hook instead of knowing each subclass's rng fields.
+        Reseeding after bind raises — the rng position already belongs to an
+        execution.
+        """
+        if self.context is not None:
+            raise SimulationError(
+                f"adversary {self.describe()!r} is already bound; reseed() "
+                f"must be called before bind()")
+        self._seed_override = seed
+
+    def _effective_seed(self, context: AdversaryContext) -> int:
+        return self._seed_override if self._seed_override is not None else context.seed
 
     def _require_context(self) -> AdversaryContext:
         if self.context is None:
@@ -96,6 +122,21 @@ class Adversary(abc.ABC):
                          faulty_inboxes: Mapping[ProcessorId, Inbox]) -> None:
         """Hook invoked after delivery with the messages the faulty processors
         received.  Default: ignore."""
+
+    def corrupt_state(self, round_number: int,
+                      state_views: Mapping[ProcessorId, "StateView"]) -> None:
+        """Flip stored state of *correct* processors after a round's delivery.
+
+        ``state_views`` maps every correct non-source participant to a
+        read/write view of its current top tree level (node-id order); see
+        :mod:`repro.runtime.corruption`.  Both the per-processor and the
+        batched driver invoke this at the same point — after every delivery
+        and conversion of the round, before the next round's broadcasts are
+        built — so in-place edits are observationally identical across
+        engines.  Written values must stay inside ``config.domain`` (the
+        batched state never stores a missing sentinel).  Default: no state
+        corruption; drivers skip the hook entirely when it is not overridden.
+        """
 
     def describe(self) -> str:
         return self.name
@@ -123,7 +164,7 @@ class ShadowAdversary(Adversary):
 
     def bind(self, context: AdversaryContext) -> None:
         super().bind(context)
-        self._rng = context.rng()
+        self._rng = random.Random(self._effective_seed(context))
         self._rewrite_cache = (None, {})
         self._shadows = {
             pid: context.spec.build(pid, context.config)

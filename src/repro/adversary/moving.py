@@ -1,0 +1,76 @@
+"""A moving faulty set: misbehaviour migrates between processors per round.
+
+The paper's fault model fixes the faulty set for the whole execution; the
+*moving-target* model lets the actively-misbehaving subset migrate between
+rounds while the cumulative set of processors that ever misbehaved stays
+within the ``t`` budget — the bound faulty set **is** that cumulative budget.
+Each round only a rotating window of it actively lies; the others behave
+correctly (their shadows' messages pass through untouched).
+
+This is strictly weaker than the static model (the adversary reveals at most
+``t`` distinct identities in total) but strictly harder to *discover*: no
+single processor accumulates enough inconsistent claims per round to cross
+the discovery thresholds quickly, so the rotation probes the Fault Discovery
+Rule's bookkeeping across rounds.
+
+Pure per-destination tampering — eligible for the batched executor.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Tuple
+
+from ..core.sequences import ProcessorId
+from ..runtime.messages import Message, Outbox
+from .base import ShadowAdversary
+from .liars import another_value
+
+
+class MovingTargetAdversary(ShadowAdversary):
+    """Rotates the actively-lying subset of the faulty budget per round.
+
+    Parameters
+    ----------
+    active:
+        How many of the bound faulty processors lie in any one round.
+    rotate_every:
+        Rounds between rotations: the active window advances by ``active``
+        positions (cyclically, in id order) every ``rotate_every`` rounds.
+    """
+
+    name = "moving-target"
+
+    def __init__(self, active: int = 1, rotate_every: int = 1) -> None:
+        super().__init__()
+        self.active = max(1, int(active))
+        self.rotate_every = max(1, int(rotate_every))
+        self._members: Tuple[ProcessorId, ...] = ()
+
+    def bind(self, context) -> None:
+        super().bind(context)
+        self._members = tuple(sorted(context.faulty))
+        self.name = (f"moving-target(active={self.active},"
+                     f"every={self.rotate_every})")
+
+    def active_set(self, round_number: int) -> Tuple[ProcessorId, ...]:
+        """The processors actively lying in *round_number* (id order)."""
+        members = self._members
+        if not members:
+            return ()
+        width = min(self.active, len(members))
+        start = (((round_number - 1) // self.rotate_every) * width
+                 % len(members))
+        return tuple(members[(start + i) % len(members)]
+                     for i in range(width))
+
+    def tamper(self, round_number: int, sender: ProcessorId,
+               dest: ProcessorId, message: Message,
+               correct_outboxes: Mapping[ProcessorId, Outbox]) -> Message:
+        if sender not in self.active_set(round_number):
+            return message
+        domain = self._require_context().config.domain
+        # The active liar tells everyone the same flipped story this round.
+        return self.cached_rewrite(
+            message, "flip",
+            lambda: message.map_values(lambda value: another_value(value,
+                                                                   domain)))

@@ -1,0 +1,161 @@
+"""Omission and recovery failures: lossy senders, deaf receivers, rejoiners.
+
+The omission family sits between crash faults and full Byzantine behaviour:
+processors follow the protocol but *lose* messages.
+
+* :class:`SendOmissionAdversary` — each faulty sender's message to each
+  destination is dropped independently with a configurable rate.
+* :class:`ReceiveOmissionAdversary` — faulty processors fail to *receive*:
+  their (otherwise correct) shadows are fed a filtered inbox, so their later
+  relays honestly reflect a corrupted view.
+* :class:`CrashRecoveryAdversary` — processors go silent for ``k`` rounds
+  and then *rejoin with stale state*: during the outage their shadows neither
+  send nor receive, so the post-recovery relays broadcast the tree as it was
+  when the outage began.
+
+Every drop decision is derived from the bound seed and the message
+coordinates ``(round, sender, dest)`` — never from the shared rng stream —
+so the decisions are identical whatever order an execution mode evaluates
+them in.
+
+Send omission is a pure suppression pattern and rides the batched executor
+unchanged.  Receive omission and crash-recovery manipulate what the shadows
+*receive*, which the batched executor cannot express (its shadow rows are
+stepped uniformly by the runner and their ``incoming`` is a no-op), so both
+declare a :attr:`~repro.adversary.base.Adversary.batched_fallback_reason`
+and run on the per-processor driver.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping
+
+from ..core.sequences import ProcessorId
+from ..runtime.messages import Inbox
+from .base import ShadowAdversary
+
+
+def _drops(base_seed: int, round_number: int, sender: ProcessorId,
+           dest: ProcessorId, rate_percent: int) -> bool:
+    """Deterministic per-edge drop decision, independent of evaluation order."""
+    if rate_percent <= 0:
+        return False
+    if rate_percent >= 100:
+        return True
+    coords = f"omission:{base_seed}:{round_number}:{sender}:{dest}"
+    return random.Random(coords).randrange(100) < rate_percent
+
+
+class SendOmissionAdversary(ShadowAdversary):
+    """Faulty senders whose messages are dropped per destination.
+
+    Parameters
+    ----------
+    rate_percent:
+        Probability (percent, 0–100) that any one (round, sender, dest)
+        delivery is omitted.  100 degenerates to
+        :class:`~repro.adversary.crash.SilentAdversary`.
+    """
+
+    name = "send-omission"
+
+    def __init__(self, rate_percent: int = 50) -> None:
+        super().__init__()
+        self.rate_percent = int(rate_percent)
+        self._base_seed = 0
+
+    def bind(self, context) -> None:
+        super().bind(context)
+        self._base_seed = self._effective_seed(context)
+        self.name = f"send-omission(rate={self.rate_percent}%)"
+
+    def suppress(self, round_number: int, sender: ProcessorId,
+                 dest: ProcessorId) -> bool:
+        return _drops(self._base_seed, round_number, sender, dest,
+                      self.rate_percent)
+
+
+class ReceiveOmissionAdversary(ShadowAdversary):
+    """Faulty processors that fail to receive, then relay their gapped view.
+
+    The shadows are fed inboxes with a rate of deliveries removed; gather
+    substitutes the default value for the gaps, so subsequent (honest) relays
+    propagate the receiver-side corruption into the correct processors'
+    trees.
+    """
+
+    name = "receive-omission"
+    batched_fallback_reason = ("receive omission withholds deliveries from "
+                               "the faulty shadows, which are row-backed "
+                               "(stepped by the runner) under the batched "
+                               "executor")
+
+    def __init__(self, rate_percent: int = 50) -> None:
+        super().__init__()
+        self.rate_percent = int(rate_percent)
+        self._base_seed = 0
+
+    def bind(self, context) -> None:
+        super().bind(context)
+        self._base_seed = self._effective_seed(context)
+        self.name = f"receive-omission(rate={self.rate_percent}%)"
+
+    def observe_delivery(self, round_number: int,
+                         faulty_inboxes: Mapping[ProcessorId, Inbox]) -> None:
+        filtered = {
+            pid: {sender: message for sender, message in inbox.items()
+                  if not _drops(self._base_seed, round_number, sender, pid,
+                                self.rate_percent)}
+            for pid, inbox in faulty_inboxes.items()
+        }
+        super().observe_delivery(round_number, filtered)
+
+
+class CrashRecoveryAdversary(ShadowAdversary):
+    """Processors that go silent for ``k`` rounds and rejoin with stale state.
+
+    Parameters
+    ----------
+    crash_round:
+        First round of the outage (the processors behave correctly strictly
+        before it).  Clamped to ≥ 2: a processor that crashes before storing
+        its root has no state to rejoin with — that is
+        :class:`~repro.adversary.crash.SilentAdversary`, not recovery.
+    silent_rounds:
+        Length of the outage: during rounds ``crash_round ..
+        crash_round + silent_rounds - 1`` the faulty processors neither send
+        nor receive.  Afterwards they resume the protocol from the tree they
+        held when the outage began — their relays broadcast stale levels,
+        which receivers treat exactly like missing messages (defaults).
+    """
+
+    name = "crash-recovery"
+    batched_fallback_reason = ("crash-recovery shadows skip rounds and "
+                               "rejoin with stale state, which the "
+                               "uniformly-stepped batched shadow rows "
+                               "cannot represent")
+
+    def __init__(self, crash_round: int = 2, silent_rounds: int = 2) -> None:
+        super().__init__()
+        self.crash_round = max(2, int(crash_round))
+        self.silent_rounds = max(0, int(silent_rounds))
+
+    def bind(self, context) -> None:
+        super().bind(context)
+        self.name = (f"crash-recovery(round={self.crash_round},"
+                     f"silent={self.silent_rounds})")
+
+    def _down(self, round_number: int) -> bool:
+        return (self.crash_round <= round_number
+                < self.crash_round + self.silent_rounds)
+
+    def suppress(self, round_number: int, sender: ProcessorId,
+                 dest: ProcessorId) -> bool:
+        return self._down(round_number)
+
+    def observe_delivery(self, round_number: int,
+                         faulty_inboxes: Mapping[ProcessorId, Inbox]) -> None:
+        if self._down(round_number):
+            return  # the outage: shadows receive nothing, state goes stale
+        super().observe_delivery(round_number, faulty_inboxes)

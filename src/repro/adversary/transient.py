@@ -1,0 +1,67 @@
+"""Transient state corruption: the self-stabilization-style fault model.
+
+Dolev–Herman's *unsupportive environments* corrupt a processor's **stored
+state** between rounds instead of (or in addition to) lying on the wire.
+:class:`TransientCorruptionAdversary` models the bounded variant relevant to
+fixed-round agreement: for a prefix of ``corrupt_rounds`` rounds it flips
+stored tree values of otherwise-*correct* processors through the
+:meth:`~repro.adversary.base.Adversary.corrupt_state` hook, which both the
+per-processor and the batched driver honour at the same point of every round
+(see :mod:`repro.runtime.corruption`).
+
+The corrupted processors are not members of the faulty set — the interesting
+question is precisely whether the protocol's redundancy absorbs a bounded
+amount of state corruption of *correct* participants on top of ``t``
+Byzantine processors.
+"""
+
+from __future__ import annotations
+
+from .base import ShadowAdversary
+from .liars import another_value
+
+
+class TransientCorruptionAdversary(ShadowAdversary):
+    """Flips stored tree state of correct processors for a bounded prefix.
+
+    Parameters
+    ----------
+    corrupt_rounds:
+        Corruption happens after the deliveries of rounds ``1 ..
+        corrupt_rounds`` and never again (the transient window).
+    victims:
+        How many correct participants are corrupted per round (the
+        lowest-numbered eligible ones, deterministically).
+    flips:
+        How many stored values are flipped per victim per round; slots are
+        drawn from the bound rng, values flip to a different domain element.
+
+    The faulty set behaves correctly on the wire (benign shadows) — state
+    corruption is this strategy's entire attack surface, so runs with an
+    empty faulty set isolate the fault model.  Eligible for the batched
+    executor: a state flip is a claims-matrix edit.
+    """
+
+    name = "transient-corruption"
+
+    def __init__(self, corrupt_rounds: int = 1, victims: int = 1,
+                 flips: int = 1) -> None:
+        super().__init__()
+        self.corrupt_rounds = int(corrupt_rounds)
+        self.victims = int(victims)
+        self.flips = int(flips)
+
+    def bind(self, context) -> None:
+        super().bind(context)
+        self.name = (f"transient-corruption(rounds={self.corrupt_rounds},"
+                     f"victims={self.victims},flips={self.flips})")
+
+    def corrupt_state(self, round_number, state_views) -> None:
+        if round_number > self.corrupt_rounds:
+            return
+        domain = self._require_context().config.domain
+        for pid in sorted(state_views)[:self.victims]:
+            view = state_views[pid]
+            for _ in range(self.flips):
+                slot = self.rng.randrange(view.width)
+                view.set(slot, another_value(view.get(slot), domain))

@@ -38,7 +38,8 @@ from .executors import (DEFAULT_EXECUTOR, Executor, PoolExecutor,
                         executor_names, executor_registry, resolve_executor)
 from .facade import (execute, execute_grouped, execute_many, iter_execute,
                      plan_request)
-from .planner import ExecutionPlan, plan_run, plan_shardable
+from .planner import (ExecutionPlan, batched_ineligibility, plan_run,
+                      plan_shardable)
 from .registries import (ParamSpec, RegistryEntry, RegistryError,
                          adversary_names, adversary_registry, build_adversary,
                          build_protocol, protocol_names, protocol_registry,
@@ -52,7 +53,7 @@ __all__ = [
     "SEED_POLICIES", "derive_seed",
     "execute", "execute_many", "execute_grouped", "iter_execute",
     "plan_request",
-    "ExecutionPlan", "plan_run", "plan_shardable",
+    "ExecutionPlan", "plan_run", "plan_shardable", "batched_ineligibility",
     "Executor", "SerialExecutor", "PoolExecutor", "ShardedRunExecutor",
     "executor_registry", "executor_names", "build_executor",
     "resolve_executor", "DEFAULT_EXECUTOR",

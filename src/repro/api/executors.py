@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..core.engine import ambient_engine, use_engine
@@ -132,9 +133,21 @@ class PoolExecutor(Executor):
     the behaviour ``execute_many`` always had, now streamable.  Degrades to
     serial execution for a single pending request, an effective worker count
     of one, or platforms that cannot spawn a process pool.
+
+    A worker that *dies* mid-run (OOM kill, a segfault in an extension,
+    ``os._exit``) poisons the whole :class:`ProcessPoolExecutor`: every
+    unfinished future raises :class:`BrokenProcessPool`.  Requests are pure
+    descriptions, so the executor retries every undelivered request
+    in-process, once, and marks the resulting reports with
+    ``metadata["retried"] = True`` — a sweep survives a poisoned pool
+    instead of losing all its in-flight cells.
     """
 
     name = "pool"
+
+    #: The function each worker slot runs — a seam so tests can substitute a
+    #: crashing worker without reaching into module internals.
+    _worker = staticmethod(_execute_for_pool)
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
         super().__init__()
@@ -160,9 +173,11 @@ class PoolExecutor(Executor):
             for index, request in pending:
                 yield index, execute(request)
             return
+        delivered = set()
+        broken = False
         with pool:
             try:
-                futures = {pool.submit(_execute_for_pool, request): index
+                futures = {pool.submit(self._worker, request): index
                            for index, request in pending}
             except (OSError, PermissionError):  # pragma: no cover - sandboxes
                 pool.shutdown(wait=False)
@@ -170,11 +185,24 @@ class PoolExecutor(Executor):
                     yield index, execute(request)
                 return
             outstanding = set(futures)
-            while outstanding:
+            while outstanding and not broken:
                 done, outstanding = wait(outstanding,
                                          return_when=FIRST_COMPLETED)
                 for future in done:
-                    yield futures[future], future.result()
+                    try:
+                        report = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        continue
+                    delivered.add(futures[future])
+                    yield futures[future], report
+        if broken:
+            for index, request in pending:
+                if index in delivered:
+                    continue
+                report = execute(request)
+                report.metadata["retried"] = True
+                yield index, report
 
 
 class ShardedRunExecutor(Executor):
@@ -209,7 +237,7 @@ class ShardedRunExecutor(Executor):
         from .facade import execute
         from .planner import plan_run
         spec, config, faulty, adversary = request.resolve_parts()
-        plan = plan_run(request, spec, config, faulty)
+        plan = plan_run(request, spec, config, faulty, adversary)
         if plan.batched:
             with use_engine(plan.engine):
                 result = run_sharded_if_supported(spec, config, faulty,

@@ -32,14 +32,14 @@ from .request import RunReport, RunRequest
 
 def plan_request(request: RunRequest) -> ExecutionPlan:
     """Resolve *request* and return the planner's verdict without running it."""
-    spec, config, faulty, _ = request.resolve_parts()
-    return plan_run(request, spec, config, faulty)
+    spec, config, faulty, adversary = request.resolve_parts()
+    return plan_run(request, spec, config, faulty, adversary)
 
 
 def execute(request: RunRequest) -> RunReport:
     """Run one request end to end and return its :class:`RunReport`."""
     spec, config, faulty, adversary = request.resolve_parts()
-    plan = plan_run(request, spec, config, faulty)
+    plan = plan_run(request, spec, config, faulty, adversary)
     with use_engine(plan.engine):
         result = run_agreement(spec, config, faulty, adversary,
                                seed=request.seed, batched=plan.batched)

@@ -72,33 +72,62 @@ class ExecutionPlan:
         return BATCHED if self.batched else self.engine
 
 
-def _batched_eligible(spec: "ProtocolSpec", config: "ProtocolConfig",
-                      faulty: FrozenSet[int]) -> bool:
+def batched_ineligibility(spec: "ProtocolSpec", config: "ProtocolConfig",
+                          faulty: FrozenSet[int] = frozenset(),
+                          adversary=None) -> Optional[str]:
+    """Why this run cannot take the batched path — ``None`` means eligible.
+
+    The single authority the planner, the sharded executor, and ``repro
+    validate`` consult.  The checks mirror
+    :func:`~repro.runtime.batched.run_batched_if_supported` in order: an
+    adversary that declares a
+    :attr:`~repro.adversary.base.Adversary.batched_fallback_reason` declines
+    first (its string is returned verbatim), then numpy availability, then
+    the spec probe, then the degenerate no-participant case.
+    """
+    reason = getattr(adversary, "batched_fallback_reason", None)
+    if reason is not None:
+        return str(reason)
+    if not numpy_available():
+        return "numpy is not importable"
     from ..runtime.batched import batched_supported
     if not batched_supported(spec, config):
-        return False
+        return (f"{spec.name} does not build plain shifting-EIG machines "
+                f"(only those step as one row stack)")
     # The batched runner also declines degenerate runs where no correct
     # non-source processor participates; plan the fallback it would take so
     # the report's engine metadata matches what actually executed.
-    return any(p not in faulty and p != config.source
-               for p in config.processors)
+    if not any(p not in faulty and p != config.source
+               for p in config.processors):
+        return "no correct non-source processor participates"
+    return None
+
+
+def _batched_eligible(spec: "ProtocolSpec", config: "ProtocolConfig",
+                      faulty: FrozenSet[int], adversary=None) -> bool:
+    return batched_ineligibility(spec, config, faulty, adversary) is None
 
 
 def plan_shardable(spec: "ProtocolSpec", config: "ProtocolConfig",
-                   faulty: FrozenSet[int] = frozenset()) -> bool:
+                   faulty: FrozenSet[int] = frozenset(),
+                   adversary=None) -> bool:
     """Whether the sharded run executor could row-split this run.
 
     True exactly when the run is batched-eligible — the sharded backend is
     the batched engine with its row stack partitioned across processes, so
     the two share one eligibility rule.  Ineligible runs placed on a
-    ``"sharded"`` executor fall back to the ordinary planner path.
+    ``"sharded"`` executor fall back to the ordinary planner path.  (An
+    adversary with a corruption hook still plans as shardable: the sharded
+    executor runs it single-process batched, preserving observational
+    identity.)
     """
-    return _batched_eligible(spec, config, faulty)
+    return _batched_eligible(spec, config, faulty, adversary)
 
 
 def plan_run(request: RunRequest, spec: "ProtocolSpec",
              config: "ProtocolConfig",
-             faulty: FrozenSet[int] = frozenset()) -> ExecutionPlan:
+             faulty: FrozenSet[int] = frozenset(),
+             adversary=None) -> ExecutionPlan:
     """Resolve *request*'s engine choice against eligibility and environment."""
     requested = request.engine
     ambient = ambient_engine()
@@ -110,7 +139,7 @@ def plan_run(request: RunRequest, spec: "ProtocolSpec",
                 ambient=ambient,
                 reason=f"auto deferred to the ambient {ambient!r} engine "
                        f"(REPRO_EIG_ENGINE / set_default_engine)")
-        if _batched_eligible(spec, config, faulty):
+        if _batched_eligible(spec, config, faulty, adversary):
             return ExecutionPlan(
                 engine=NUMPY, batched=True, requested=requested,
                 ambient=ambient,
@@ -132,15 +161,16 @@ def plan_run(request: RunRequest, spec: "ProtocolSpec",
                 f"explicit engine='batched' overrides the ambient "
                 f"{ambient!r} engine (REPRO_EIG_ENGINE / set_default_engine)",
                 RuntimeWarning, stacklevel=3)
-        if _batched_eligible(spec, config, faulty):
+        if _batched_eligible(spec, config, faulty, adversary):
             return ExecutionPlan(
                 engine=NUMPY, batched=True, requested=requested,
                 ambient=ambient, reason="explicit batched request")
         fallback = NUMPY if numpy_available() else FAST
+        ineligible = batched_ineligibility(spec, config, faulty, adversary)
         warnings.warn(
             f"engine='batched' is not supported for this run "
-            f"({spec.name}: non-EIG spec or numpy unavailable); using the "
-            f"per-processor {fallback!r} engine instead",
+            f"({ineligible}); using the per-processor {fallback!r} engine "
+            f"instead",
             RuntimeWarning, stacklevel=3)
         return ExecutionPlan(
             engine=fallback, batched=False, requested=requested,

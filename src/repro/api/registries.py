@@ -172,10 +172,33 @@ _ADVERSARY_SCHEMAS: Dict[str, Tuple[ParamSpec, ...]] = {
     "minimal-exposure": (ParamSpec(
         "rounds_per_liar", int, default=2,
         doc="rounds each liar stays active"),),
+    "transient-corruption": (
+        ParamSpec("corrupt_rounds", int, default=1,
+                  doc="length of the corruption prefix (rounds 1..k)"),
+        ParamSpec("victims", int, default=1,
+                  doc="correct processors corrupted per round"),
+        ParamSpec("flips", int, default=1,
+                  doc="stored values flipped per victim per round")),
+    "send-omission": (ParamSpec(
+        "rate_percent", int, default=50,
+        doc="percent of (round, sender, dest) deliveries dropped"),),
+    "receive-omission": (ParamSpec(
+        "rate_percent", int, default=50,
+        doc="percent of deliveries the faulty processors fail to receive"),),
+    "crash-recovery": (
+        ParamSpec("crash_round", int, default=2,
+                  doc="first round of the outage (min 2)"),
+        ParamSpec("silent_rounds", int, default=2,
+                  doc="rounds of silence before rejoining with stale state")),
+    "moving-target": (
+        ParamSpec("active", int, default=1,
+                  doc="how many of the faulty budget lie per round"),
+        ParamSpec("rotate_every", int, default=1,
+                  doc="rounds between rotations of the active window")),
 }
 
 _ADVERSARY_DOCS: Dict[str, str] = {
-    "benign": "faulty processors send nothing at all",
+    "benign": "faulty processors follow the protocol to the letter",
     "crash": "every faulty processor stops at a fixed round",
     "staggered-crash": "one crash per round (the round-bound worst case)",
     "silent": "faulty processors are mute from round 1",
@@ -190,6 +213,15 @@ _ADVERSARY_DOCS: Dict[str, str] = {
     "stealth-path": "lies only where the discovery thresholds cannot fire",
     "minimal-exposure": "sacrifices one liar per block (worst-case round "
                         "counts)",
+    "transient-corruption": "flips stored state of correct processors for a "
+                            "bounded prefix of rounds",
+    "send-omission": "faulty senders whose messages are dropped per "
+                     "destination at a seeded rate",
+    "receive-omission": "faulty processors fail to receive, then honestly "
+                        "relay the gapped view",
+    "crash-recovery": "silent for k rounds, then rejoins with stale state",
+    "moving-target": "the actively-lying subset migrates within the t "
+                     "budget per round",
 }
 
 

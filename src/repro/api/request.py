@@ -77,6 +77,7 @@ class RunRequest:
     adversary_params: Mapping[str, Any] = field(default_factory=dict)
     seed: int = 0
     engine: str = AUTO
+    allow_unsafe: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "protocol_params", dict(self.protocol_params))
@@ -103,7 +104,8 @@ class RunRequest:
     def config(self) -> ProtocolConfig:
         return ProtocolConfig(n=self.n, t=self.t, source=self.source,
                               initial_value=self.initial_value,
-                              domain=self.domain)
+                              domain=self.domain,
+                              allow_unsafe=self.allow_unsafe)
 
     def resolve_parts(self):
         """Build the executable pieces: ``(spec, config, faulty, adversary)``.
@@ -142,7 +144,7 @@ class RunRequest:
 
     # -- serialization -------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data: Dict[str, Any] = {
             "protocol": self.protocol,
             "protocol_params": dict(self.protocol_params),
             "n": self.n,
@@ -158,6 +160,11 @@ class RunRequest:
             "seed": self.seed,
             "engine": self.engine,
         }
+        # Serialized only when set, so every pre-existing request fixture
+        # (and its hash) is byte-identical.
+        if self.allow_unsafe:
+            data["allow_unsafe"] = True
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunRequest":
@@ -274,6 +281,11 @@ class RunReport:
     discovery_logs: Dict[int, Dict[int, int]]
     discovery_sound: bool
     metrics: Dict[str, int]
+    #: Execution-side annotations (e.g. ``{"retried": True}`` after a pool
+    #: executor recovered from a broken worker).  Not part of the outcome:
+    #: two reports for the same execution compare equal only when their
+    #: metadata also matches, so executors only record what they must.
+    metadata: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def from_result(cls, result, *, engine: str, engine_resolved: str,
@@ -329,7 +341,7 @@ class RunReport:
 
     # -- serialization -------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data: Dict[str, Any] = {
             "protocol": self.protocol,
             "adversary": self.adversary,
             "n": self.n,
@@ -356,6 +368,9 @@ class RunReport:
             "discovery_sound": self.discovery_sound,
             "metrics": dict(self.metrics),
         }
+        if self.metadata:  # omitted when empty: keeps old fixtures valid
+            data["metadata"] = dict(self.metadata)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunReport":
@@ -383,4 +398,5 @@ class RunReport:
                 lambda log: _int_keyed(log, lambda c: c)),
             discovery_sound=data["discovery_sound"],
             metrics=dict(data["metrics"]),
+            metadata=dict(data.get("metadata", {})),
         )

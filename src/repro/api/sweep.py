@@ -22,7 +22,9 @@ The header pins the sweep's canonical SHA-256
 (:func:`sweep_digest`), so resuming against a *different* sweep — edited
 requests, another executor, a changed seed policy — fails loudly instead of
 merging unrelated results.  A truncated final line (the crash happened
-mid-write) is ignored.
+mid-write) is ignored; an unparseable line anywhere *earlier* is corruption
+and refused.  A request checkpointed twice (e.g. a retried cell) resolves
+last-write-wins, matching append order.
 """
 
 from __future__ import annotations
@@ -81,13 +83,23 @@ def read_checkpoint(path: str, spec: SweepSpec) -> Dict[int, RunReport]:
             f"sweep {digest[:12]}…); refusing to merge unrelated results")
     completed: Dict[int, RunReport] = {}
     total = len(spec.requests)
-    for line in lines[1:]:
+    body = lines[1:]
+    for position, line in enumerate(body):
         if not line.strip():
             continue
         try:
             entry = json.loads(line)
         except json.JSONDecodeError:
-            break  # truncated final line: the crash happened mid-write
+            if position == len(body) - 1:
+                break  # truncated final line: the crash happened mid-write
+            # Mid-file garbage is not a crash artifact (appends are
+            # newline-terminated and flushed): the log is corrupt, and
+            # silently dropping the line would also drop every completion
+            # after it.  Refuse rather than resume from a lie.
+            raise ConfigurationError(
+                f"{path} has an unparseable line before the end of the log "
+                f"(line {position + 2}): {line[:80]!r}; the checkpoint is "
+                f"corrupt — repair or delete it to re-run the sweep")
         if not isinstance(entry, dict) or not isinstance(
                 entry.get("report"), dict):
             raise ConfigurationError(

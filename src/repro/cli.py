@@ -1,6 +1,6 @@
 """Command-line interface: declarative runs, sweeps, and experiment tables.
 
-Four subcommands, all built on the :mod:`repro.api` façade:
+Five subcommands, all built on the :mod:`repro.api` façade:
 
 ``repro run``
     Execute one agreement instance described by flags (protocol, parameters,
@@ -24,6 +24,15 @@ Four subcommands, all built on the :mod:`repro.api` façade:
     planner would use and whether the sharded backend could split it —
     without executing anything.
 
+``repro search``
+    Hunt a protocol/adversary grid for extremal executions
+    (:mod:`repro.search`): safety violations (``--objective
+    agreement_violation``) or cost extremes (``max_rounds`` /
+    ``max_messages`` / ``max_units``), with a seeded random or annealing
+    strategy, greedy counterexample minimization, and ``--pin`` to freeze a
+    found violation as a regression fixture.  Exits 3 exactly when a
+    violation was found, so CI can assert either outcome.
+
 ``repro experiments``
     Regenerate the paper's tables/figures (the E1–E9 harness) at a chosen
     scale and print them; optionally restrict to a subset by experiment id.
@@ -39,6 +48,10 @@ Examples
     python -m repro sweep requests.json --checkpoint out.jsonl --resume
     repro-requests | python -m repro sweep - --executor sharded
     python -m repro validate requests.json
+    python -m repro search --objective agreement_violation \\
+        --cell 3,1 --allow-unsafe --budget 200 --pin
+    python -m repro search --objective max_messages --cell 9,2 \\
+        --strategy anneal --budget 100
     python -m repro experiments --scale small --only E1 E8
 """
 
@@ -53,9 +66,10 @@ from typing import List, Optional, Sequence
 
 from .analysis import format_table
 from .api import (ENGINE_CHOICES, RegistryError, RunReport, RunRequest,
-                  SweepSpec, adversary_names, build_executor, execute,
-                  executor_names, plan_run, plan_shardable, protocol_names,
-                  protocol_registry, run_sweep)
+                  SweepSpec, adversary_names, batched_ineligibility,
+                  build_executor, execute, executor_names, plan_run,
+                  plan_shardable, protocol_names, protocol_registry,
+                  run_sweep)
 from .core.engine import ENGINES, set_default_engine
 from .experiments import run_all_experiments
 from .runtime.errors import ConfigurationError
@@ -145,6 +159,54 @@ def _parser() -> argparse.ArgumentParser:
                           help="path to a JSON request file ('-' for stdin)")
     validate.add_argument("--json", action="store_true",
                           help="print the per-request verdicts as JSON")
+
+    search = sub.add_parser(
+        "search", help="hunt a protocol/adversary grid for extremal runs")
+    # Objective names are a closed set; import locally so `repro run` does
+    # not pay for the search package at parse time.
+    from .search import STRATEGIES, objective_names
+    search.add_argument("--objective", choices=objective_names(),
+                        default="agreement_violation",
+                        help="what to hunt: a safety violation, or the "
+                             "costliest run (rounds/messages/units)")
+    search.add_argument("--protocol", nargs="+", default=["exponential"],
+                        metavar="NAME", help="protocols to draw cells from")
+    search.add_argument("--cell", nargs="+", default=["7,2"], metavar="N,T",
+                        help="instance sizes, each as n,t (e.g. --cell 7,2 "
+                             "9,2); pass an under-resilient cell such as "
+                             "3,1 together with --allow-unsafe")
+    search.add_argument("--adversary", nargs="*", default=None,
+                        metavar="NAME",
+                        help="adversaries to draw from (default: every "
+                             "registered one)")
+    search.add_argument("--exclude", nargs="*", default=None, metavar="NAME",
+                        help="adversaries to leave out (e.g. "
+                             "transient-corruption, whose state flips on "
+                             "correct processors sit outside the Byzantine "
+                             "model the n ≥ 3t+1 theorems cover)")
+    search.add_argument("--strategy", choices=STRATEGIES, default="random")
+    search.add_argument("--budget", type=int, default=200,
+                        help="number of executions the search may spend")
+    search.add_argument("--sweep-seed", type=int, default=0,
+                        help="master seed: candidate sampling and every "
+                             "per-candidate seed derive from it")
+    search.add_argument("--allow-unsafe", action="store_true",
+                        help="permit under-resilient cells (n < 3t + 1)")
+    search.add_argument("--exhaustive", action="store_true",
+                        help="spend the whole budget even after a violation")
+    search.add_argument("--no-minimize", action="store_true",
+                        help="report the raw hit without shrinking it")
+    search.add_argument("--pin", metavar="DIR", nargs="?", default=None,
+                        const=os.path.join("tests", "pinned_scenarios"),
+                        help="write the minimized counterexample as a JSON "
+                             "regression fixture into DIR (default: "
+                             "tests/pinned_scenarios)")
+    search.add_argument("--executor", choices=sorted(executor_names()),
+                        default="serial",
+                        help="backend for candidate evaluation (candidates "
+                             "are independent, so 'pool' parallelizes)")
+    search.add_argument("--json", action="store_true",
+                        help="print the structured search result as JSON")
 
     experiments = sub.add_parser("experiments",
                                  help="regenerate the paper's tables and figures")
@@ -318,16 +380,19 @@ def _command_validate(args: argparse.Namespace) -> int:
     for position, item in enumerate(items):
         row = {"index": position, "protocol": "?", "n": "?", "t": "?",
                "adversary": "?", "engine": "?", "resolved": "?",
-               "shardable": "?", "status": "ok"}
+               "shardable": "?", "batched": "?", "status": "ok"}
         try:
             request = RunRequest.from_dict(item)
             row.update({"protocol": request.protocol, "n": request.n,
                         "t": request.t, "engine": request.engine,
                         "adversary": request.scenario or request.adversary})
-            spec, config, faulty, _ = request.resolve_parts()
-            plan = plan_run(request, spec, config, faulty)
+            spec, config, faulty, adversary = request.resolve_parts()
+            plan = plan_run(request, spec, config, faulty, adversary)
             row["resolved"] = plan.resolved
-            row["shardable"] = plan_shardable(spec, config, faulty)
+            row["shardable"] = plan_shardable(spec, config, faulty, adversary)
+            reason = batched_ineligibility(spec, config, faulty, adversary)
+            row["batched"] = ("eligible" if reason is None
+                              else f"fallback: {reason}")
         except (RegistryError, ConfigurationError, TypeError,
                 ValueError) as exc:
             failures += 1
@@ -340,6 +405,109 @@ def _command_validate(args: argparse.Namespace) -> int:
             rows, title=f"validated {len(rows)} request(s), "
                         f"{failures} invalid"))
     return 1 if failures else 0
+
+
+def _parse_cells(tokens: Sequence[str]) -> List[tuple]:
+    cells = []
+    for token in tokens:
+        try:
+            n_text, t_text = token.split(",")
+            cells.append((int(n_text), int(t_text)))
+        except ValueError:
+            raise SystemExit(
+                f"--cell takes n,t pairs (e.g. 7,2); got {token!r}") from None
+    return cells
+
+
+def _command_search(args: argparse.Namespace) -> int:
+    """Hunt the declared grid; exit 3 exactly when a violation was found."""
+    from .search import (SearchSpec, get_objective, minimize_counterexample,
+                         pin_scenario, run_search)
+    adversaries = tuple(args.adversary or ())
+    if args.exclude:
+        pool = adversaries or tuple(sorted(adversary_names()))
+        excluded = set(args.exclude)
+        unknown = excluded - set(adversary_names())
+        if unknown:
+            raise SystemExit(f"--exclude names unknown adversar(ies) "
+                             f"{sorted(unknown)}")
+        adversaries = tuple(name for name in pool if name not in excluded)
+        if not adversaries:
+            raise SystemExit("--exclude removed every adversary; nothing "
+                             "left to search")
+    try:
+        spec = SearchSpec(
+            objective=args.objective, protocols=tuple(args.protocol),
+            cells=tuple(_parse_cells(args.cell)), adversaries=adversaries,
+            strategy=args.strategy, budget=args.budget,
+            sweep_seed=args.sweep_seed, allow_unsafe=args.allow_unsafe)
+        result = run_search(spec, executor=args.executor,
+                            stop_on_violation=not args.exhaustive)
+    except (RegistryError, ConfigurationError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+
+    minimized = minimized_report = pinned_path = None
+    if result.found and not args.no_minimize:
+        minimized, minimized_report = minimize_counterexample(
+            result.violations[0].request, spec.objective)
+        if args.pin:
+            pinned_path = pin_scenario(minimized, minimized_report, args.pin,
+                                       spec.objective)
+    elif result.found and args.pin:
+        hit = result.violations[0]
+        pinned_path = pin_scenario(hit.request, hit.report, args.pin,
+                                   spec.objective)
+
+    if args.json:
+        payload = {
+            "spec": spec.to_dict(),
+            "evaluated": result.evaluated,
+            "stopped_early": result.stopped_early,
+            "found": result.found,
+            "best": None if result.best is None else {
+                "score": result.best.score,
+                "request": result.best.request.to_dict(),
+                "report": result.best.report.to_dict(),
+            },
+            "violations": [{"score": v.score,
+                            "request": v.request.to_dict()}
+                           for v in result.violations],
+            "minimized": None if minimized is None else minimized.to_dict(),
+            "pinned": pinned_path,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        objective = get_objective(spec.objective)
+        print(f"searched {result.evaluated} execution(s) of budget "
+              f"{spec.budget} for {objective.name}"
+              + (" (stopped at first violation)" if result.stopped_early
+                 else ""))
+        if result.found:
+            shown = minimized if minimized is not None \
+                else result.violations[0].request
+            report = minimized_report if minimized_report is not None \
+                else result.violations[0].report
+            label = "minimized" if minimized is not None else "raw hit"
+            print(f"VIOLATION ({label}): {shown.protocol} n={shown.n} "
+                  f"t={shown.t} adversary={shown.adversary} "
+                  f"params={dict(shown.adversary_params)} "
+                  f"faulty={list(shown.faulty or ())} "
+                  f"initial_value={shown.initial_value} seed={shown.seed}")
+            print(f"  agreement={report.agreement} "
+                  f"validity={report.validity} "
+                  f"decisions={dict(sorted(report.decisions.items()))}")
+            if pinned_path:
+                print(f"  pinned: {pinned_path}")
+        elif result.best is not None:
+            best = result.best
+            print(f"best {objective.name} = {best.score:g}: "
+                  f"{best.request.protocol} n={best.request.n} "
+                  f"t={best.request.t} adversary={best.request.adversary} "
+                  f"faulty={list(best.request.faulty or ())} "
+                  f"seed={best.request.seed}")
+        else:
+            print("no viable candidates in the declared grid")
+    return 3 if result.found else 0
 
 
 def _select_ambient_engine(engine: Optional[str]) -> None:
@@ -383,6 +551,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_sweep(args)
     if args.command == "validate":
         return _command_validate(args)
+    if args.command == "search":
+        return _command_search(args)
     return _command_experiments(args)
 
 

@@ -138,10 +138,12 @@ class AlgorithmCProcessor(AgreementProtocol):
             return {}
         if round_number == 2:
             entries = {self.tree.root: self.tree.root_value()}
-        elif self._array_backed:
+        elif self._array_backed and self.tree.num_levels >= 2:
             message = self.tree.level_message(2, self.pid, round_number)
             return broadcast_message(message, self.config.processors)
         else:
+            # A tree without level 2 (a recovering processor's stale shadow)
+            # degrades to an empty broadcast, exactly like the reference path.
             entries = self.tree.level(2)
         return broadcast(entries, self.pid, round_number, self.config.processors)
 

@@ -67,10 +67,11 @@ class ExponentialSpec(ProtocolSpec):
                      else "exponential-resolve-prime")
 
     def validate(self, config: ProtocolConfig) -> None:
-        if config.n < 3 * config.t + 1:
+        if config.n < 3 * config.t + 1 and not config.allow_unsafe:
             raise ConfigurationError(
                 f"the Exponential Algorithm requires n ≥ 3t + 1 "
-                f"(got n={config.n}, t={config.t})")
+                f"(got n={config.n}, t={config.t}); set allow_unsafe to "
+                f"run the under-resilient instance anyway")
 
     def total_rounds(self, config: ProtocolConfig) -> int:
         return exponential_rounds(config.t)

@@ -42,6 +42,11 @@ class ProtocolConfig:
         The source's input value ``v``.
     domain:
         The finite value set ``V`` (must contain 0, the default value).
+    allow_unsafe:
+        Permit instances below the protocols' resilience requirements
+        (``n < 3t + 1``, down to ``n = 3``).  The theorems' guarantees do
+        not apply there — that is the point: the adversary-search harness
+        hunts such cells for concrete agreement violations.
     """
 
     n: int
@@ -49,10 +54,16 @@ class ProtocolConfig:
     source: ProcessorId = 0
     initial_value: Value = DEFAULT_VALUE
     domain: Tuple[Value, ...] = field(default_factory=default_domain)
+    allow_unsafe: bool = False
 
     def __post_init__(self) -> None:
-        if self.n < 4:
-            raise ConfigurationError("the Byzantine agreement problem requires n ≥ 4")
+        floor = 3 if self.allow_unsafe else 4
+        if self.n < floor:
+            raise ConfigurationError(
+                "the Byzantine agreement problem requires n ≥ 4"
+                if not self.allow_unsafe
+                else "even unsafe instances need n ≥ 3 (a source and two "
+                     "deciders)")
         if self.t < 1:
             raise ConfigurationError("resilience t must be at least 1")
         if not 0 <= self.source < self.n:

@@ -108,6 +108,25 @@ class InfoGatheringTree:
         seq = tuple(seq)
         return seq in self._levels.get(len(seq), {})
 
+    def peek(self, seq: Sequence[ProcessorId]) -> Value:
+        """Meter-free read of node *seq* (:data:`MISSING` when absent).
+
+        Adversarial state inspection, not protocol computation — the
+        transient-corruption fault model reads and overwrites stored state
+        without charging the victim's computation meter (see
+        :mod:`repro.runtime.corruption`).
+        """
+        seq = tuple(seq)
+        return self._levels.get(len(seq), {}).get(seq, MISSING)
+
+    def poke(self, seq: Sequence[ProcessorId], value: Value) -> None:
+        """Meter-free adversarial overwrite of an already-stored node."""
+        seq = tuple(seq)
+        level = self._levels.get(len(seq))
+        if level is None or seq not in level:
+            raise KeyError(seq)
+        level[seq] = value
+
     def set_root(self, value: Value) -> None:
         """Store *value* at the root (level 1)."""
         self.store(self.root, value)
@@ -362,6 +381,22 @@ class FlatEIGTree(InfoGatheringTree):
         node_id = self._index.id_map(level).get(seq)
         return node_id is not None and self._flat[level - 1][node_id] is not MISSING
 
+    def peek(self, seq: Sequence[ProcessorId]) -> Value:
+        seq = tuple(seq)
+        level = len(seq)
+        if not 1 <= level <= len(self._flat):
+            return MISSING
+        node_id = self._index.id_map(level).get(seq)
+        if node_id is None:
+            return MISSING
+        return self._flat[level - 1][node_id]
+
+    def poke(self, seq: Sequence[ProcessorId], value: Value) -> None:
+        seq = tuple(seq)
+        if self.peek(seq) is MISSING:
+            raise KeyError(seq)
+        self._flat[len(seq) - 1][self._index.node_id(seq)] = value
+
     # -- level access ----------------------------------------------------------
     def level(self, index: int) -> Dict[LabelSequence, Value]:
         if not 1 <= index <= len(self._flat):
@@ -559,6 +594,24 @@ class NumpyEIGTree(FlatEIGTree):
         node_id = self._index.id_map(level).get(seq)
         return (node_id is not None
                 and self._flat[level - 1][node_id] != self._missing_code)
+
+    def peek(self, seq: Sequence[ProcessorId]) -> Value:
+        seq = tuple(seq)
+        level = len(seq)
+        if not 1 <= level <= len(self._flat):
+            return MISSING
+        node_id = self._index.id_map(level).get(seq)
+        if node_id is None:
+            return MISSING
+        code = int(self._flat[level - 1][node_id])
+        return MISSING if code == self._missing_code else self._codec.value(code)
+
+    def poke(self, seq: Sequence[ProcessorId], value: Value) -> None:
+        seq = tuple(seq)
+        if self.peek(seq) is MISSING:
+            raise KeyError(seq)
+        node_id = self._index.node_id(seq)
+        self._flat[len(seq) - 1][node_id] = self._codec.code(value)
 
     # -- level access ----------------------------------------------------------
     def _decoded_level(self, index: int) -> List[Value]:

@@ -20,12 +20,15 @@ from dataclasses import dataclass
 from typing import Callable, FrozenSet, Iterator, List, Optional, Sequence
 
 from ..adversary import (Adversary, BenignAdversary, ConsistentLiarAdversary,
-                         CrashAdversary, DelayedEquivocationAdversary,
+                         CrashAdversary, CrashRecoveryAdversary,
+                         DelayedEquivocationAdversary,
                          EchoSuppressorAdversary,
                          EquivocatingSourceWithAlliesAdversary,
-                         MinimalExposureAdversary, RandomLiarAdversary,
-                         SilentAdversary, StaggeredCrashAdversary,
-                         StealthPathAdversary, TwoFacedAdversary,
+                         MinimalExposureAdversary, MovingTargetAdversary,
+                         RandomLiarAdversary, ReceiveOmissionAdversary,
+                         SendOmissionAdversary, SilentAdversary,
+                         StaggeredCrashAdversary, StealthPathAdversary,
+                         TransientCorruptionAdversary, TwoFacedAdversary,
                          TwoFacedSourceAdversary)
 from ..core.sequences import ProcessorId
 from ..runtime.simulation import choose_faulty
@@ -112,6 +115,32 @@ def fault_count_sweep(n: int, t: int, source_faulty: bool = True,
                             source=source)
 
 
+def fault_zoo_scenarios(n: int, t: int, source: ProcessorId = 0) -> List[Scenario]:
+    """The expanded fault-model zoo: omission, recovery, mobility, corruption.
+
+    Kept out of :func:`standard_scenarios` deliberately — the correctness
+    experiments assert agreement over the standard battery, and
+    ``transient-corruption`` (state flips on *correct* processors) sits
+    outside the Byzantine model those assertions rely on.  The zoo battery
+    exists for robustness studies and the adversary-search harness.
+    """
+    full = choose_faulty(n, t, source_faulty=False, source=source)
+    return [
+        _named("send-omission", full,
+               lambda: SendOmissionAdversary(rate_percent=50)),
+        _named("receive-omission", full,
+               lambda: ReceiveOmissionAdversary(rate_percent=50)),
+        _named("crash-recovery", full,
+               lambda: CrashRecoveryAdversary(crash_round=2, silent_rounds=2)),
+        _named("moving-target", full,
+               lambda: MovingTargetAdversary(active=max(1, t - 1),
+                                             rotate_every=1)),
+        _named("transient-corruption", full,
+               lambda: TransientCorruptionAdversary(corrupt_rounds=1,
+                                                    victims=1, flips=1)),
+    ]
+
+
 #: Named scenario batteries a serializable run description can reference.
 #: Requests and experiment cells carry a battery *name* plus a scenario
 #: *name* instead of the scenario object because the batteries contain
@@ -121,6 +150,7 @@ SCENARIO_BATTERIES = {
     "standard": standard_scenarios,
     "adversarial": adversarial_scenarios,
     "worst-case": worst_case_scenarios,
+    "fault-zoo": fault_zoo_scenarios,
 }
 
 

@@ -128,6 +128,11 @@ def run_batched_if_supported(spec: "ProtocolSpec", config: "ProtocolConfig",
     """
     if not numpy_available():
         return None
+    if getattr(adversary, "batched_fallback_reason", None) is not None:
+        # The strategy is not expressible as a claims-matrix edit (e.g. it
+        # withholds deliveries from its own shadows, which are row-backed
+        # here); the per-processor driver runs it with full shadow machines.
+        return None
     probe = _ProbeFacts(spec.build(config.source, config))
     if not probe.supported:
         return None
@@ -349,6 +354,8 @@ class _BatchedRun:
         self._domain_mask = None
         self._domain_mask_codes = -1
         self._claimed_shadows: Set[ProcessorId] = set()
+        from .corruption import corruption_enabled
+        self._corrupting = corruption_enabled(adversary)
         # claims-row template: column c → stack row of sender c's broadcast
         # (faulty/source/suspect columns are overridden per round); the
         # diagonal own-pid entries double as the echo rows.
@@ -460,6 +467,7 @@ class _BatchedRun:
             self.decisions[source] = config.initial_value
         self._install_roots(roots)
         self._observe_delivery(1, messages, faulty_outboxes)
+        self._corrupt(1)
 
     def _initial_roots(self, faulty_outboxes: Dict[ProcessorId, Outbox]):
         """Every row's root code: the source's (claimed) value, coerced."""
@@ -598,6 +606,25 @@ class _BatchedRun:
         if segment is not None:
             self._convert(round_number, segment)
         self._observe_delivery(round_number, messages, faulty_outboxes)
+        self._corrupt(round_number)
+
+    def _corrupt(self, round_number: int) -> None:
+        """Run the adversary's state-corruption hook over the main rows.
+
+        Invoked at the same point of the round as the per-processor driver —
+        after every delivery and conversion, before the next round's
+        broadcasts wrap the row views — over the same population (correct
+        non-source participants; shadow rows are the adversary's own and are
+        not exposed).
+        """
+        if not self._corrupting:
+            return
+        from .corruption import BatchedRowStateView
+        level = self.state.num_levels
+        stack = self.state.raw_stack(level)
+        views = {pid: BatchedRowStateView(pid, level, stack[i])
+                 for i, pid in enumerate(self.participants)}
+        self.adversary.corrupt_state(round_number, views)
 
     def _convert(self, round_number: int, segment) -> None:
         convert_stacked_rows(

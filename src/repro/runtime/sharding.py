@@ -85,6 +85,8 @@ def run_sharded_if_supported(spec, config, faulty_set, adversary, seed: int,
     """
     if not numpy_available():
         return None
+    if getattr(adversary, "batched_fallback_reason", None) is not None:
+        return None  # not expressible batched at all — per-processor fallback
     probe = _ProbeFacts(spec.build(config.source, config))
     if not probe.supported:
         return None
@@ -92,6 +94,15 @@ def run_sharded_if_supported(spec, config, faulty_set, adversary, seed: int,
     participants = [p for p in correct if p != config.source]
     if not participants:
         return None
+    from .corruption import corruption_enabled
+    if corruption_enabled(adversary):
+        # State corruption edits rows in place; the sharded workers own their
+        # row blocks while the coordinator keeps a mirror stack, so in-place
+        # edits would desync them.  The single-process batched run honours
+        # the hook and is observationally identical.
+        with use_engine(NUMPY):
+            return _BatchedRun(spec, config, faulty_set, adversary, seed,
+                               probe, correct, participants).run()
     rows = len(participants) + sum(1 for p in faulty_set
                                    if p != config.source)
     if shards is None:

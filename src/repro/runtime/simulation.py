@@ -173,6 +173,9 @@ def run_agreement(spec: ProtocolSpec, config: ProtocolConfig,
     network = SynchronousNetwork(config.processors, metrics,
                                  value_domain_size=len(config.domain))
 
+    from .corruption import corruption_enabled, tree_state_views
+    corrupting = corruption_enabled(adversary)
+
     for round_number in range(1, total_rounds + 1):
         correct_outboxes: Dict[ProcessorId, Outbox] = {
             pid: processors[pid].outgoing(round_number) for pid in correct
@@ -192,6 +195,12 @@ def run_agreement(spec: ProtocolSpec, config: ProtocolConfig,
             processors[pid].incoming(round_number, inboxes.get(pid) or {})
         adversary.observe_delivery(
             round_number, {pid: inboxes.get(pid) or {} for pid in faulty_set})
+        if corrupting:
+            # After every delivery and conversion of the round, before the
+            # next round's broadcasts wrap the level buffers — the same point
+            # the batched driver invokes the hook.
+            adversary.corrupt_state(round_number,
+                                    tree_state_views(processors, config))
 
     decisions = {pid: processors[pid].decision() for pid in correct}
     discovered = {pid: tuple(processors[pid].discovered_faults()) for pid in correct}

@@ -1,0 +1,42 @@
+"""Adversary search: hunt protocol/adversary grids for extremal executions.
+
+The paper's theorems say what *cannot* happen when ``n ≥ 3t + 1``; this
+package is the executable converse.  It sweeps randomized and mutated
+:class:`~repro.api.request.RunRequest` candidates across a declared search
+space, scores each finished run against an objective — a safety violation
+(``agreement_violation``) or a cost extremum (``max_rounds``,
+``max_messages``, ``max_units``) — and, when it finds a violation, shrinks
+it to a minimal reproducer and can pin that reproducer as a JSON regression
+fixture replayed by the test suite.
+
+Everything is deterministic under a fixed ``sweep_seed``: candidate
+sampling, per-candidate seeds (:func:`~repro.api.request.derive_seed`), and
+the greedy minimizer all derive from it, so a reported counterexample is a
+coordinate, not an anecdote.
+"""
+
+from .minimize import minimize_counterexample
+from .objectives import OBJECTIVES, Objective, get_objective, objective_names
+from .pinning import (PIN_KIND, PIN_VERSION, load_pinned, pin_scenario,
+                      pinned_paths, replay_pinned)
+from .harness import Evaluation, SearchResult, run_search
+from .space import STRATEGIES, SearchSpec
+
+__all__ = [
+    "Evaluation",
+    "OBJECTIVES",
+    "Objective",
+    "PIN_KIND",
+    "PIN_VERSION",
+    "STRATEGIES",
+    "SearchResult",
+    "SearchSpec",
+    "get_objective",
+    "load_pinned",
+    "minimize_counterexample",
+    "objective_names",
+    "pin_scenario",
+    "pinned_paths",
+    "replay_pinned",
+    "run_search",
+]

@@ -1,0 +1,92 @@
+"""Counterexample shrinking: the smallest request that still misbehaves.
+
+A raw search hit usually carries accidental complexity — extra faulty
+processors, a wide corruption window, a bigger domain than the failure
+needs.  :func:`minimize_counterexample` greedily removes it, delta-debugging
+style: propose one simplification at a time, re-execute the candidate
+(deterministic — the request carries its seed), and keep it only if the
+objective still registers a violation.  The loop runs to a fixpoint, so the
+result is 1-minimal with respect to the moves below:
+
+* drop each faulty processor (smaller faulty sets first);
+* shrink each integer adversary parameter (halving, then decrementing —
+  corruption windows, outage lengths, victim counts all shrink this way);
+* shrink the value domain to its two essential members (the default value
+  and the values the counterexample actually mentions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterator, Optional, Tuple
+
+from ..api.facade import execute
+from ..api.request import RunReport, RunRequest
+from ..core.values import DEFAULT_VALUE
+from .objectives import Objective, get_objective
+
+
+def _still_violates(candidate: RunRequest,
+                    objective: Objective) -> Optional[RunReport]:
+    try:
+        report = execute(candidate)
+    except Exception:
+        return None  # a shrink that no longer validates is just rejected
+    return report if objective.violated(report) else None
+
+
+def _faulty_shrinks(request: RunRequest) -> Iterator[RunRequest]:
+    faulty = request.faulty or ()
+    for pid in faulty:
+        yield replace(request,
+                      faulty=tuple(p for p in faulty if p != pid))
+
+
+def _param_shrinks(request: RunRequest) -> Iterator[RunRequest]:
+    for name, value in sorted(request.adversary_params.items()):
+        if not isinstance(value, int) or value <= 1:
+            continue
+        for smaller in dict.fromkeys((value // 2, value - 1)):
+            if 1 <= smaller < value:
+                params = dict(request.adversary_params)
+                params[name] = smaller
+                yield replace(request, adversary_params=params)
+
+
+def _domain_shrinks(request: RunRequest) -> Iterator[RunRequest]:
+    if len(request.domain) <= 2:
+        return
+    essential = {DEFAULT_VALUE, request.initial_value}
+    smaller = tuple(v for v in request.domain if v in essential)
+    if len(smaller) >= 2 and len(smaller) < len(request.domain):
+        yield replace(request, domain=smaller)
+
+
+def minimize_counterexample(request: RunRequest,
+                            objective: str = "agreement_violation",
+                            ) -> Tuple[RunRequest, RunReport]:
+    """Shrink *request* while it keeps violating *objective*.
+
+    Returns the minimized request and the report of its (re-verified)
+    execution.  Raises :class:`ValueError` if the starting request does not
+    violate the objective — a minimizer fed a healthy run would "shrink" it
+    to an arbitrary healthy run.
+    """
+    target = get_objective(objective)
+    report = _still_violates(request, target)
+    if report is None:
+        raise ValueError(
+            f"request does not violate {target.name!r}; nothing to minimize")
+    current, current_report = request, report
+    improved = True
+    while improved:
+        improved = False
+        for candidate in (*_faulty_shrinks(current),
+                          *_param_shrinks(current),
+                          *_domain_shrinks(current)):
+            candidate_report = _still_violates(candidate, target)
+            if candidate_report is not None:
+                current, current_report = candidate, candidate_report
+                improved = True
+                break  # restart the move list from the smaller request
+    return current, current_report

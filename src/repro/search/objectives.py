@@ -1,0 +1,88 @@
+"""What the search is hunting for: scoring functions over finished runs.
+
+An :class:`Objective` turns a :class:`~repro.api.request.RunReport` into a
+score the search maximizes.  Two kinds exist:
+
+* **Violation objectives** (``is_violation=True``): the score is positive
+  exactly when the run broke a safety property the theorems promise under
+  ``n ≥ 3t + 1`` — disagreement between correct processors, or a validity
+  breach.  The search can stop at the first hit and hand it to the
+  minimizer.
+* **Cost objectives**: the score is a resource metric (rounds, messages,
+  computation units) and the search reports the costliest execution the
+  budget uncovered — a worst-case probe, never "satisfied".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..api.request import RunReport
+from ..runtime.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One search target: a name, a scorer, and whether a hit is a violation."""
+
+    name: str
+    doc: str
+    scorer: Callable[[RunReport], float]
+    #: True when a positive score is a *safety violation* worth minimizing
+    #: and pinning (the search may stop early); False for cost extremum
+    #: objectives that always spend the whole budget.
+    is_violation: bool = False
+
+    def score(self, report: RunReport) -> float:
+        return float(self.scorer(report))
+
+    def violated(self, report: RunReport) -> bool:
+        return self.is_violation and self.score(report) > 0.0
+
+
+def _safety_breach(report: RunReport) -> float:
+    # Disagreement outranks a validity breach so the minimizer prefers to
+    # preserve the stronger counterexample while shrinking.
+    if not report.agreement:
+        return 2.0
+    if report.validity is False:
+        return 1.0
+    return 0.0
+
+
+OBJECTIVES: Dict[str, Objective] = {
+    objective.name: objective
+    for objective in (
+        Objective(
+            "agreement_violation",
+            "a safety breach: correct processors disagree (score 2) or "
+            "validity fails (score 1)",
+            _safety_breach, is_violation=True),
+        Objective(
+            "max_rounds",
+            "the execution using the most communication rounds",
+            lambda report: report.rounds),
+        Objective(
+            "max_messages",
+            "the execution sending the most messages in total",
+            lambda report: report.metrics.get("total_messages", 0)),
+        Objective(
+            "max_units",
+            "the execution with the largest per-processor computation",
+            lambda report: report.metrics.get("max_computation_units", 0)),
+    )
+}
+
+
+def objective_names() -> Tuple[str, ...]:
+    return tuple(sorted(OBJECTIVES))
+
+
+def get_objective(name: str) -> Objective:
+    try:
+        return OBJECTIVES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown search objective {name!r}; expected one of "
+            f"{sorted(OBJECTIVES)}") from None

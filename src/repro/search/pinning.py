@@ -1,0 +1,120 @@
+"""Pin counterexamples as regression fixtures the test suite replays.
+
+A minimized counterexample is only worth what its reproducibility: this
+module freezes one as a small JSON file — the exact
+:class:`~repro.api.request.RunRequest` plus the outcome it must reproduce —
+and replays it later, asserting the run still violates (or still costs) what
+it did when pinned.  ``tests/test_pinned_scenarios.py`` parametrizes over
+every file in ``tests/pinned_scenarios/``, so a pinned hit becomes a
+permanent tripwire: any change that silently repairs *or re-breaks* the
+behaviour fails the suite and demands a deliberate re-pin.
+
+Fixture format::
+
+    {"kind": "repro-pinned-scenario", "version": 1,
+     "objective": "agreement_violation",
+     "request": { ...RunRequest.to_dict()... },
+     "expect": {"agreement": false, "validity": true,
+                "decisions": {"0": 1, "1": 0}, "rounds": 2}}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Tuple
+
+from ..api.facade import execute
+from ..api.request import RunReport, RunRequest
+from ..runtime.errors import ConfigurationError
+
+PIN_KIND = "repro-pinned-scenario"
+PIN_VERSION = 1
+
+
+def scenario_name(request: RunRequest) -> str:
+    """A deterministic, filesystem-safe name for a pinned request."""
+    faulty = "-".join(str(p) for p in (request.faulty or ())) or "none"
+    return (f"{request.protocol}-n{request.n}t{request.t}-"
+            f"{request.adversary}-f{faulty}-seed{request.seed}")
+
+
+def pin_scenario(request: RunRequest, report: RunReport, directory: str,
+                 objective: str = "agreement_violation") -> str:
+    """Write the fixture for ``(request, report)`` and return its path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, scenario_name(request) + ".json")
+    payload: Dict[str, Any] = {
+        "kind": PIN_KIND,
+        "version": PIN_VERSION,
+        "objective": objective,
+        "request": request.to_dict(),
+        "expect": {
+            "agreement": report.agreement,
+            "validity": report.validity,
+            "decisions": {str(pid): value
+                          for pid, value in sorted(report.decisions.items())},
+            "rounds": report.rounds,
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_pinned(path: str) -> Tuple[RunRequest, Dict[str, Any]]:
+    """Read a fixture back as ``(request, expectation)``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{path} is not valid JSON: {exc}") from None
+    if (not isinstance(payload, dict)
+            or payload.get("kind") != PIN_KIND):
+        raise ConfigurationError(
+            f"{path} is not a pinned scenario (expected kind {PIN_KIND!r})")
+    if payload.get("version") != PIN_VERSION:
+        raise ConfigurationError(
+            f"{path} is a version {payload.get('version')} fixture; this "
+            f"build reads version {PIN_VERSION}")
+    return (RunRequest.from_dict(payload["request"]),
+            dict(payload.get("expect", {})))
+
+
+def pinned_paths(directory: str) -> List[str]:
+    """Every fixture file under *directory*, sorted; empty if absent."""
+    if not os.path.isdir(directory):
+        return []
+    return sorted(os.path.join(directory, name)
+                  for name in os.listdir(directory)
+                  if name.endswith(".json"))
+
+
+def replay_pinned(path: str) -> Tuple[RunReport, Dict[str, Any], List[str]]:
+    """Re-execute a fixture; returns ``(report, expect, mismatches)``.
+
+    The mismatch list is empty exactly when the replay reproduced the pinned
+    outcome — agreement verdict, validity verdict, per-processor decisions,
+    and round count all equal.
+    """
+    request, expect = load_pinned(path)
+    report = execute(request)
+    mismatches: List[str] = []
+    if "agreement" in expect and report.agreement != expect["agreement"]:
+        mismatches.append(
+            f"agreement: pinned {expect['agreement']}, got {report.agreement}")
+    if "validity" in expect and report.validity != expect["validity"]:
+        mismatches.append(
+            f"validity: pinned {expect['validity']}, got {report.validity}")
+    if "decisions" in expect:
+        pinned = {int(pid): value
+                  for pid, value in expect["decisions"].items()}
+        if report.decisions != pinned:
+            mismatches.append(
+                f"decisions: pinned {pinned}, got {report.decisions}")
+    if "rounds" in expect and report.rounds != expect["rounds"]:
+        mismatches.append(
+            f"rounds: pinned {expect['rounds']}, got {report.rounds}")
+    return report, expect, mismatches

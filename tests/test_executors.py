@@ -9,6 +9,7 @@ report set must equal an uninterrupted run's.
 """
 
 import json
+import os
 
 import pytest
 
@@ -236,6 +237,57 @@ class TestSweepSpec:
             SweepSpec(requests=small_requests(2), sweep_seed=1))
 
 
+#: Seed value marking the request whose worker should die (see below).
+_CRASH_SEED = 2
+
+
+def _dying_worker(request):
+    """A pool worker that hard-exits on the marked request.
+
+    ``os._exit`` bypasses every handler, exactly like an OOM kill or a
+    segfault in an extension module — the crash mode that poisons a
+    :class:`ProcessPoolExecutor` with ``BrokenProcessPool``.
+    """
+    if request.seed == _CRASH_SEED:
+        os._exit(1)
+    from repro.api.facade import execute
+    return execute(request)
+
+
+class DyingPool(PoolExecutor):
+    _worker = staticmethod(_dying_worker)
+
+
+class TestPoolBrokenWorker:
+    def test_broken_pool_retries_undelivered_requests_serially(self):
+        requests = small_requests(4)
+        with DyingPool(max_workers=2) as pool:
+            for request in requests:
+                pool.submit(request)
+            reports = dict(pool.iter_reports())
+        # Every request still gets a report...
+        assert sorted(reports) == [0, 1, 2, 3]
+        expected = [execute(r) for r in requests]
+        for index in range(4):
+            assert reports[index].decisions == expected[index].decisions
+            assert reports[index].metrics == expected[index].metrics
+        # ...and at least the crashed one is marked as retried in-process.
+        # (Which *other* requests were still in flight when the pool broke
+        # is timing-dependent, so only the crashed index is asserted.)
+        retried = {index for index, report in reports.items()
+                   if report.metadata.get("retried")}
+        assert _CRASH_SEED in retried
+
+    def test_retried_metadata_round_trips(self):
+        report = execute(small_requests(1)[0])
+        assert report.metadata == {}
+        assert "metadata" not in report.to_dict()  # old fixtures stay valid
+        report.metadata["retried"] = True
+        wire = report.to_dict()
+        assert wire["metadata"] == {"retried": True}
+        assert RunReport.from_dict(wire) == report
+
+
 class FailingExecutor(SerialExecutor):
     """Executes *fail_after* requests, then dies — a simulated crash."""
 
@@ -354,6 +406,46 @@ class TestCheckpointResume:
             handle.write('{"index": 2}\n')  # report missing
         with pytest.raises(ConfigurationError, match="malformed completion"):
             read_checkpoint(path2, spec)
+
+    def test_corrupted_header_hash_is_rejected(self, spec, tmp_path):
+        """A flipped digest byte must read as "different sweep", not merge."""
+        path = str(tmp_path / "sweep.jsonl")
+        run_sweep(spec, checkpoint=path)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        header = json.loads(lines[0])
+        digest = header["sweep_sha256"]
+        header["sweep_sha256"] = ("0" if digest[0] != "0" else "1") + digest[1:]
+        lines[0] = json.dumps(header, sort_keys=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            read_checkpoint(path, spec)
+
+    def test_interleaved_garbage_line_is_rejected(self, spec, tmp_path):
+        """Unparseable bytes *before* the end are corruption, not a crash tail."""
+        path = str(tmp_path / "sweep.jsonl")
+        run_sweep(spec, checkpoint=path)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        lines.insert(2, "\x00\x00 not json at all {{{")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(ConfigurationError, match="corrupt"):
+            read_checkpoint(path, spec)
+
+    def test_duplicate_index_resolves_last_write_wins(self, spec, tmp_path):
+        """A re-checkpointed request (e.g. a retried cell) keeps its latest report."""
+        path = str(tmp_path / "sweep.jsonl")
+        reports = run_sweep(spec, checkpoint=path)
+        doctored = RunReport.from_dict(reports[0].to_dict())
+        doctored.metadata["retried"] = True
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"index": 0,
+                                     "report": doctored.to_dict()},
+                                    sort_keys=True) + "\n")
+        completed = read_checkpoint(path, spec)
+        assert sorted(completed) == [0, 1, 2, 3]
+        assert completed[0].metadata == {"retried": True}
+        assert completed[1] == reports[1]
 
     def test_non_checkpoint_file_is_rejected(self, spec, tmp_path):
         path = tmp_path / "other.jsonl"

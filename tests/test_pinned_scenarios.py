@@ -1,0 +1,47 @@
+"""Replay every pinned counterexample in ``tests/pinned_scenarios/``.
+
+Each fixture was produced by ``repro search --pin`` (minimized first) and
+freezes a request together with the outcome it must keep reproducing.  A
+change that silently *repairs* a pinned violation fails here just as loudly
+as one that alters its decisions or round count: either way the behaviour
+moved and the fixture must be re-pinned deliberately.
+"""
+
+import os
+
+import pytest
+
+from repro.search import load_pinned, pinned_paths, replay_pinned
+
+PINNED_DIR = os.path.join(os.path.dirname(__file__), "pinned_scenarios")
+PATHS = pinned_paths(PINNED_DIR)
+
+
+def test_the_suite_ships_at_least_one_pinned_scenario():
+    # The n=3, t=1 lower-bound counterexample is committed with the harness;
+    # an empty directory would silently skip the whole parametrized replay.
+    assert PATHS, f"no pinned scenarios under {PINNED_DIR}"
+
+
+@pytest.mark.parametrize("path", PATHS,
+                         ids=[os.path.basename(p) for p in PATHS])
+def test_pinned_scenario_replays_exactly(path):
+    request, expect = load_pinned(path)
+    report, _, mismatches = replay_pinned(path)
+    assert mismatches == [], (
+        f"{os.path.basename(path)} no longer reproduces its pinned outcome: "
+        + "; ".join(mismatches))
+    # Violation fixtures must still violate — a pin that expects agreement
+    # everywhere is not a counterexample and was probably pinned by mistake.
+    assert expect["agreement"] == report.agreement
+    assert report.rounds == expect["rounds"]
+
+
+def test_committed_fixture_is_the_known_lower_bound_witness():
+    """The shipped fixture is the n = 3, t = 1 impossibility witness."""
+    witness = [p for p in PATHS if "n3t1" in os.path.basename(p)]
+    assert witness, "the n=3,t=1 witness fixture is missing"
+    request, expect = load_pinned(witness[0])
+    assert (request.n, request.t) == (3, 1)
+    assert request.allow_unsafe  # under-resilient cells must opt in
+    assert expect["agreement"] is False
