@@ -14,13 +14,17 @@ executing agreement runs:
   settings loudly;
 * **executors** (:mod:`.executors`) — the pluggable execution layer
   (``submit``/``iter_reports``/``close``) with a name→factory registry:
-  ``"serial"``, ``"pool"``, and the row-sharding ``"sharded"`` backend for
-  large-``n`` runs;
+  ``"serial"``, ``"pool"``, the row-sharding ``"sharded"`` backend for
+  large-``n`` runs, and the ``"supervised"`` resilient backend (worker
+  deadlines, seeded retry/backoff, degradation ladder, audit trail);
 * **façade** (:mod:`.facade`) — :func:`execute` for one request,
+  :func:`execute_resilient` for one supervised request,
   :func:`iter_execute` for streaming sweeps over any executor,
   :func:`execute_many` for the classic list-shaped pool sweep;
 * **sweeps** (:mod:`.sweep`) — :func:`run_sweep`/:func:`iter_sweep` with a
-  JSONL checkpoint log and crash-safe resume.
+  JSONL checkpoint log (atomic header creation, bounded append retry,
+  opt-in fsync) and crash-safe resume, plus chaos-policy injection for
+  resilience testing.
 
 >>> from repro.api import RunRequest, execute
 >>> report = execute(RunRequest(protocol="hybrid", protocol_params={"b": 3},
@@ -34,10 +38,14 @@ True
 from __future__ import annotations
 
 from .executors import (DEFAULT_EXECUTOR, Executor, PoolExecutor,
-                        SerialExecutor, ShardedRunExecutor, build_executor,
-                        executor_names, executor_registry, resolve_executor)
-from .facade import (execute, execute_grouped, execute_many, iter_execute,
-                     plan_request)
+                        SerialExecutor, ShardedRunExecutor,
+                        SupervisedExecutor, build_executor, executor_names,
+                        executor_registry, resolve_executor)
+# Imported after .executors: repro.core must initialize before repro.runtime
+# (runtime.messages reaches back into core.sequences).
+from ..runtime.chaos import ChaosPolicy, FaultInjection, chaos_scope
+from .facade import (execute, execute_grouped, execute_many,
+                     execute_resilient, iter_execute, plan_request)
 from .planner import (ExecutionPlan, batched_ineligibility, plan_run,
                       plan_shardable)
 from .registries import (ParamSpec, RegistryEntry, RegistryError,
@@ -51,12 +59,14 @@ from .sweep import iter_sweep, read_checkpoint, run_sweep, sweep_digest
 __all__ = [
     "RunRequest", "RunReport", "SweepSpec", "AUTO", "ENGINE_CHOICES",
     "SEED_POLICIES", "derive_seed",
-    "execute", "execute_many", "execute_grouped", "iter_execute",
-    "plan_request",
+    "execute", "execute_many", "execute_grouped", "execute_resilient",
+    "iter_execute", "plan_request",
     "ExecutionPlan", "plan_run", "plan_shardable", "batched_ineligibility",
     "Executor", "SerialExecutor", "PoolExecutor", "ShardedRunExecutor",
+    "SupervisedExecutor",
     "executor_registry", "executor_names", "build_executor",
     "resolve_executor", "DEFAULT_EXECUTOR",
+    "ChaosPolicy", "FaultInjection", "chaos_scope",
     "iter_sweep", "run_sweep", "read_checkpoint", "sweep_digest",
     "ParamSpec", "RegistryEntry", "RegistryError",
     "protocol_registry", "adversary_registry",

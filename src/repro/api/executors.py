@@ -9,7 +9,7 @@ and streams ``(index, report)`` pairs back through
 sweeps checkpoint durably (:mod:`repro.api.sweep`) and callers act on early
 results while later cells are still running.
 
-Three built-in backends, addressable by name through
+Four built-in backends, addressable by name through
 :func:`executor_registry` (the same :class:`~repro.api.registries.RegistryEntry`
 machinery as the protocol/adversary registries):
 
@@ -30,6 +30,12 @@ machinery as the protocol/adversary registries):
     cross-shard claims travel as serialized code ndarrays once per round.
     Requests whose plan is not batched-eligible fall back to the ordinary
     planner path, so a mixed sweep still completes.
+``supervised``
+    The resilient backend: every run is supervised
+    (:mod:`repro.runtime.supervision`) with per-worker deadlines, bounded
+    seeded retries, and a degradation ladder ``sharded → batched → pool →
+    serial``; every recovery step is audited in
+    ``RunReport.metadata["resilience"]``.
 
 Requests are executed exactly as :func:`repro.api.facade.execute` would —
 same planner, same reports — so swapping backends never changes results,
@@ -39,12 +45,19 @@ only where the work happens.
 from __future__ import annotations
 
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures import wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..core.engine import ambient_engine, use_engine
-from ..runtime.errors import ConfigurationError
+from ..runtime.chaos import build_chaos, chaos_scope, current_chaos
+from ..runtime.errors import ConfigurationError, WorkerTimeoutError
+from ..runtime.supervision import (DEFAULT_LADDER, RetryPolicy,
+                                   RungUnavailable, Supervisor,
+                                   pool_retry_record)
 from .registries import ParamSpec, RegistryEntry, RegistryError
 from .request import RunReport, RunRequest
 
@@ -125,6 +138,11 @@ def _execute_for_pool(request: RunRequest) -> RunReport:
     return execute(request)
 
 
+def _chaos_exit_worker(request: RunRequest) -> RunReport:  # pragma: no cover
+    """The pool-worker-kill chaos payload: die like an OOM kill would."""
+    os._exit(1)
+
+
 class PoolExecutor(Executor):
     """Process-pool sweeps: one worker slot per request, completion-order stream.
 
@@ -138,9 +156,11 @@ class PoolExecutor(Executor):
     ``os._exit``) poisons the whole :class:`ProcessPoolExecutor`: every
     unfinished future raises :class:`BrokenProcessPool`.  Requests are pure
     descriptions, so the executor retries every undelivered request
-    in-process, once, and marks the resulting reports with
-    ``metadata["retried"] = True`` — a sweep survives a poisoned pool
-    instead of losing all its in-flight cells.
+    in-process, once, and records the recovery on each resulting report as
+    a structured ``metadata["resilience"]`` entry (attempt count, exception
+    class, fallback executor — the same vocabulary the supervised executor
+    writes) — a sweep survives a poisoned pool instead of losing all its
+    in-flight cells.
     """
 
     name = "pool"
@@ -174,34 +194,44 @@ class PoolExecutor(Executor):
                 yield index, execute(request)
             return
         delivered = set()
-        broken = False
+        broken_error: Optional[BaseException] = None
+        controller = current_chaos()
         with pool:
             try:
-                futures = {pool.submit(self._worker, request): index
-                           for index, request in pending}
+                futures = {}
+                for index, request in pending:
+                    worker = self._worker
+                    if controller is not None and any(
+                            fault.kind == "pool-worker-kill"
+                            for fault in controller.take("pool-request",
+                                                         index=index)):
+                        worker = _chaos_exit_worker
+                    futures[pool.submit(worker, request)] = index
             except (OSError, PermissionError):  # pragma: no cover - sandboxes
                 pool.shutdown(wait=False)
                 for index, request in pending:
                     yield index, execute(request)
                 return
             outstanding = set(futures)
-            while outstanding and not broken:
+            while outstanding and broken_error is None:
                 done, outstanding = wait(outstanding,
                                          return_when=FIRST_COMPLETED)
                 for future in done:
                     try:
                         report = future.result()
-                    except BrokenProcessPool:
-                        broken = True
+                    except BrokenProcessPool as exc:
+                        broken_error = exc
                         continue
                     delivered.add(futures[future])
                     yield futures[future], report
-        if broken:
+        if broken_error is not None:
             for index, request in pending:
                 if index in delivered:
                     continue
                 report = execute(request)
-                report.metadata["retried"] = True
+                report.metadata.setdefault("resilience", []).append(
+                    pool_retry_record(attempt=2, error=broken_error,
+                                      fallback="serial"))
                 yield index, report
 
 
@@ -221,12 +251,17 @@ class ShardedRunExecutor(Executor):
 
     name = "sharded"
 
-    def __init__(self, shards: Optional[int] = None) -> None:
+    def __init__(self, shards: Optional[int] = None,
+                 deadline: Optional[float] = None) -> None:
         super().__init__()
         if shards is not None and shards < 1:
             raise ConfigurationError(
                 f"a sharded executor needs at least one shard, got {shards}")
+        if deadline is not None and not deadline > 0:
+            raise ConfigurationError(
+                f"a worker deadline must be positive seconds, got {deadline}")
         self.shards = shards
+        self.deadline = deadline
 
     def iter_reports(self) -> Iterator[Tuple[int, RunReport]]:
         for index, request in self._take_pending():
@@ -242,12 +277,163 @@ class ShardedRunExecutor(Executor):
             with use_engine(plan.engine):
                 result = run_sharded_if_supported(spec, config, faulty,
                                                   adversary, request.seed,
-                                                  shards=self.shards)
+                                                  shards=self.shards,
+                                                  deadline=self.deadline)
             if result is not None:
                 return RunReport.from_result(
                     result, engine=request.engine, engine_resolved="sharded",
                     scenario=request.scenario, seed=request.seed)
         return execute(request)
+
+
+# ---------------------------------------------------------------------------
+# The supervised executor: a degradation ladder over the other backends.
+# ---------------------------------------------------------------------------
+
+def _rung_sharded(request: RunRequest, shards: Optional[int],
+                  deadline: Optional[float]) -> RunReport:
+    """The most capable rung: row-sharded multi-process execution."""
+    from ..runtime.sharding import run_sharded_if_supported
+    from .planner import plan_run
+    spec, config, faulty, adversary = request.resolve_parts()
+    plan = plan_run(request, spec, config, faulty, adversary)
+    if not plan.batched:
+        raise RungUnavailable("request is not batched-eligible")
+    with use_engine(plan.engine):
+        result = run_sharded_if_supported(spec, config, faulty, adversary,
+                                          request.seed, shards=shards,
+                                          deadline=deadline)
+    if result is None:
+        raise RungUnavailable("sharding unsupported here (no numpy, "
+                              "one shard, or too few rows)")
+    return RunReport.from_result(result, engine=request.engine,
+                                 engine_resolved="sharded",
+                                 scenario=request.scenario, seed=request.seed)
+
+
+def _rung_batched(request: RunRequest) -> RunReport:
+    """Single-process execution exactly as the facade plans it."""
+    from .facade import execute
+    return execute(request)
+
+
+def _rung_pool(request: RunRequest,
+               deadline: Optional[float]) -> RunReport:
+    """One fresh single-slot pool worker, bounded by *deadline* seconds.
+
+    A fresh pool per attempt keeps the rung hermetic: a worker poisoned by a
+    previous attempt cannot leak into this one.
+    """
+    try:
+        pool = ProcessPoolExecutor(max_workers=1,
+                                   initializer=_pool_worker_init,
+                                   initargs=(ambient_engine(),))
+    except (OSError, PermissionError) as exc:  # pragma: no cover - sandboxes
+        raise RungUnavailable(f"cannot spawn a pool worker: {exc}") from exc
+    try:
+        future = pool.submit(_execute_for_pool, request)
+        try:
+            return future.result(timeout=deadline)
+        except FuturesTimeout:
+            for process in getattr(pool, "_processes", {}).values():
+                process.kill()
+            raise WorkerTimeoutError(
+                f"pool worker missed its {deadline:g}s reply deadline "
+                f"for seed {request.seed}") from None
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _rung_serial(request: RunRequest) -> RunReport:
+    """The floor of the ladder: in-process, unbatched, no numpy required."""
+    from ..runtime.simulation import run_agreement
+    from .planner import plan_run
+    spec, config, faulty, adversary = request.resolve_parts()
+    plan = plan_run(request, spec, config, faulty, adversary)
+    with use_engine(plan.engine):
+        result = run_agreement(spec, config, faulty, adversary,
+                               seed=request.seed, batched=False)
+    return RunReport.from_result(result, engine=request.engine,
+                                 engine_resolved=plan.resolved,
+                                 scenario=request.scenario, seed=request.seed)
+
+
+class SupervisedExecutor(Executor):
+    """Supervised execution: heartbeats, bounded retries, degradation ladder.
+
+    Every submitted request is run under a
+    :class:`~repro.runtime.supervision.Supervisor` walking *ladder* (default
+    ``sharded → batched → pool → serial``): each rung gets ``max_attempts``
+    tries with deterministic seeded backoff before the ladder steps down, and
+    every retry, downgrade, and skip lands in the report's
+    ``metadata["resilience"]`` audit trail.  An undisturbed run takes the
+    first applicable rung on its first attempt and carries **no** metadata,
+    so supervised reports are byte-identical (modulo the execution-side
+    ``engine_resolved``/``metadata`` fields — see
+    :meth:`~repro.api.request.RunReport.outcome_dict`) to unsupervised ones.
+
+    *deadline* bounds each worker interaction (shard-round replies, pool
+    results) so a hung worker surfaces as a named
+    :class:`~repro.runtime.errors.WorkerTimeoutError` instead of a hang.
+    *chaos* optionally installs a :class:`~repro.runtime.chaos.ChaosPolicy`
+    (or plain policy data) for the duration of :meth:`iter_reports` — unless
+    a chaos scope is already ambient, which takes precedence.
+    """
+
+    name = "supervised"
+
+    def __init__(self, ladder: Optional[Iterable[str]] = None,
+                 max_attempts: int = 3, base_delay: float = 0.05,
+                 backoff_factor: float = 2.0, deadline: float = 30.0,
+                 shards: Optional[int] = None, chaos: object = None) -> None:
+        super().__init__()
+        rungs = tuple(ladder) if ladder is not None else DEFAULT_LADDER
+        unknown = [stage for stage in rungs if stage not in DEFAULT_LADDER]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ladder rung(s) {unknown}; known rungs: "
+                f"{list(DEFAULT_LADDER)}")
+        if not rungs:
+            raise ConfigurationError("a supervision ladder needs at least "
+                                     "one rung")
+        if not deadline > 0:
+            raise ConfigurationError(
+                f"a worker deadline must be positive seconds, got {deadline}")
+        if shards is not None and shards < 1:
+            raise ConfigurationError(
+                f"a sharded rung needs at least one shard, got {shards}")
+        self.ladder = rungs
+        self.retry = RetryPolicy(max_attempts=max_attempts,
+                                 base_delay=base_delay,
+                                 backoff_factor=backoff_factor)
+        self.deadline = deadline
+        self.shards = shards
+        self.chaos = chaos
+
+    def _rungs(self, request: RunRequest):
+        thunks = {
+            "sharded": lambda: _rung_sharded(request, self.shards,
+                                             self.deadline),
+            "batched": lambda: _rung_batched(request),
+            "pool": lambda: _rung_pool(request, self.deadline),
+            "serial": lambda: _rung_serial(request),
+        }
+        return [(stage, thunks[stage]) for stage in self.ladder]
+
+    def iter_reports(self) -> Iterator[Tuple[int, RunReport]]:
+        # An ambient scope (e.g. a sweep-level --chaos policy) wins; the
+        # constructor's policy only activates when nothing else is in force.
+        scope = (nullcontext() if current_chaos() is not None
+                 else chaos_scope(build_chaos(self.chaos)))
+        with scope:
+            for index, request in self._take_pending():
+                supervisor = Supervisor(self._rungs(request),
+                                        retry=self.retry,
+                                        key=f"{request.seed}:{index}")
+                report, trail = supervisor.run()
+                if trail:
+                    report.metadata.setdefault("resilience", []).extend(trail)
+                yield index, report
 
 
 # ---------------------------------------------------------------------------
@@ -270,10 +456,47 @@ def _executor_entries() -> Tuple[RegistryEntry, ...]:
             "sharded", ShardedRunExecutor,
             doc="row-shard each single run across worker processes "
                 "(large-n batched runs)",
-            params=(ParamSpec(
-                "shards", int,
-                doc="worker processes per run (default: the CPU count, "
-                    "capped at the run's row count)"),)),
+            params=(
+                ParamSpec(
+                    "shards", int,
+                    doc="worker processes per run (default: the CPU count, "
+                        "capped at the run's row count)"),
+                ParamSpec(
+                    "deadline", float,
+                    doc="seconds to wait for each shard-round reply before "
+                        "raising WorkerTimeoutError (default: wait forever)"),
+            )),
+        RegistryEntry(
+            "supervised", SupervisedExecutor,
+            doc="supervised ladder (sharded→batched→pool→serial) with "
+                "heartbeats, seeded retry/backoff, and a resilience audit "
+                "trail",
+            params=(
+                ParamSpec(
+                    "ladder", list,
+                    doc="ordered rung names to walk (default: sharded, "
+                        "batched, pool, serial)"),
+                ParamSpec(
+                    "max_attempts", int,
+                    doc="tries per rung before downgrading (default 3)"),
+                ParamSpec(
+                    "base_delay", float,
+                    doc="first-retry backoff in seconds (default 0.05)"),
+                ParamSpec(
+                    "backoff_factor", float,
+                    doc="exponential backoff multiplier (default 2.0)"),
+                ParamSpec(
+                    "deadline", float,
+                    doc="seconds before a silent worker counts as hung "
+                        "(default 30)"),
+                ParamSpec(
+                    "shards", int,
+                    doc="worker processes for the sharded rung"),
+                ParamSpec(
+                    "chaos", dict,
+                    doc="chaos policy data to activate for the run "
+                        "(testing aid)"),
+            )),
     )
 
 

@@ -48,6 +48,26 @@ def execute(request: RunRequest) -> RunReport:
                                  scenario=request.scenario, seed=request.seed)
 
 
+def execute_resilient(request: RunRequest, **options) -> RunReport:
+    """Run one request under supervision: deadlines, retries, ladder.
+
+    A one-shot convenience over the ``"supervised"`` executor backend —
+    *options* are :class:`~repro.api.executors.SupervisedExecutor`
+    constructor arguments (``ladder``, ``max_attempts``, ``deadline``,
+    ``shards``, ``chaos``, …).  The report's ``metadata["resilience"]``
+    documents every retry and downgrade that happened on the way; an
+    undisturbed run carries none and is observationally identical to
+    :func:`execute` (see
+    :meth:`~repro.api.request.RunReport.outcome_dict`).
+    """
+    from .executors import SupervisedExecutor
+    with SupervisedExecutor(**options) as runner:
+        runner.submit(request)
+        for _, report in runner.iter_reports():
+            return report
+    raise RuntimeError("supervised executor yielded no report")
+
+
 def iter_execute(requests: Iterable[RunRequest],
                  executor: ExecutorSpec = None
                  ) -> Iterator[Tuple[int, RunReport]]:

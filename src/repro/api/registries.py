@@ -68,6 +68,10 @@ class ParamSpec:
                 raise RegistryError(
                     f"{owner}: parameter {self.name!r} must be an integer, "
                     f"got {value!r}")
+        elif self.kind is float and isinstance(value, int) \
+                and not isinstance(value, bool):
+            # JSON has one number type; an integral literal is a valid float.
+            value = float(value)
         elif not isinstance(value, self.kind):
             raise RegistryError(
                 f"{owner}: parameter {self.name!r} must be "

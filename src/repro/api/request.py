@@ -281,10 +281,16 @@ class RunReport:
     discovery_logs: Dict[int, Dict[int, int]]
     discovery_sound: bool
     metrics: Dict[str, int]
-    #: Execution-side annotations (e.g. ``{"retried": True}`` after a pool
-    #: executor recovered from a broken worker).  Not part of the outcome:
-    #: two reports for the same execution compare equal only when their
-    #: metadata also matches, so executors only record what they must.
+    #: Execution-side annotations.  The reserved key ``"resilience"`` holds
+    #: the structured audit trail written by the supervision machinery
+    #: (:mod:`repro.runtime.supervision`): a list of plain dicts, each with
+    #: an ``"event"`` of ``"retry"`` / ``"downgrade"`` / ``"skip"`` /
+    #: ``"completed"`` plus stage, attempt, error-class, and delay fields —
+    #: one entry per recovery step the executor or checkpoint writer took.
+    #: Not part of the outcome: two reports for the same execution compare
+    #: equal only when their metadata also matches, so executors record
+    #: nothing for an undisturbed run (and :meth:`outcome_dict` compares
+    #: reports across execution paths).
     metadata: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
@@ -370,6 +376,22 @@ class RunReport:
         }
         if self.metadata:  # omitted when empty: keeps old fixtures valid
             data["metadata"] = dict(self.metadata)
+        return data
+
+    def outcome_dict(self) -> Dict[str, Any]:
+        """The serialized *outcome* alone: :meth:`to_dict` minus how it ran.
+
+        Drops ``engine``, ``engine_resolved``, and ``metadata`` — the
+        execution-side fields that legitimately differ when the same request
+        runs on different substrates (a supervised run that downgraded from
+        ``sharded`` to ``serial``, a pool run that retried).  Two executions
+        of the same request are observationally identical iff their
+        ``outcome_dict`` values are equal — the property the chaos suite
+        asserts byte-for-byte.
+        """
+        data = self.to_dict()
+        for execution_side in ("engine", "engine_resolved", "metadata"):
+            data.pop(execution_side, None)
         return data
 
     @classmethod

@@ -25,6 +25,13 @@ merging unrelated results.  A truncated final line (the crash happened
 mid-write) is ignored; an unparseable line anywhere *earlier* is corruption
 and refused.  A request checkpointed twice (e.g. a retried cell) resolves
 last-write-wins, matching append order.
+
+Durability: headers are created **atomically** (written to a temp file and
+renamed into place), so a crash during creation leaves no torn header;
+completion appends retry transient I/O failures a bounded number of times,
+truncating any torn tail before each retry and recording the recovery in the
+report's ``metadata["resilience"]``; ``fsync=True`` upgrades the
+flush-per-line default to fsync-per-line for power-loss durability.
 """
 
 from __future__ import annotations
@@ -32,14 +39,20 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from ..runtime.errors import ConfigurationError
+from ..runtime.chaos import chaos_scope, current_chaos
+from ..runtime.errors import CheckpointWriteError, ConfigurationError
+from ..runtime.supervision import RetryPolicy, checkpoint_retry_event
 from .executors import ExecutorSpec, resolve_executor
 from .request import RunReport, SweepSpec
 
 CHECKPOINT_KIND = "repro-sweep-checkpoint"
 CHECKPOINT_VERSION = 1
+
+#: Bounded retry for completion appends (transient ENOSPC / EIO survive).
+_WRITE_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01)
 
 
 def sweep_digest(spec: SweepSpec) -> str:
@@ -65,6 +78,14 @@ def read_checkpoint(path: str, spec: SweepSpec) -> Dict[int, RunReport]:
     try:
         header = json.loads(lines[0])
     except json.JSONDecodeError:
+        if len(lines) == 1:
+            # Headers are created atomically (temp file + rename), so a
+            # lone unparseable line means the file predates that scheme and
+            # a crash tore its creation — there is nothing to resume.
+            raise ConfigurationError(
+                f"{path} has a torn header line and no completions — "
+                f"likely a crash while the checkpoint was being created; "
+                f"delete the file to start the sweep fresh")
         raise ConfigurationError(
             f"{path} is not a sweep checkpoint (unreadable header line)")
     if not isinstance(header, dict) or header.get("kind") != CHECKPOINT_KIND:
@@ -114,7 +135,7 @@ def read_checkpoint(path: str, spec: SweepSpec) -> Dict[int, RunReport]:
     return completed
 
 
-def _write_header(handle, spec: SweepSpec) -> None:
+def _write_header(handle, spec: SweepSpec, fsync: bool = False) -> None:
     handle.write(json.dumps({
         "kind": CHECKPOINT_KIND,
         "version": CHECKPOINT_VERSION,
@@ -122,10 +143,69 @@ def _write_header(handle, spec: SweepSpec) -> None:
         "sweep_sha256": sweep_digest(spec),
     }, sort_keys=True) + "\n")
     handle.flush()
+    if fsync:
+        os.fsync(handle.fileno())
+
+
+def _create_checkpoint(path: str, spec: SweepSpec, fsync: bool) -> None:
+    """Create a fresh checkpoint atomically: header to a temp file, then rename.
+
+    A crash anywhere before the :func:`os.replace` leaves no file at *path*
+    (only a stray temp file), never a torn header — so a later resume cannot
+    mistake a half-written header for corruption.
+    """
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            _write_header(handle, spec, fsync=fsync)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def _append_completion(log, path: str, index: int, report: RunReport,
+                       fsync: bool, write_counter: int) -> None:
+    """Append one completion line, retrying transient failures bounded times.
+
+    Before each retry the torn tail of the failed write is truncated away
+    (the offset was captured up front), so the log never accumulates partial
+    lines, and a :func:`checkpoint_retry_event` is recorded on the report's
+    ``metadata["resilience"]`` — which re-serializes into the retried line,
+    making the recovery itself durable.
+    """
+    controller = current_chaos()
+    line = json.dumps({"index": index, "report": report.to_dict()},
+                      sort_keys=True) + "\n"
+    for attempt in range(1, _WRITE_RETRY.max_attempts + 1):
+        offset = log.tell()
+        try:
+            if controller is not None and controller.take(
+                    "checkpoint-write", index=write_counter):
+                raise OSError("chaos: simulated checkpoint append failure")
+            log.write(line)
+            log.flush()
+            if fsync:
+                os.fsync(log.fileno())
+            return
+        except OSError as exc:
+            log.truncate(offset)
+            if attempt >= _WRITE_RETRY.max_attempts:
+                raise CheckpointWriteError(
+                    f"checkpoint {path} append for request {index} failed "
+                    f"{attempt} times; last error: {exc}") from exc
+            delay = _WRITE_RETRY.delay(f"checkpoint:{path}:{index}", attempt)
+            report.metadata.setdefault("resilience", []).append(
+                checkpoint_retry_event(attempt, exc, delay))
+            line = json.dumps({"index": index, "report": report.to_dict()},
+                              sort_keys=True) + "\n"
+            time.sleep(delay)
 
 
 def iter_sweep(spec: SweepSpec, checkpoint: Optional[str] = None,
-               resume: bool = False, executor: ExecutorSpec = None
+               resume: bool = False, executor: ExecutorSpec = None,
+               fsync: bool = False, chaos: object = None
                ) -> Iterator[Tuple[int, RunReport]]:
     """Stream a sweep's ``(index, report)`` pairs, checkpointing as they finish.
 
@@ -134,6 +214,12 @@ def iter_sweep(spec: SweepSpec, checkpoint: Optional[str] = None,
     executor in completion order.  *executor* overrides the spec's backend
     choice (an :class:`~repro.api.executors.Executor` instance or registry
     name); ``None`` builds the spec's own ``executor``/``executor_params``.
+
+    ``fsync=True`` additionally fsyncs the checkpoint after the header and
+    every completion append — durability against power loss, at a per-line
+    syscall cost (the default ``flush`` already survives process death).
+    *chaos* optionally activates a :class:`~repro.runtime.chaos.ChaosPolicy`
+    (or controller, or plain policy data) for the sweep's duration.
     """
     requests = spec.resolved_requests()
     completed: Dict[int, RunReport] = {}
@@ -152,44 +238,50 @@ def iter_sweep(spec: SweepSpec, checkpoint: Optional[str] = None,
     else:
         runner, owned = resolve_executor(executor)
     log = None
-    try:
-        if checkpoint:
-            fresh = not os.path.exists(checkpoint)
-            if not fresh and not resume:
-                # Never clobber an existing log: it may be the only record
-                # of a crashed sweep's completed requests.
-                raise ConfigurationError(
-                    f"checkpoint {checkpoint} already exists; pass "
-                    f"resume=True (repro sweep --resume) to continue it, or "
-                    f"delete the file to start the sweep fresh")
-            log = open(checkpoint, "w" if fresh else "a", encoding="utf-8")
-            if fresh:
-                _write_header(log, spec)
-        submitted = {}
-        for index, request in remaining:
-            submitted[runner.submit(request)] = index
-        for ticket, report in runner.iter_reports():
-            index = submitted[ticket]
+    with chaos_scope(chaos):
+        try:
+            if checkpoint:
+                # A zero-byte file is a fresh start too: atomic creation
+                # never leaves one, so it cannot be a record of anything.
+                fresh = (not os.path.exists(checkpoint)
+                         or os.path.getsize(checkpoint) == 0)
+                if not fresh and not resume:
+                    # Never clobber an existing log: it may be the only
+                    # record of a crashed sweep's completed requests.
+                    raise ConfigurationError(
+                        f"checkpoint {checkpoint} already exists; pass "
+                        f"resume=True (repro sweep --resume) to continue it, "
+                        f"or delete the file to start the sweep fresh")
+                if fresh:
+                    _create_checkpoint(checkpoint, spec, fsync)
+                log = open(checkpoint, "a", encoding="utf-8")
+            submitted = {}
+            for index, request in remaining:
+                submitted[runner.submit(request)] = index
+            write_counter = 0
+            for ticket, report in runner.iter_reports():
+                index = submitted[ticket]
+                if log is not None:
+                    _append_completion(log, checkpoint, index, report,
+                                       fsync, write_counter)
+                    write_counter += 1
+                yield index, report
+        finally:
             if log is not None:
-                log.write(json.dumps({"index": index,
-                                      "report": report.to_dict()},
-                                     sort_keys=True) + "\n")
-                log.flush()
-            yield index, report
-    finally:
-        if log is not None:
-            log.close()
-        if owned:
-            runner.close()
+                log.close()
+            if owned:
+                runner.close()
 
 
 def run_sweep(spec: SweepSpec, checkpoint: Optional[str] = None,
-              resume: bool = False, executor: ExecutorSpec = None
+              resume: bool = False, executor: ExecutorSpec = None,
+              fsync: bool = False, chaos: object = None
               ) -> List[RunReport]:
     """Run a sweep to completion and return its reports in request order."""
     reports: Dict[int, RunReport] = {}
     for index, report in iter_sweep(spec, checkpoint=checkpoint,
-                                    resume=resume, executor=executor):
+                                    resume=resume, executor=executor,
+                                    fsync=fsync, chaos=chaos):
         reports[index] = report
     missing = [i for i in range(len(spec.requests)) if i not in reports]
     if missing:  # pragma: no cover - executors yield every submission

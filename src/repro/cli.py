@@ -12,11 +12,16 @@ Five subcommands, all built on the :mod:`repro.api` façade:
     Execute a JSON file of serialized :class:`~repro.api.request.RunRequest`
     objects (or a whole :class:`~repro.api.request.SweepSpec`; ``-`` reads
     stdin) on a chosen executor backend — ``--executor
-    {serial,pool,sharded}`` — with optional durability: ``--checkpoint
-    out.jsonl`` appends one JSON line per completed request as it finishes,
-    and ``--resume`` replays the log after a crash, skipping what already
-    completed.  Prints a summary table or, with ``--json``, the full report
-    list.
+    {serial,pool,sharded,supervised}`` — with optional durability:
+    ``--checkpoint out.jsonl`` appends one JSON line per completed request
+    as it finishes (header created atomically; ``--fsync`` upgrades flush
+    to fsync per line), and ``--resume`` replays the log after a crash,
+    skipping what already completed.  The supervised backend
+    (``--max-attempts`` / ``--deadline`` imply it) adds worker deadlines,
+    seeded retry/backoff, and the sharded→batched→pool→serial degradation
+    ladder; ``--chaos policy.json`` injects infrastructure faults for
+    resilience testing.  Prints a summary table or, with ``--json``, the
+    full report list.
 
 ``repro validate``
     Dry-run the registry/planner checks for a request file (``-`` for
@@ -47,6 +52,8 @@ Examples
     python -m repro sweep requests.json --json
     python -m repro sweep requests.json --checkpoint out.jsonl --resume
     repro-requests | python -m repro sweep - --executor sharded
+    python -m repro sweep requests.json --executor supervised --deadline 30
+    python -m repro sweep requests.json --chaos chaos.json --json
     python -m repro validate requests.json
     python -m repro search --objective agreement_violation \\
         --cell 3,1 --allow-unsafe --budget 200 --pin
@@ -142,14 +149,32 @@ def _parser() -> argparse.ArgumentParser:
     sweep.add_argument("--max-workers", type=int, default=None,
                        help="worker processes for the pool executor")
     sweep.add_argument("--shards", type=int, default=None,
-                       help="worker processes per run for the sharded "
-                            "executor (default: the CPU count)")
+                       help="worker processes per run for the sharded or "
+                            "supervised executor (default: the CPU count)")
+    sweep.add_argument("--max-attempts", type=int, default=None,
+                       help="retries per ladder rung for the supervised "
+                            "executor (default 3; implies --executor "
+                            "supervised)")
+    sweep.add_argument("--deadline", type=float, default=None,
+                       help="seconds before a silent worker counts as hung, "
+                            "for the supervised or sharded executor "
+                            "(implies --executor supervised)")
+    sweep.add_argument("--chaos", metavar="POLICY.json", default=None,
+                       help="inject the infrastructure faults of a chaos "
+                            "policy file (worker kills/hangs, pipe faults, "
+                            "checkpoint write failures) — resilience "
+                            "testing aid")
     sweep.add_argument("--checkpoint", metavar="PATH", default=None,
                        help="append one JSON line per completed request to "
-                            "PATH as it finishes (crash-durable JSONL log)")
+                            "PATH as it finishes (crash-durable JSONL log; "
+                            "the header is created atomically)")
     sweep.add_argument("--resume", action="store_true",
                        help="replay an existing --checkpoint log first and "
                             "skip its completed requests")
+    sweep.add_argument("--fsync", action="store_true",
+                       help="fsync the checkpoint after every append "
+                            "(power-loss durability; flush-only default "
+                            "survives process death)")
     sweep.add_argument("--json", action="store_true",
                        help="print the full RunReport list as JSON")
 
@@ -324,25 +349,43 @@ def _sweep_executor(args: argparse.Namespace, spec: SweepSpec):
     name = args.executor
     if name is None and args.serial:
         name = "serial"
+    if name is None and (args.max_attempts is not None
+                         or args.deadline is not None):
+        name = "supervised"
     if name is None and args.shards is not None:
         name = "sharded"
     if name is None and args.max_workers is not None:
         name = "pool"
-    if args.shards is not None and name != "sharded":
+    if args.shards is not None and name not in ("sharded", "supervised"):
         raise SystemExit(
-            f"--shards applies to the sharded executor, but the sweep runs "
-            f"on {name!r}; drop the flag or pass --executor sharded")
+            f"--shards applies to the sharded or supervised executor, but "
+            f"the sweep runs on {name!r}; drop the flag or pass "
+            f"--executor sharded")
     if args.max_workers is not None and name != "pool":
         raise SystemExit(
             f"--max-workers applies to the pool executor, but the sweep "
             f"runs on {name!r}; drop the flag or pass --executor pool")
+    if args.max_attempts is not None and name != "supervised":
+        raise SystemExit(
+            f"--max-attempts applies to the supervised executor, but the "
+            f"sweep runs on {name!r}; drop the flag or pass "
+            f"--executor supervised")
+    if args.deadline is not None and name not in ("supervised", "sharded"):
+        raise SystemExit(
+            f"--deadline applies to the supervised or sharded executor, "
+            f"but the sweep runs on {name!r}; drop the flag or pass "
+            f"--executor supervised")
     if name is None:
         return None  # defer to the sweep file's executor/executor_params
     params = {}
     if name == "pool" and args.max_workers is not None:
         params["max_workers"] = args.max_workers
-    if name == "sharded" and args.shards is not None:
+    if name in ("sharded", "supervised") and args.shards is not None:
         params["shards"] = args.shards
+    if name in ("sharded", "supervised") and args.deadline is not None:
+        params["deadline"] = args.deadline
+    if name == "supervised" and args.max_attempts is not None:
+        params["max_attempts"] = args.max_attempts
     return build_executor(name, params)
 
 
@@ -353,10 +396,21 @@ def _command_sweep(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         raise SystemExit("--resume needs --checkpoint pointing at the log "
                          "of the interrupted sweep")
+    if args.fsync and not args.checkpoint:
+        raise SystemExit("--fsync needs --checkpoint (it controls how "
+                         "checkpoint appends are made durable)")
+    chaos = None
+    if args.chaos is not None:
+        from .runtime.chaos import ChaosPolicy
+        try:
+            chaos = ChaosPolicy.from_json_file(args.chaos)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from None
     try:
         reports = run_sweep(spec, checkpoint=args.checkpoint,
                             resume=args.resume,
-                            executor=_sweep_executor(args, spec))
+                            executor=_sweep_executor(args, spec),
+                            fsync=args.fsync, chaos=chaos)
     except (RegistryError, ConfigurationError, ValueError) as exc:
         raise SystemExit(str(exc)) from None
     if args.json:

@@ -2,12 +2,18 @@
 
 from __future__ import annotations
 
-from .errors import (AdversaryError, ConfigurationError, ProtocolViolationError,
-                     ReproError, SimulationError)
+from .chaos import (ChaosController, ChaosPolicy, FaultInjection, build_chaos,
+                    chaos_scope, current_chaos)
+from .errors import (AdversaryError, CheckpointWriteError, ConfigurationError,
+                     FabricError, ProtocolViolationError, ReproError,
+                     SimulationError, SupervisionExhaustedError,
+                     WorkerDiedError, WorkerShutdownError, WorkerTimeoutError)
 from .messages import Inbox, Message, Outbox, broadcast
 from .metrics import ComputationMeter, CostModelPoint, RunMetrics, entry_bits
 from .network import SynchronousNetwork
 from .simulation import RunResult, choose_faulty, run_agreement, run_many
+from .supervision import (DEFAULT_LADDER, RetryPolicy, Supervisor,
+                          backoff_fraction)
 
 __all__ = [
     "ReproError",
@@ -15,6 +21,22 @@ __all__ = [
     "ProtocolViolationError",
     "SimulationError",
     "AdversaryError",
+    "FabricError",
+    "WorkerDiedError",
+    "WorkerTimeoutError",
+    "WorkerShutdownError",
+    "CheckpointWriteError",
+    "SupervisionExhaustedError",
+    "RetryPolicy",
+    "Supervisor",
+    "DEFAULT_LADDER",
+    "backoff_fraction",
+    "ChaosPolicy",
+    "ChaosController",
+    "FaultInjection",
+    "build_chaos",
+    "chaos_scope",
+    "current_chaos",
     "Message",
     "Inbox",
     "Outbox",

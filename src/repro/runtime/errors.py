@@ -32,3 +32,38 @@ class SimulationError(ReproError):
 
 class AdversaryError(ReproError):
     """An adversary produced output outside its power (e.g. forged a sender)."""
+
+
+class FabricError(ReproError):
+    """The execution fabric (workers, pipes, checkpoints) failed, not the run.
+
+    Every infrastructure failure the supervision layer knows how to retry or
+    degrade around derives from this class, so callers can distinguish "the
+    substrate broke" from "the simulation is inconsistent" with one
+    ``except`` clause.
+    """
+
+
+class WorkerDiedError(FabricError, SimulationError):
+    """A worker process died or its pipe closed mid-run.
+
+    Also a :class:`SimulationError` for compatibility: the sharded
+    coordinator historically surfaced worker death as a plain simulation
+    failure, and callers catching that still do the right thing.
+    """
+
+
+class WorkerTimeoutError(FabricError):
+    """A worker missed its reply deadline (hung, or pathologically slow)."""
+
+
+class WorkerShutdownError(FabricError):
+    """A worker survived the full ``join -> terminate -> kill`` escalation."""
+
+
+class CheckpointWriteError(FabricError):
+    """A sweep checkpoint append kept failing past its bounded retry budget."""
+
+
+class SupervisionExhaustedError(FabricError):
+    """Every rung of the degradation ladder failed for one request."""

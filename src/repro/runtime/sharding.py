@@ -48,6 +48,8 @@ spawn processes) fall back to the single-process batched run.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
 import traceback
 from typing import Dict, List, Optional, Tuple
 
@@ -59,11 +61,21 @@ from ..core.sequences import ProcessorId, sequence_index
 from ..core.values import is_bottom
 from .batched import (_BatchedRun, _BroadcastTable, _ProbeFacts,
                       convert_stacked_rows)
-from .errors import SimulationError
+from .chaos import current_chaos
+from .errors import (SimulationError, WorkerDiedError, WorkerShutdownError,
+                     WorkerTimeoutError)
 from .metrics import ComputationMeter
 
 #: Payload tags of the coordinator → worker protocol.
 _ROUND_ONE, _ROUND, _FINISH, _STOP = "round1", "round", "finish", "stop"
+#: Heartbeat: the coordinator pings, a live worker answers ``("ok", "pong")``.
+_PING = "ping"
+
+#: Per-stage grace (seconds) of the shutdown escalation: a worker that has
+#: not exited *join* seconds after STOP is terminated; one that survives
+#: SIGTERM another *term* seconds is killed; surviving SIGKILL for *kill*
+#: seconds more raises :class:`WorkerShutdownError` instead of hanging.
+_SHUTDOWN_GRACE = (1.0, 1.0, 2.0)
 
 
 def shard_supported(spec, config) -> bool:
@@ -73,7 +85,8 @@ def shard_supported(spec, config) -> bool:
 
 
 def run_sharded_if_supported(spec, config, faulty_set, adversary, seed: int,
-                             shards: Optional[int] = None):
+                             shards: Optional[int] = None,
+                             deadline: Optional[float] = None):
     """Run one agreement instance row-sharded; ``None`` means "use a fallback".
 
     Mirrors :func:`repro.runtime.batched.run_batched_if_supported`: support
@@ -82,6 +95,13 @@ def run_sharded_if_supported(spec, config, faulty_set, adversary, seed: int,
     Degenerate splits (``shards <= 1`` after clamping to the row count) run
     the single-process batched executor instead — same observations, no
     worker processes.
+
+    *deadline* (seconds, per worker reply) arms the supervision guards: a
+    heartbeat handshake after spawn, and a bounded wait on every round
+    reply — a worker that hangs past it raises a named
+    :class:`~repro.runtime.errors.WorkerTimeoutError` instead of stalling
+    the coordinator forever.  ``None`` (the default) keeps the historical
+    blocking behaviour.
     """
     if not numpy_available():
         return None
@@ -113,7 +133,8 @@ def run_sharded_if_supported(spec, config, faulty_set, adversary, seed: int,
             return _BatchedRun(spec, config, faulty_set, adversary, seed,
                                probe, correct, participants).run()
         runner = _ShardedRun(spec, config, faulty_set, adversary, seed,
-                             probe, correct, participants, shards)
+                             probe, correct, participants, shards,
+                             deadline=deadline)
         try:
             runner.start_workers()
         except (OSError, PermissionError):  # pragma: no cover - sandboxes
@@ -140,12 +161,14 @@ class _ShardedRun(_BatchedRun):
     """
 
     def __init__(self, spec, config, faulty_set, adversary, seed, probe,
-                 correct, participants, shards: int) -> None:
+                 correct, participants, shards: int,
+                 deadline: Optional[float] = None) -> None:
         super().__init__(spec, config, faulty_set, adversary, seed, probe,
                          correct, participants)
         from ..core.npsupport import shard_bounds
         self.bounds = shard_bounds(self.count, shards)
         self.shards = len(self.bounds)
+        self.deadline = deadline
         #: Shard 0 runs in-process (the coordinator already holds the full
         #: mirror, so stepping its own block costs no claims shipment —
         #: halving IPC for the common two-shard split); shards 1.. are
@@ -156,8 +179,10 @@ class _ShardedRun(_BatchedRun):
         self._codec_sent = 1
 
     # -- worker lifecycle ---------------------------------------------------
-    def _shard_init(self, start: int, stop: int) -> Dict[str, object]:
+    def _shard_init(self, start: int, stop: int,
+                    shard_index: int) -> Dict[str, object]:
         config = self.config
+        controller = current_chaos()
         return {
             "source": config.source,
             "processors": tuple(config.processors),
@@ -172,24 +197,47 @@ class _ShardedRun(_BatchedRun):
             "total_rounds": self.total_rounds,
             "segment_ends": self.segment_ends,
             "enable_fault_discovery": self.enable_fault_discovery,
+            "chaos": (controller.take_for_shard(shard_index)
+                      if controller is not None else []),
         }
 
     def start_workers(self) -> None:
         context = multiprocessing.get_context()
-        for start, stop in self.bounds[1:]:
+        for shard_index, (start, stop) in enumerate(self.bounds[1:], 1):
             parent_conn, child_conn = context.Pipe()
             process = context.Process(
                 target=_shard_worker_main,
-                args=(child_conn, self._shard_init(start, stop)),
+                args=(child_conn, self._shard_init(start, stop, shard_index)),
                 daemon=True)
             process.start()
             child_conn.close()
             self._conns.append(parent_conn)
             self._procs.append(process)
         # Built after the spawns so fork-started workers do not inherit it.
-        self._local_shard = _ShardWorker(self._shard_init(*self.bounds[0]))
+        self._local_shard = _ShardWorker(self._shard_init(*self.bounds[0], 0))
+        if self.deadline is not None:
+            self.heartbeat()
+
+    def heartbeat(self) -> None:
+        """Ping every worker and await its reply within the deadline.
+
+        The supervision handshake: catches workers that died on spawn (bad
+        import, immediate OOM kill) before the first round ships, and gives
+        tests a liveness probe.  Raises the same named errors as a round
+        reply would.
+        """
+        self._send_all([(_PING,)] * len(self._conns))
+        self._recv_all()
 
     def shutdown(self) -> None:
+        """Escalating teardown: STOP → join → terminate → kill → named error.
+
+        Never hangs: each stage waits a bounded grace
+        (:data:`_SHUTDOWN_GRACE`), exited workers are reaped, and a worker
+        that somehow survives SIGKILL surfaces as a
+        :class:`WorkerShutdownError` instead of a stuck coordinator.
+        """
+        join_grace, term_grace, kill_grace = _SHUTDOWN_GRACE
         for conn in self._conns:
             try:
                 conn.send((_STOP,))
@@ -200,13 +248,28 @@ class _ShardedRun(_BatchedRun):
                 conn.close()
             except OSError:
                 pass
+        stragglers = []
         for process in self._procs:
-            process.join(timeout=5)
-            if process.is_alive():  # pragma: no cover - hung worker
+            process.join(timeout=join_grace)
+            if process.is_alive():
                 process.terminate()
-                process.join(timeout=1)
+                process.join(timeout=term_grace)
+            if process.is_alive():  # pragma: no cover - needs SIGTERM immunity
+                process.kill()
+                process.join(timeout=kill_grace)
+            if process.is_alive():  # pragma: no cover - unkillable worker
+                stragglers.append(process.pid)
+            else:
+                try:
+                    process.close()  # reap: releases the zombie entry
+                except ValueError:  # pragma: no cover - raced an exit
+                    pass
         self._conns = []
         self._procs = []
+        if stragglers:  # pragma: no cover - unkillable worker
+            raise WorkerShutdownError(
+                f"shard worker process(es) {stragglers} survived "
+                f"terminate and kill; abandoning them un-reaped")
 
     # -- shard messaging ----------------------------------------------------
     def _codec_update(self) -> Tuple[int, list]:
@@ -216,18 +279,47 @@ class _ShardedRun(_BatchedRun):
         self._codec_sent = start + len(values)
         return start, values
 
-    def _send_all(self, payloads) -> None:
-        for conn, payload in zip(self._conns, payloads):
-            conn.send(payload)
+    def _send_all(self, payloads, round_number: Optional[int] = None) -> None:
+        controller = current_chaos()
+        for offset, (conn, payload) in enumerate(zip(self._conns, payloads)):
+            shard = offset + 1
+            if controller is not None and round_number is not None:
+                for fault in controller.take("shard-send", shard=shard,
+                                             round=round_number):
+                    if fault.kind == "pipe-close":
+                        try:
+                            conn.close()
+                        except OSError:
+                            pass
+                    elif fault.kind == "pipe-corrupt":
+                        payload = ("chaos-corrupted-payload",)
+            try:
+                conn.send(payload)
+            except (OSError, BrokenPipeError, ValueError) as exc:
+                raise WorkerDiedError(
+                    f"pipe to shard worker {shard} is closed: {exc}"
+                ) from exc
 
     def _recv_all(self) -> List[object]:
         replies = []
-        for conn in self._conns:
+        for offset, conn in enumerate(self._conns):
+            shard = offset + 1
+            if self.deadline is not None:
+                try:
+                    ready = conn.poll(self.deadline)
+                except (OSError, EOFError) as exc:
+                    raise WorkerDiedError(
+                        f"shard worker {shard} died mid-round: {exc}"
+                    ) from exc
+                if not ready:
+                    raise WorkerTimeoutError(
+                        f"shard worker {shard} missed its "
+                        f"{self.deadline:g}s reply deadline")
             try:
                 status, payload = conn.recv()
             except (EOFError, OSError) as exc:
-                raise SimulationError(
-                    f"sharded run worker died mid-round: {exc}") from exc
+                raise WorkerDiedError(
+                    f"shard worker {shard} died mid-round: {exc}") from exc
             if status != "ok":
                 raise SimulationError(
                     f"sharded run worker failed:\n{payload}")
@@ -240,7 +332,7 @@ class _ShardedRun(_BatchedRun):
         self.state.set_roots(roots)
         start, values = self._codec_update()
         self._send_all([(_ROUND_ONE, roots[lo:hi], start, values)
-                        for lo, hi in self.bounds[1:]])
+                        for lo, hi in self.bounds[1:]], round_number=1)
         self._local_shard.round_one(roots[self.bounds[0][0]:
                                           self.bounds[0][1]])
         self._recv_all()
@@ -293,7 +385,8 @@ class _ShardedRun(_BatchedRun):
 
         start, values = self._codec_update()
         self._send_all([(_ROUND, round_number, claims, routing[lo:hi],
-                         start, values) for lo, hi in self.bounds[1:]])
+                         start, values) for lo, hi in self.bounds[1:]],
+                       round_number=round_number)
         # Step the coordinator's own block while the workers chew theirs.
         local_block = self._local_shard.round(
             round_number, claims, routing[self.bounds[0][0]:
@@ -324,13 +417,14 @@ class _ShardedRun(_BatchedRun):
 def _shard_worker_main(conn, init) -> None:  # pragma: no cover - subprocess
     """Worker process entry point: serve round payloads until stopped."""
     try:
-        shard = _ShardWorker(init)
+        shard = _ShardWorker(init, in_subprocess=True)
         while True:
             try:
                 payload = conn.recv()
             except EOFError:
                 return
-            kind = payload[0]
+            kind = payload[0] if isinstance(payload, tuple) and payload \
+                else payload
             if kind == _ROUND_ONE:
                 _, roots, start, values = payload
                 shard.adopt_codec(start, values)
@@ -342,8 +436,17 @@ def _shard_worker_main(conn, init) -> None:  # pragma: no cover - subprocess
                 conn.send(("ok", shard.round(round_number, claims, routing)))
             elif kind == _FINISH:
                 conn.send(("ok", shard.finish()))
-            else:
+            elif kind == _PING:
+                conn.send(("ok", "pong"))
+            elif kind == _STOP:
                 return
+            else:
+                # An unrecognised payload (e.g. a corrupted pipe) is an
+                # error the coordinator must see, never a silent exit that
+                # would leave it waiting on a vanished worker.
+                raise SimulationError(
+                    f"shard worker received an unintelligible payload: "
+                    f"{kind!r}")
     except BaseException:
         try:
             conn.send(("error", traceback.format_exc()))
@@ -367,9 +470,13 @@ class _ShardWorker:
     coordinator.
     """
 
-    def __init__(self, init) -> None:
+    def __init__(self, init, in_subprocess: bool = False) -> None:
         from ..core.npsupport import (BatchedEIGState, CODE_DTYPE_NAME,
                                       VALUE_CODEC, require_numpy)
+        #: Chaos faults claimed for this shard at spawn time, each a plain
+        #: dict firing once at its matching round (see repro.runtime.chaos).
+        self.chaos = [dict(fault) for fault in init.get("chaos") or []]
+        self._in_subprocess = in_subprocess
         np = self.np = require_numpy()
         self.index = sequence_index(init["source"], init["processors"], False)
         self.n = init["n"]
@@ -424,14 +531,34 @@ class _ShardWorker:
             self._domain_mask = self.codec.domain_mask(self.domain_set)
         return self._domain_mask
 
+    def _chaos_round(self, round_number: int) -> None:
+        """Fire any claimed chaos fault scheduled for this round."""
+        for fault in self.chaos:
+            if fault.get("_spent") or fault.get("round") not in (None,
+                                                                 round_number):
+                continue
+            fault["_spent"] = True
+            kind = fault["kind"]
+            if kind in ("worker-hang", "slow-shard"):
+                time.sleep(float(fault.get("delay", 0.0)))
+            elif kind == "worker-kill":
+                if self._in_subprocess:
+                    os._exit(1)
+                # Shard 0 shares the coordinator's process: simulate the
+                # death as the named error the coordinator would observe.
+                raise WorkerDiedError(
+                    "chaos: simulated death of the coordinator-local shard")
+
     # -- rounds --------------------------------------------------------------
     def round_one(self, roots) -> None:
+        self._chaos_round(1)
         self.state.set_roots(self.np.asarray(roots, dtype=self.code_dtype))
         for i in self.local_mains:
             self.meters[i].charge()  # set_root stores one node
 
     def round(self, round_number: int, claims, routing):
         """Run one round's kernels over the local rows; return the leaf block."""
+        self._chaos_round(round_number)
         np = self.np
         prev_level = self.state.num_levels
         level = prev_level + 1

@@ -32,7 +32,8 @@ def small_requests(count=3, protocol="exponential", **overrides):
 
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert set(executor_names()) == {"serial", "pool", "sharded"}
+        assert set(executor_names()) == {"serial", "pool", "sharded",
+                                         "supervised"}
         assert DEFAULT_EXECUTOR in executor_names()
 
     def test_build_by_name(self):
@@ -271,20 +272,27 @@ class TestPoolBrokenWorker:
         for index in range(4):
             assert reports[index].decisions == expected[index].decisions
             assert reports[index].metrics == expected[index].metrics
-        # ...and at least the crashed one is marked as retried in-process.
-        # (Which *other* requests were still in flight when the pool broke
-        # is timing-dependent, so only the crashed index is asserted.)
-        retried = {index for index, report in reports.items()
-                   if report.metadata.get("retried")}
-        assert _CRASH_SEED in retried
+        # ...and at least the crashed one carries a structured recovery
+        # record.  (Which *other* requests were still in flight when the
+        # pool broke is timing-dependent, so only the crashed index is
+        # asserted.)
+        record = reports[_CRASH_SEED].metadata["resilience"][0]
+        assert record["event"] == "retry"
+        assert record["stage"] == "pool"
+        assert record["attempt"] == 2
+        assert record["error"] == "BrokenProcessPool"
+        assert record["fallback"] == "serial"
 
-    def test_retried_metadata_round_trips(self):
+    def test_resilience_metadata_round_trips(self):
         report = execute(small_requests(1)[0])
         assert report.metadata == {}
         assert "metadata" not in report.to_dict()  # old fixtures stay valid
-        report.metadata["retried"] = True
+        record = {"event": "retry", "stage": "pool", "attempt": 2,
+                  "error": "BrokenProcessPool", "detail": "",
+                  "fallback": "serial"}
+        report.metadata["resilience"] = [record]
         wire = report.to_dict()
-        assert wire["metadata"] == {"retried": True}
+        assert wire["metadata"] == {"resilience": [record]}
         assert RunReport.from_dict(wire) == report
 
 
