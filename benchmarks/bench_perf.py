@@ -326,6 +326,12 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
                 "this engine subset records no headline cell; include a "
                 "classic engine (reference/fast/numpy/batched) or pass "
                 "--no-write")
+        if BENCH_PATH.exists():
+            # Other recorders (bench_serve.py's "serve" section) merge into
+            # the same file; carry their sections across the rewrite.
+            previous = json.loads(BENCH_PATH.read_text())
+            for key, value in previous.items():
+                report.setdefault(key, value)
         BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
         print(f"\nwrote {BENCH_PATH}")
     headline = report["headline"]

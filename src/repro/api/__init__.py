@@ -54,7 +54,9 @@ from .registries import (ParamSpec, RegistryEntry, RegistryError,
                          request_fields_for_spec)
 from .request import (AUTO, ENGINE_CHOICES, SEED_POLICIES, RunReport,
                       RunRequest, SweepSpec, derive_seed)
-from .sweep import iter_sweep, read_checkpoint, run_sweep, sweep_digest
+from .sweep import (CheckpointScan, compact_checkpoint, iter_sweep,
+                    read_checkpoint, run_sweep, scan_checkpoint,
+                    sweep_digest)
 
 __all__ = [
     "RunRequest", "RunReport", "SweepSpec", "AUTO", "ENGINE_CHOICES",
@@ -67,7 +69,8 @@ __all__ = [
     "executor_registry", "executor_names", "build_executor",
     "resolve_executor", "DEFAULT_EXECUTOR",
     "ChaosPolicy", "FaultInjection", "chaos_scope",
-    "iter_sweep", "run_sweep", "read_checkpoint", "sweep_digest",
+    "iter_sweep", "run_sweep", "read_checkpoint", "scan_checkpoint",
+    "compact_checkpoint", "CheckpointScan", "sweep_digest",
     "ParamSpec", "RegistryEntry", "RegistryError",
     "protocol_registry", "adversary_registry",
     "protocol_names", "adversary_names",

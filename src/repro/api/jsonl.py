@@ -1,0 +1,119 @@
+"""Crash-tolerant JSONL scanning and rewriting, shared by every durable log.
+
+Three consumers append one JSON object per line to an append-only log and
+must recover it after a ``kill -9``: the sweep checkpoint
+(:mod:`repro.api.sweep`), the serve journal (:mod:`repro.serve.journal`),
+and the checkpoint compactor (``repro sweep --compact``).  They share one
+reading discipline, implemented here once:
+
+* a **truncated final line** is a crash artifact (the process died
+  mid-``write``) and is tolerated — the scan reports it so callers can
+  repair or surface it;
+* **unparseable bytes before the end** are corruption, not a crash tail
+  (appends are newline-terminated and flushed), and raise
+  :class:`~repro.runtime.errors.ConfigurationError` — silently dropping the
+  line would also drop every entry after it;
+* **superseded duplicates** (the same key appended twice, e.g. a retried
+  cell re-checkpointed) resolve last-write-wins, and the scan counts them so
+  replay paths can report double execution instead of masking it.
+
+:func:`rewrite_jsonl` is the matching compaction primitive: an atomic
+(temp-file + ``os.replace``) rewrite that drops superseded lines and any
+torn tail, leaving a minimal, clean log behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..runtime.errors import ConfigurationError
+
+
+@dataclass
+class JsonlScan:
+    """The parsed body of a JSONL log, crash tail acknowledged.
+
+    ``entries`` holds ``(line_number, entry)`` pairs in file order (line
+    numbers are 1-based over the whole file, header included); entries are
+    whatever JSON the line held — shape validation belongs to the caller,
+    which knows its own schema and error vocabulary.  ``torn_tail`` records
+    whether the final line was an unparseable crash artifact the scan
+    skipped.
+    """
+
+    entries: List[Tuple[int, Any]] = field(default_factory=list)
+    torn_tail: bool = False
+
+
+def scan_jsonl(path: str, lines: Iterable[str], *, first_line: int = 1,
+               description: str = "log") -> JsonlScan:
+    """Parse *lines* (already split, no newlines) tolerating a torn tail.
+
+    *first_line* is the 1-based file line number of the first element of
+    *lines*, so error messages point at the real file position even when the
+    caller already consumed a header.
+    """
+    body = [line for line in lines]
+    scan = JsonlScan()
+    for position, line in enumerate(body):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            if position == len(body) - 1:
+                scan.torn_tail = True
+                break  # truncated final line: the crash happened mid-write
+            raise ConfigurationError(
+                f"{path} has an unparseable line before the end of the "
+                f"{description} (line {position + first_line}): "
+                f"{line[:80]!r}; the {description} is corrupt — repair or "
+                f"delete it")
+        scan.entries.append((position + first_line, entry))
+    return scan
+
+
+def last_write_wins(scan: JsonlScan, key_of) -> Tuple[Dict[Any, Dict[str,
+                                                                     Any]],
+                                                      int]:
+    """Collapse *scan* to ``{key: latest_entry}`` plus the superseded count.
+
+    *key_of* maps an entry to its identity (a sweep checkpoint's ``index``,
+    a serve journal's ``(event, id)``); later lines supersede earlier ones
+    with the same key, matching append order.
+    """
+    latest: Dict[Any, Dict[str, Any]] = {}
+    duplicates = 0
+    for _, entry in scan.entries:
+        key = key_of(entry)
+        if key in latest:
+            duplicates += 1
+        latest[key] = entry
+    return latest, duplicates
+
+
+def rewrite_jsonl(path: str, header: Optional[Dict[str, Any]],
+                  entries: Iterable[Dict[str, Any]]) -> None:
+    """Atomically replace *path* with *header* (if any) plus *entries*.
+
+    Written to a sibling temp file and renamed into place, so a crash during
+    compaction leaves the original log untouched — the same discipline as
+    checkpoint header creation.
+    """
+    tmp = f"{path}.compact.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            if header is not None:
+                handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for entry in entries:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise

@@ -38,18 +38,23 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import time
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..runtime.chaos import chaos_scope, current_chaos
 from ..runtime.errors import CheckpointWriteError, ConfigurationError
 from ..runtime.supervision import RetryPolicy, checkpoint_retry_event
 from .executors import ExecutorSpec, resolve_executor
+from .jsonl import rewrite_jsonl, scan_jsonl
 from .request import RunReport, SweepSpec
 
 CHECKPOINT_KIND = "repro-sweep-checkpoint"
 CHECKPOINT_VERSION = 1
+
+logger = logging.getLogger("repro.sweep")
 
 #: Bounded retry for completion appends (transient ENOSPC / EIO survive).
 _WRITE_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01)
@@ -62,19 +67,28 @@ def sweep_digest(spec: SweepSpec) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def read_checkpoint(path: str, spec: SweepSpec) -> Dict[int, RunReport]:
-    """The completed ``{index: report}`` entries of a checkpoint log.
+@dataclass
+class CheckpointScan:
+    """What a checkpoint log actually holds: completions plus its health.
 
-    Validates the header against *spec* (kind, version, sweep digest) and
-    tolerates a truncated final line.  An empty or missing file reads as no
-    completions.
+    ``duplicates`` counts superseded completion lines — a request
+    checkpointed more than once means it *executed* more than once (a
+    retried cell, or two sweeps appending to one log), which last-write-wins
+    used to mask silently.  ``torn_tail`` records a truncated final line
+    (crash mid-write), repaired away by :func:`compact_checkpoint`.
     """
-    if not os.path.exists(path):
-        return {}
-    with open(path, "r", encoding="utf-8") as handle:
-        lines = handle.read().splitlines()
-    if not lines:
-        return {}
+
+    completed: Dict[int, RunReport] = field(default_factory=dict)
+    duplicates: int = 0
+    torn_tail: bool = False
+    #: Structured warning events, one per anomaly — the vocabulary serve's
+    #: journal replay reports through its recovery summary and /metrics.
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def _read_checkpoint_header(path: str, lines: List[str],
+                            spec: SweepSpec) -> None:
+    """Validate the header line of a checkpoint against *spec*, loudly."""
     try:
         header = json.loads(lines[0])
     except json.JSONDecodeError:
@@ -102,37 +116,94 @@ def read_checkpoint(path: str, spec: SweepSpec) -> Dict[int, RunReport]:
             f"{path} was recorded for a different sweep "
             f"(checkpoint {str(header.get('sweep_sha256'))[:12]}…, this "
             f"sweep {digest[:12]}…); refusing to merge unrelated results")
-    completed: Dict[int, RunReport] = {}
+
+
+def scan_checkpoint(path: str, spec: SweepSpec) -> CheckpointScan:
+    """Read a checkpoint log in full: completions, duplicates, torn tail.
+
+    Validates the header against *spec* (kind, version, sweep digest) and
+    tolerates a truncated final line.  An empty or missing file reads as no
+    completions.  Every anomaly — a superseded duplicate completion, a torn
+    tail — is logged as a structured warning and recorded on the returned
+    :class:`CheckpointScan`, so replay paths (``--resume``, the serve
+    journal) surface double execution instead of silently masking it.
+    """
+    scan = CheckpointScan()
+    if not os.path.exists(path):
+        return scan
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        return scan
+    _read_checkpoint_header(path, lines, spec)
+    body = scan_jsonl(path, lines[1:], first_line=2,
+                      description="checkpoint")
+    scan.torn_tail = body.torn_tail
     total = len(spec.requests)
-    body = lines[1:]
-    for position, line in enumerate(body):
-        if not line.strip():
-            continue
-        try:
-            entry = json.loads(line)
-        except json.JSONDecodeError:
-            if position == len(body) - 1:
-                break  # truncated final line: the crash happened mid-write
-            # Mid-file garbage is not a crash artifact (appends are
-            # newline-terminated and flushed): the log is corrupt, and
-            # silently dropping the line would also drop every completion
-            # after it.  Refuse rather than resume from a lie.
-            raise ConfigurationError(
-                f"{path} has an unparseable line before the end of the log "
-                f"(line {position + 2}): {line[:80]!r}; the checkpoint is "
-                f"corrupt — repair or delete it to re-run the sweep")
+    for line_number, entry in body.entries:
         if not isinstance(entry, dict) or not isinstance(
                 entry.get("report"), dict):
             raise ConfigurationError(
                 f"{path} has a malformed completion line (expected an "
-                f"object with \"index\" and \"report\"): {line[:80]!r}")
+                f"object with \"index\" and \"report\"): line {line_number}")
         index = entry.get("index")
         if not isinstance(index, int) or not 0 <= index < total:
             raise ConfigurationError(
                 f"{path} names request index {index!r}, outside this "
                 f"sweep's 0..{total - 1}")
-        completed[index] = RunReport.from_dict(entry["report"])
-    return completed
+        if index in scan.completed:
+            scan.duplicates += 1
+            event = {"event": "duplicate-completion", "index": index,
+                     "line": line_number, "path": path}
+            scan.events.append(event)
+            logger.warning(
+                "checkpoint %s: request %d checkpointed more than once "
+                "(line %d supersedes an earlier completion) — the request "
+                "was executed at least twice; last write wins: %s",
+                path, index, line_number, event)
+        scan.completed[index] = RunReport.from_dict(entry["report"])
+    if scan.torn_tail:
+        event = {"event": "torn-tail", "path": path}
+        scan.events.append(event)
+        logger.warning(
+            "checkpoint %s ends in a truncated line (crash mid-write); "
+            "the torn tail was ignored: %s", path, event)
+    return scan
+
+
+def read_checkpoint(path: str, spec: SweepSpec) -> Dict[int, RunReport]:
+    """The completed ``{index: report}`` entries of a checkpoint log.
+
+    A thin wrapper over :func:`scan_checkpoint` keeping the historical
+    mapping shape; use the scan directly to see duplicate and torn-tail
+    diagnostics.
+    """
+    return scan_checkpoint(path, spec).completed
+
+
+def compact_checkpoint(path: str, spec: SweepSpec) -> Dict[str, Any]:
+    """Rewrite a checkpoint dropping superseded duplicates and any torn tail.
+
+    The log keeps one line per completed request (the latest), ordered by
+    index, under a fresh header — rewritten atomically so a crash during
+    compaction leaves the original intact.  Returns a summary:
+    ``{"completed": n, "duplicates_dropped": n, "torn_tail_repaired": bool}``.
+    A missing or empty checkpoint compacts to nothing and returns zeros.
+    """
+    scan = scan_checkpoint(path, spec)
+    stats = {"completed": len(scan.completed),
+             "duplicates_dropped": scan.duplicates,
+             "torn_tail_repaired": scan.torn_tail}
+    if not os.path.exists(path) or os.path.getsize(path) == 0:
+        return stats
+    if scan.duplicates or scan.torn_tail:
+        rewrite_jsonl(
+            path,
+            {"kind": CHECKPOINT_KIND, "version": CHECKPOINT_VERSION,
+             "total": len(spec.requests), "sweep_sha256": sweep_digest(spec)},
+            ({"index": index, "report": scan.completed[index].to_dict()}
+             for index in sorted(scan.completed)))
+    return stats
 
 
 def _write_header(handle, spec: SweepSpec, fsync: bool = False) -> None:

@@ -1,6 +1,6 @@
-"""Command-line interface: declarative runs, sweeps, and experiment tables.
+"""Command-line interface: declarative runs, sweeps, serving, and tables.
 
-Five subcommands, all built on the :mod:`repro.api` façade:
+Six subcommands, all built on the :mod:`repro.api` façade:
 
 ``repro run``
     Execute one agreement instance described by flags (protocol, parameters,
@@ -29,6 +29,17 @@ Five subcommands, all built on the :mod:`repro.api` façade:
     planner would use and whether the sharded backend could split it —
     without executing anything.
 
+``repro serve``
+    Run the crash-safe agreement service (:mod:`repro.serve`): an asyncio
+    HTTP/JSON daemon accepting single requests (``POST /run``) and whole
+    sweeps (``POST /sweep``, streamed as NDJSON), backed by a
+    content-addressed result cache (``--cache-dir``), a write-ahead journal
+    (``--journal``) that makes accepted work survive ``kill -9``, a bounded
+    work queue (``--max-queue``; overflow answers 429 with Retry-After),
+    and ``/healthz`` / ``/readyz`` / ``/metrics`` endpoints.  On restart
+    with the same journal the service replays it: completed runs warm the
+    cache, interrupted ones re-execute.
+
 ``repro search``
     Hunt a protocol/adversary grid for extremal executions
     (:mod:`repro.search`): safety violations (``--objective
@@ -54,7 +65,10 @@ Examples
     repro-requests | python -m repro sweep - --executor sharded
     python -m repro sweep requests.json --executor supervised --deadline 30
     python -m repro sweep requests.json --chaos chaos.json --json
+    python -m repro sweep requests.json --checkpoint out.jsonl --compact
     python -m repro validate requests.json
+    python -m repro serve --port 8484 --cache-dir cache/ \\
+        --journal serve.jsonl
     python -m repro search --objective agreement_violation \\
         --cell 3,1 --allow-unsafe --budget 200 --pin
     python -m repro search --objective max_messages --cell 9,2 \\
@@ -175,8 +189,44 @@ def _parser() -> argparse.ArgumentParser:
                        help="fsync the checkpoint after every append "
                             "(power-loss durability; flush-only default "
                             "survives process death)")
+    sweep.add_argument("--compact", action="store_true",
+                       help="rewrite the --checkpoint log in place — drop "
+                            "superseded duplicate completions, repair a "
+                            "torn tail — and exit without running anything")
     sweep.add_argument("--json", action="store_true",
                        help="print the full RunReport list as JSON")
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP agreement service (cache + journal)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8484,
+                       help="TCP port (0 picks a free one; default 8484)")
+    serve.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="directory for the content-addressed result "
+                            "cache (one <sha256>.json per distinct "
+                            "request); omitted = in-memory only")
+    serve.add_argument("--journal", metavar="PATH", default=None,
+                       help="write-ahead journal: accepted requests are "
+                            "logged before execution and replayed on "
+                            "restart, so kill -9 never loses accepted work")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="bound on queued jobs; a full queue answers "
+                            "429 with Retry-After (default 64)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent executions (default 2)")
+    serve.add_argument("--drain-deadline", type=float, default=10.0,
+                       help="seconds a graceful shutdown waits for queued "
+                            "work before checkpointing the rest "
+                            "(default 10)")
+    serve.add_argument("--fsync", action="store_true",
+                       help="fsync every journal append (power-loss "
+                            "durability; flush-only default survives "
+                            "process death)")
+    serve.add_argument("--chaos", metavar="POLICY.json", default=None,
+                       help="inject service-level infrastructure faults "
+                            "(cache-write-fail, journal-torn-write, "
+                            "serve-worker-death) — resilience testing aid")
 
     validate = sub.add_parser(
         "validate", help="dry-run registry/planner checks for a request file")
@@ -399,6 +449,24 @@ def _command_sweep(args: argparse.Namespace) -> int:
     if args.fsync and not args.checkpoint:
         raise SystemExit("--fsync needs --checkpoint (it controls how "
                          "checkpoint appends are made durable)")
+    if args.compact:
+        if not args.checkpoint:
+            raise SystemExit("--compact needs --checkpoint pointing at the "
+                             "log to rewrite")
+        from .api.sweep import compact_checkpoint
+        try:
+            summary = compact_checkpoint(args.checkpoint, spec)
+        except (RegistryError, ConfigurationError) as exc:
+            raise SystemExit(str(exc)) from None
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(f"compacted {args.checkpoint}: "
+                  f"{summary['completed']} completion(s) kept, "
+                  f"{summary['duplicates_dropped']} duplicate(s) dropped, "
+                  f"torn tail "
+                  f"{'repaired' if summary['torn_tail_repaired'] else 'absent'}")
+        return 0
     chaos = None
     if args.chaos is not None:
         from .runtime.chaos import ChaosPolicy
@@ -420,6 +488,43 @@ def _command_sweep(args: argparse.Namespace) -> int:
         rows = [report.summary() for report in reports]
         print(format_table(rows, title=f"sweep of {len(reports)} requests"))
     return 0 if all(report.succeeded for report in reports) else 1
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP agreement service until SIGTERM/SIGINT."""
+    from .serve import (AgreementService, HttpFrontend, ResultCache,
+                        ServeJournal)
+    chaos = None
+    if args.chaos is not None:
+        from .runtime.chaos import ChaosPolicy
+        try:
+            chaos = ChaosPolicy.from_json_file(args.chaos)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from None
+    cache = ResultCache(args.cache_dir)
+    journal = (ServeJournal(args.journal, fsync=args.fsync)
+               if args.journal else None)
+    service = AgreementService(cache=cache, journal=journal)
+    try:
+        frontend = HttpFrontend(service, host=args.host, port=args.port,
+                                max_queue=args.max_queue,
+                                workers=args.workers,
+                                drain_deadline=args.drain_deadline,
+                                chaos=chaos)
+    except (RegistryError, ConfigurationError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    print(f"repro serve on http://{args.host}:{args.port} "
+          f"(cache: {args.cache_dir or 'memory'}, "
+          f"journal: {args.journal or 'none'})", file=sys.stderr)
+    try:
+        frontend.run()
+    except (RegistryError, ConfigurationError, OSError) as exc:
+        raise SystemExit(str(exc)) from None
+    except KeyboardInterrupt:
+        pass  # the signal handler already drained; a second ^C lands here
+    if service.last_recovery:
+        print(f"recovery: {service.last_recovery}", file=sys.stderr)
+    return 0
 
 
 def _command_validate(args: argparse.Namespace) -> int:
@@ -603,6 +708,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_run(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "validate":
         return _command_validate(args)
     if args.command == "search":

@@ -146,9 +146,13 @@ class ValueCodec:
         already-built buffer is covered (the codec is append-only).
         """
         np = require_numpy()
+        # Intern the domain first: code() appends on first sight, and a
+        # domain value the run has not produced yet would otherwise be
+        # assigned a code one past the mask built from the pre-loop length.
+        codes = [self.code(value) for value in domain]
         mask = np.zeros(len(self._value_of), dtype=bool)
-        for value in domain:
-            mask[self.code(value)] = True
+        for code in codes:
+            mask[code] = True
         return mask
 
     # -- cross-process synchronisation ---------------------------------------

@@ -37,12 +37,28 @@ kind                   site                effect
 ``pool-worker-kill``   ``pool-request``    the pool worker executing the
                                            targeted request index hard-exits
                                            (poisoning the pool)
+``cache-write-fail``   ``cache-write``     the Nth serve-cache store raises
+                                           :class:`OSError` after leaving a
+                                           torn entry file behind (the cache
+                                           is best-effort: the service keeps
+                                           serving and counts the failure)
+``journal-torn-write`` ``journal-write``   the Nth serve-journal append writes
+                                           only a prefix of its line and then
+                                           raises — the on-disk torn tail is
+                                           exactly what a ``kill -9``
+                                           mid-``write`` leaves
+``serve-worker-death`` ``serve-job``       the serve worker executing the
+                                           targeted job index dies
+                                           (:class:`~repro.runtime.errors.WorkerDiedError`);
+                                           the service's supervision retries
+                                           the journaled job
 =====================  ==================  =====================================
 
 Activation is ambient: :func:`chaos_scope` installs a
 :class:`ChaosController` for the dynamic extent of a sweep or executor, and
 the injection points (:mod:`repro.runtime.sharding`, :mod:`repro.api.sweep`,
-:mod:`repro.api.executors`) consult :func:`current_chaos`.  Each injection
+:mod:`repro.api.executors`, and the serving layer :mod:`repro.serve`)
+consult :func:`current_chaos`.  Each injection
 fires a bounded number of ``times`` (default once) and every firing is
 recorded on the controller, so a schedule is a *deterministic* function of
 the execution it perturbs — no randomness, no wall-clock coupling.  Worker-
@@ -69,6 +85,9 @@ KIND_SITES: Dict[str, str] = {
     "pipe-corrupt": "shard-send",
     "checkpoint-write-fail": "checkpoint-write",
     "pool-worker-kill": "pool-request",
+    "cache-write-fail": "cache-write",
+    "journal-torn-write": "journal-write",
+    "serve-worker-death": "serve-job",
 }
 
 #: Kinds the coordinator ships into shard workers (fired worker-side).

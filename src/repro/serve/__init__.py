@@ -1,0 +1,45 @@
+"""``repro.serve`` — the crash-safe, self-healing agreement service.
+
+The serving layer turns the execution fabric into a long-lived daemon:
+submit :class:`~repro.api.request.RunRequest`\\ s (or whole sweeps) over
+HTTP/JSON, get back :meth:`~repro.api.request.RunReport.outcome_dict`\\ s
+— served from a content-addressed cache when the identical question has
+been answered before, executed under supervision otherwise, and journaled
+before execution so a ``kill -9`` never loses accepted work.
+
+Layers, innermost out:
+
+* :mod:`~repro.serve.cache` — :func:`request_digest` keys and the
+  best-effort :class:`ResultCache`;
+* :mod:`~repro.serve.journal` — the write-ahead :class:`ServeJournal`
+  and its crash replay;
+* :mod:`~repro.serve.metrics` — :class:`ServeMetrics` behind ``/metrics``;
+* :mod:`~repro.serve.service` — :class:`AgreementService`, the HTTP-free
+  admission → cache → journal → supervised-execution core;
+* :mod:`~repro.serve.http` — :class:`HttpFrontend`, the stdlib asyncio
+  server with bounded-queue backpressure and graceful drain.
+"""
+
+from .cache import EXECUTION_SIDE_FIELDS, ResultCache, request_digest
+from .http import HttpFrontend
+from .journal import JOURNAL_KIND, JOURNAL_VERSION, JournalReplay, \
+    ServeJournal
+from .metrics import ServeMetrics
+from .service import (AdmissionError, AgreementService, ServeResult,
+                      ServiceUnavailableError)
+
+__all__ = [
+    "AdmissionError",
+    "AgreementService",
+    "EXECUTION_SIDE_FIELDS",
+    "HttpFrontend",
+    "JOURNAL_KIND",
+    "JOURNAL_VERSION",
+    "JournalReplay",
+    "ResultCache",
+    "ServeJournal",
+    "ServeMetrics",
+    "ServeResult",
+    "ServiceUnavailableError",
+    "request_digest",
+]

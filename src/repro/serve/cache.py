@@ -1,0 +1,175 @@
+"""The content-addressed result cache: one simulation per distinct query.
+
+Every agreement run is a pure function of ``(request, seed)`` and requests
+round-trip through canonical JSON, so a million identical user queries need
+exactly one execution.  The cache key is :func:`request_digest` — the
+SHA-256 of the request's canonical JSON **minus its engine field**: the
+engine is execution-side (the planner may resolve the same request to
+``batched`` here and ``fast`` there) and
+:meth:`~repro.api.request.RunReport.outcome_dict` is engine-independent, so
+two requests that differ only in engine choice share one entry.  What the
+cache stores *is* the ``outcome_dict`` — the serialized outcome alone,
+byte-stable across substrates.
+
+The cache is **best-effort by design**: a failed store (disk full, a chaos
+``cache-write-fail`` injection) must never fail the request it was caching —
+the result is still returned, the failure is counted, and any torn entry
+file left behind is detected on read (entries are parsed and shape-checked;
+garbage reads as a miss and is deleted).  Correctness never depends on the
+cache; only latency does.
+
+Disk layout: one ``<digest>.json`` per entry under ``cache_dir``, written
+atomically (temp file + ``os.replace``) on the happy path, so a ``kill -9``
+mid-store leaves either the old state or the new — except under chaos,
+which deliberately leaves the torn file a real crash could.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional
+
+from ..api.request import RunRequest
+from ..runtime.chaos import current_chaos
+
+#: Request fields that describe *how* a run executes, not *what* it computes.
+#: Excluded from the cache key so engine choice never fragments the cache.
+EXECUTION_SIDE_FIELDS = ("engine",)
+
+
+def request_digest(request: RunRequest) -> str:
+    """The cache key of *request*: SHA-256 of its canonical outcome-relevant JSON.
+
+    Covers everything that determines the outcome — protocol and parameters,
+    instance shape, faulty set or scenario, adversary, domain, **seed** —
+    and drops the engine field, which only selects the substrate.
+    """
+    data = request.to_dict()
+    for name in EXECUTION_SIDE_FIELDS:
+        data.pop(name, None)
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """An in-memory outcome cache with optional durable disk backing.
+
+    ``get`` / ``put`` address entries by :func:`request_digest` values.
+    With a ``cache_dir``, every store also lands as ``<digest>.json`` and
+    misses fall through to disk — so a restarted service warm-starts from
+    whatever previous sessions (or a journal replay) persisted.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache_dir = cache_dir
+        if cache_dir:
+            os.makedirs(cache_dir, exist_ok=True)
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.write_failures = 0
+        self._stores = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.cache_dir, f"{digest}.json")
+
+    def _load_from_disk(self, digest: str) -> Optional[Dict[str, Any]]:
+        if not self.cache_dir:
+            return None
+        path = self._path(digest)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            # A torn entry (crash or chaos mid-store) is not a cache state:
+            # drop it and treat the lookup as a miss — the run re-executes
+            # and the store is retried with a fresh result.
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            return None
+        if not isinstance(entry, dict) or "decisions" not in entry:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            return None
+        return entry
+
+    def get(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The cached outcome for *digest*, counting the hit or miss."""
+        entry = self._entries.get(digest)
+        if entry is None:
+            entry = self._load_from_disk(digest)
+            if entry is not None:
+                self._entries[digest] = entry
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def peek(self, digest: str) -> Optional[Dict[str, Any]]:
+        """Like :meth:`get` but without touching the hit/miss counters."""
+        entry = self._entries.get(digest)
+        if entry is None:
+            entry = self._load_from_disk(digest)
+            if entry is not None:
+                self._entries[digest] = entry
+        return entry
+
+    def put(self, digest: str, outcome: Dict[str, Any]) -> bool:
+        """Store *outcome* under *digest*; ``False`` when the disk write failed.
+
+        The in-memory entry always lands (this process keeps serving the
+        result either way); only durability is best-effort.  A failed store
+        increments :attr:`write_failures` and leaves the service running —
+        the chaos ``cache-write-fail`` injection exercises exactly this
+        path, torn entry file included.
+        """
+        self._entries[digest] = outcome
+        if not self.cache_dir:
+            return True
+        store_index = self._stores
+        self._stores += 1
+        path = self._path(digest)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        controller = current_chaos()
+        try:
+            if controller is not None and controller.take(
+                    "cache-write", index=store_index):
+                # Leave the torn artifact a real mid-write crash would:
+                # readers must treat it as a miss, not an answer.
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(json.dumps(outcome)[:20])
+                raise OSError("chaos: simulated cache store failure")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(outcome, handle, sort_keys=True)
+            os.replace(tmp, path)
+            return True
+        except OSError:
+            self.write_failures += 1
+            if os.path.exists(tmp):
+                try:
+                    os.unlink(tmp)
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+            return False
+
+    def warm(self, digest: str, outcome: Dict[str, Any]) -> None:
+        """Seed an entry during recovery without counting hits or misses."""
+        if self.peek(digest) is None:
+            self.put(digest, outcome)
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses,
+                "write_failures": self.write_failures}

@@ -1,0 +1,112 @@
+"""Service observability: counters, per-engine latency, resilience events.
+
+One thread-safe :class:`ServeMetrics` instance per service collects what
+``/metrics`` exposes: request/admission counters, cache hit/miss (mirrored
+from the cache), queue depth and capacity (gauges sampled at render time),
+per-engine latency aggregates (count / total / max seconds keyed by the
+report's ``engine_resolved``), and resilience-event counters — every
+``metadata["resilience"]`` entry a run carried, bucketed by its ``event``
+and ``stage`` (the vocabulary of :mod:`repro.runtime.supervision`), plus
+the serving layer's own recoveries (cache write failures, journal replays,
+worker restarts).
+
+Rendered two ways: :meth:`snapshot` (the JSON the endpoint returns) and
+:meth:`render_text` (a Prometheus-style exposition for scrapers), both
+derived from the same counters so they can never disagree.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Mapping, Optional
+
+
+class ServeMetrics:
+    """Thread-safe counters for the agreement service."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "requests_total": 0,
+            "admission_rejects_total": 0,
+            "backpressure_rejects_total": 0,
+            "executions_total": 0,
+            "execution_failures_total": 0,
+        }
+        self._engine_latency: Dict[str, Dict[str, float]] = {}
+        self._resilience: Dict[str, int] = {}
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe_latency(self, engine: str, seconds: float) -> None:
+        with self._lock:
+            bucket = self._engine_latency.setdefault(
+                engine, {"count": 0, "total_seconds": 0.0,
+                         "max_seconds": 0.0})
+            bucket["count"] += 1
+            bucket["total_seconds"] += seconds
+            bucket["max_seconds"] = max(bucket["max_seconds"], seconds)
+
+    def observe_resilience(self, trail: Optional[List[Mapping[str, Any]]]
+                           ) -> None:
+        """Count every resilience event a report's metadata carried."""
+        if not trail:
+            return
+        with self._lock:
+            for event in trail:
+                key = str(event.get("event", "unknown"))
+                stage = event.get("stage") or event.get("from")
+                if stage:
+                    key = f"{key}:{stage}"
+                self._resilience[key] = self._resilience.get(key, 0) + 1
+
+    def snapshot(self, queue_depth: int = 0, queue_capacity: int = 0,
+                 cache_stats: Optional[Mapping[str, int]] = None,
+                 extra: Optional[Mapping[str, Any]] = None
+                 ) -> Dict[str, Any]:
+        """The JSON body of ``/metrics``."""
+        with self._lock:
+            engines = {
+                engine: {
+                    "count": int(bucket["count"]),
+                    "total_seconds": round(bucket["total_seconds"], 6),
+                    "mean_seconds": round(
+                        bucket["total_seconds"] / bucket["count"], 6)
+                    if bucket["count"] else 0.0,
+                    "max_seconds": round(bucket["max_seconds"], 6),
+                }
+                for engine, bucket in sorted(self._engine_latency.items())}
+            data: Dict[str, Any] = {
+                **{name: count
+                   for name, count in sorted(self._counters.items())},
+                "queue_depth": queue_depth,
+                "queue_capacity": queue_capacity,
+                "engine_latency": engines,
+                "resilience_events": dict(sorted(self._resilience.items())),
+            }
+        if cache_stats is not None:
+            data["cache"] = dict(cache_stats)
+        if extra:
+            data.update(extra)
+        return data
+
+    def render_text(self, **snapshot_kwargs: Any) -> str:
+        """A Prometheus-style text exposition of :meth:`snapshot`."""
+        snap = self.snapshot(**snapshot_kwargs)
+        lines: List[str] = []
+        for name, value in snap.items():
+            if isinstance(value, (int, float)):
+                lines.append(f"repro_serve_{name} {value}")
+        for key, count in snap.get("cache", {}).items():
+            lines.append(f"repro_serve_cache_{key} {count}")
+        for engine, bucket in snap.get("engine_latency", {}).items():
+            for stat, value in bucket.items():
+                lines.append(
+                    f'repro_serve_engine_latency_{stat}'
+                    f'{{engine="{engine}"}} {value}')
+        for key, count in snap.get("resilience_events", {}).items():
+            lines.append(
+                f'repro_serve_resilience_events{{kind="{key}"}} {count}')
+        return "\n".join(lines) + "\n"

@@ -327,6 +327,62 @@ class TestSweepExecutors:
             main(["sweep", request_file, "--shards", "2",
                   "--max-workers", "4"])
 
+    def test_compact_without_checkpoint_exits(self, request_file):
+        with pytest.raises(SystemExit, match="--checkpoint"):
+            main(["sweep", request_file, "--compact"])
+
+    def test_compact_rewrites_duplicates_and_torn_tail(self, request_file,
+                                                       tmp_path, capsys):
+        checkpoint = str(tmp_path / "sweep.jsonl")
+        assert main(["sweep", request_file, "--serial",
+                     "--checkpoint", checkpoint]) == 0
+        capsys.readouterr()
+        lines = open(checkpoint).read().splitlines()
+        with open(checkpoint, "a") as handle:
+            handle.write(lines[1] + "\n")           # a duplicate completion
+            handle.write(lines[2][:len(lines[2]) // 2])  # a crash tail
+        code = main(["sweep", request_file, "--checkpoint", checkpoint,
+                     "--compact"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 duplicate(s) dropped" in out
+        assert "torn tail repaired" in out
+        # Compaction is idempotent and leaves a clean, resumable log.
+        code = main(["sweep", request_file, "--checkpoint", checkpoint,
+                     "--compact", "--json"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary == {"completed": 2, "duplicates_dropped": 0,
+                           "torn_tail_repaired": False}
+        assert main(["sweep", request_file, "--serial",
+                     "--checkpoint", checkpoint, "--resume"]) == 0
+
+    def test_compact_executes_nothing(self, request_file, tmp_path, capsys):
+        checkpoint = str(tmp_path / "sweep.jsonl")
+        assert main(["sweep", request_file, "--serial",
+                     "--checkpoint", checkpoint]) == 0
+        capsys.readouterr()
+        before = open(checkpoint).read()
+        assert main(["sweep", request_file, "--checkpoint", checkpoint,
+                     "--compact"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep of" not in out  # no run happened, only the rewrite
+        assert open(checkpoint).read() == before
+
+
+class TestServeCommand:
+    def test_serve_rejects_a_queue_without_slots(self):
+        with pytest.raises(SystemExit, match="at least one slot"):
+            main(["serve", "--max-queue", "0"])
+
+    def test_serve_rejects_a_workerless_pool(self):
+        with pytest.raises(SystemExit, match="at least one worker"):
+            main(["serve", "--workers", "0"])
+
+    def test_serve_rejects_a_missing_chaos_policy(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read chaos policy"):
+            main(["serve", "--chaos", str(tmp_path / "absent.json")])
+
 
 class TestValidateCommand:
     def test_validate_reports_resolution_without_executing(self, tmp_path,

@@ -15,10 +15,11 @@ import pytest
 
 from repro.api import (DEFAULT_EXECUTOR, Executor, PoolExecutor, RunReport,
                        RunRequest, SerialExecutor, ShardedRunExecutor,
-                       SweepSpec, RegistryError, build_executor, derive_seed,
-                       execute, executor_names, executor_registry,
-                       iter_execute, iter_sweep, read_checkpoint,
-                       resolve_executor, run_sweep, sweep_digest)
+                       SweepSpec, RegistryError, build_executor,
+                       compact_checkpoint, derive_seed, execute,
+                       executor_names, executor_registry, iter_execute,
+                       iter_sweep, read_checkpoint, resolve_executor,
+                       run_sweep, scan_checkpoint, sweep_digest)
 from repro.core import engine as engine_module
 from repro.runtime.errors import ConfigurationError
 
@@ -454,6 +455,66 @@ class TestCheckpointResume:
         assert sorted(completed) == [0, 1, 2, 3]
         assert completed[0].metadata == {"retried": True}
         assert completed[1] == reports[1]
+
+    def test_duplicate_index_logs_a_structured_warning(self, spec, tmp_path,
+                                                       caplog):
+        """Last-write-wins must be loud: a warning plus a duplicates count."""
+        path = str(tmp_path / "sweep.jsonl")
+        reports = run_sweep(spec, checkpoint=path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"index": 0,
+                                     "report": reports[0].to_dict()},
+                                    sort_keys=True) + "\n")
+        with caplog.at_level("WARNING", logger="repro.sweep"):
+            scan = scan_checkpoint(path, spec)
+        assert scan.duplicates == 1
+        assert [e for e in scan.events
+                if e["event"] == "duplicate-completion"] == [
+            {"event": "duplicate-completion", "index": 0, "line": 6,
+             "path": path}]
+        assert any("more than once" in record.message
+                   for record in caplog.records)
+        assert not scan.torn_tail
+        # read_checkpoint is the same scan, reduced to the completions.
+        assert read_checkpoint(path, spec) == scan.completed
+
+    def test_compact_drops_duplicates_and_repairs_torn_tail(self, spec,
+                                                            tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        reports = run_sweep(spec, checkpoint=path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"index": 1,
+                                     "report": reports[1].to_dict()},
+                                    sort_keys=True) + "\n")
+            handle.write('{"index": 2, "report": {"torn')  # crash mid-write
+        summary = compact_checkpoint(path, spec)
+        assert summary == {"completed": 4, "duplicates_dropped": 1,
+                           "torn_tail_repaired": True}
+        # The rewritten log is byte-identical in meaning to the clean one:
+        # same header, one line per index, resumable.
+        lines = open(path, encoding="utf-8").read().splitlines()
+        assert json.loads(lines[0])["sweep_sha256"] == sweep_digest(spec)
+        assert [json.loads(line)["index"] for line in lines[1:]] == [0, 1,
+                                                                    2, 3]
+        assert read_checkpoint(path, spec) == {
+            index: reports[index] for index in range(4)}
+        assert run_sweep(spec, checkpoint=path, resume=True) == reports
+
+    def test_compact_is_a_no_op_on_a_clean_log(self, spec, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        run_sweep(spec, checkpoint=path)
+        before = open(path, encoding="utf-8").read()
+        stat_before = os.stat(path).st_mtime_ns
+        summary = compact_checkpoint(path, spec)
+        assert summary == {"completed": 4, "duplicates_dropped": 0,
+                           "torn_tail_repaired": False}
+        assert open(path, encoding="utf-8").read() == before
+        assert os.stat(path).st_mtime_ns == stat_before  # not rewritten
+
+    def test_compact_missing_file_reports_empty(self, spec, tmp_path):
+        summary = compact_checkpoint(str(tmp_path / "absent.jsonl"), spec)
+        assert summary == {"completed": 0, "duplicates_dropped": 0,
+                           "torn_tail_repaired": False}
 
     def test_non_checkpoint_file_is_rejected(self, spec, tmp_path):
         path = tmp_path / "other.jsonl"

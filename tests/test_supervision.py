@@ -9,8 +9,8 @@ structured audit event.  An undisturbed run carries no trail at all.
 
 import pytest
 
-from repro.api import (RunRequest, build_executor, execute, execute_resilient,
-                       executor_registry)
+from repro.api import (RegistryError, RunRequest, build_executor, execute,
+                       execute_resilient, executor_registry)
 from repro.api.executors import SupervisedExecutor
 from repro.runtime.errors import (ConfigurationError, FabricError,
                                   SupervisionExhaustedError, WorkerDiedError)
@@ -205,6 +205,73 @@ class TestSupervisor:
         with pytest.raises(ValueError, match="at least one rung"):
             Supervisor([])
 
+    def test_every_rung_unavailable_exhausts_without_hanging(self):
+        """All-skip ladders terminate with the named error, never a hang."""
+        calls = []
+
+        def unavailable(stage):
+            def thunk():
+                calls.append(stage)
+                raise RungUnavailable(f"{stage} does not apply")
+            return thunk
+
+        slept = []
+        supervisor = Supervisor(
+            [("sharded", unavailable("sharded")),
+             ("batched", unavailable("batched"))],
+            retry=RetryPolicy(max_attempts=3, base_delay=1.0),
+            sleep=slept.append)
+        with pytest.raises(SupervisionExhaustedError, match="every rung"):
+            supervisor.run()
+        # Each unavailable rung is probed exactly once: skips never burn
+        # the retry budget, so nothing backed off and nothing slept.
+        assert calls == ["sharded", "batched"]
+        assert slept == []
+
+    def test_max_attempts_one_downgrades_after_a_single_failure(self):
+        attempts = []
+
+        def dead():
+            attempts.append(1)
+            raise WorkerDiedError("gone")
+
+        slept = []
+        result, trail = Supervisor(
+            [("pool", dead), ("serial", lambda: "ok")],
+            retry=RetryPolicy(max_attempts=1),
+            sleep=slept.append).run()
+        assert result == "ok"
+        assert len(attempts) == 1
+        assert slept == []  # one attempt per rung leaves no room to back off
+        assert [e["event"] for e in trail] == ["downgrade", "completed"]
+
+    def test_max_attempts_one_with_every_rung_dead_exhausts(self):
+        def dead():
+            raise WorkerDiedError("gone")
+
+        supervisor = Supervisor([("pool", dead)],
+                                retry=RetryPolicy(max_attempts=1),
+                                sleep=lambda _: None)
+        with pytest.raises(SupervisionExhaustedError):
+            supervisor.run()
+
+    def test_mixed_skip_and_failure_ladder_exhausts_with_both_audited(self):
+        def unavailable():
+            raise RungUnavailable("no numpy")
+
+        def dead():
+            raise WorkerDiedError("gone")
+
+        supervisor = Supervisor([("sharded", unavailable), ("pool", dead)],
+                                retry=RetryPolicy(max_attempts=1),
+                                sleep=lambda _: None)
+        try:
+            supervisor.run()
+        except SupervisionExhaustedError as exc:
+            assert "sharded" in str(exc) and "pool" in str(exc)
+        else:  # pragma: no cover - the raise is the point
+            raise AssertionError("expected SupervisionExhaustedError")
+
 
 class TestSupervisedExecutor:
     def test_registered_with_schema(self):
@@ -231,6 +298,17 @@ class TestSupervisedExecutor:
             SupervisedExecutor(deadline=0.0)
         with pytest.raises(ConfigurationError, match="at least one shard"):
             SupervisedExecutor(shards=0)
+
+    def test_empty_ladder_rejected_whatever_the_retry_budget(self):
+        # max_attempts=1 must not sneak an empty ladder past validation:
+        # the ladder check runs first and wins.
+        with pytest.raises(ConfigurationError, match="at least one rung"):
+            SupervisedExecutor(ladder=[], max_attempts=1)
+
+    def test_deadline_zero_rejected_through_the_registry_too(self):
+        with pytest.raises((RegistryError, ConfigurationError),
+                           match="positive seconds"):
+            build_executor("supervised", {"deadline": 0})
 
     def test_default_ladder(self):
         assert SupervisedExecutor().ladder == DEFAULT_LADDER
