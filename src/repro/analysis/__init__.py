@@ -6,8 +6,9 @@ from .bounds import (TheoremBound, algorithm_a_local_computation,
                      algorithm_b_local_computation, algorithm_c_local_computation,
                      exponential_bound, exponential_local_computation,
                      hybrid_local_computation, main_theorem_asymptotic,
-                     main_theorem_round_formula, resilience_table, theorem1_bound,
-                     theorem2_bound, theorem3_bound, theorem4_bound)
+                     main_theorem_round_formula, protocol_bound,
+                     resilience_table, theorem1_bound, theorem2_bound,
+                     theorem3_bound, theorem4_bound)
 from .checkers import (RunVerdict, check_agreement, check_discovery_soundness,
                        check_message_bound, check_round_bound, check_validity,
                        verify_report, verify_run)
@@ -23,7 +24,7 @@ __all__ = [
     "exponential_local_computation", "algorithm_a_local_computation",
     "algorithm_b_local_computation", "algorithm_c_local_computation",
     "hybrid_local_computation", "main_theorem_round_formula",
-    "main_theorem_asymptotic",
+    "main_theorem_asymptotic", "protocol_bound",
     "RunVerdict", "verify_run", "verify_report", "check_agreement", "check_validity",
     "check_discovery_soundness", "check_round_bound", "check_message_bound",
     "CoanPoint", "coan_curve", "coan_rounds", "coan_max_message_entries",

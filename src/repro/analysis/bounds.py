@@ -138,6 +138,43 @@ def theorem1_bound(n: int, t: int, b: int) -> TheoremBound:
         local_computation=hybrid_local_computation(n, t, b))
 
 
+#: Registry names of the paper's own algorithms, mapped to their bound rows.
+#: The baselines (psl, phase-king, dolev-strong) are deliberately absent —
+#: the paper states no bounds for them, so measuring them yields comparison
+#: rows without a verdict.
+_BOUND_BUILDERS = {
+    "exponential": lambda n, t, b: exponential_bound(n, t),
+    "algorithm-a": lambda n, t, b: theorem2_bound(n, t, b),
+    "algorithm-b": lambda n, t, b: theorem3_bound(n, t, b),
+    "algorithm-c": lambda n, t, b: theorem4_bound(n, t),
+    "hybrid": lambda n, t, b: theorem1_bound(n, t, b),
+}
+
+
+def protocol_bound(protocol: str, protocol_params: Optional[Dict] = None,
+                   n: int = 0, t: int = 0) -> Optional[TheoremBound]:
+    """The theorem bound row for a registered protocol name, or ``None``.
+
+    Resolves the registry name used by :class:`~repro.api.request.RunRequest`
+    to the matching theorem of this module — what lets mass empirical
+    campaigns (:mod:`repro.stats`) confront measured rounds, message sizes,
+    and computation with the paper's promises without hand-wiring the
+    mapping at every call site.  Block-parameterised algorithms read ``b``
+    from *protocol_params* (the registry marks it required, so a request
+    that executed always carries it).  Baseline protocols have no bound in
+    this paper and resolve to ``None``.
+    """
+    builder = _BOUND_BUILDERS.get(protocol)
+    if builder is None:
+        return None
+    b = (protocol_params or {}).get("b")
+    if protocol in ("algorithm-a", "algorithm-b", "hybrid") and b is None:
+        raise ValueError(
+            f"{protocol} bounds need the block parameter b in "
+            f"protocol_params")
+    return builder(n, t, b)
+
+
 def main_theorem_round_formula(n: int, t: int, b: int) -> int:
     """The Main Theorem's closed-form round expression (for cross-checking the
     constructive count in :func:`repro.core.hybrid.hybrid_rounds`)."""

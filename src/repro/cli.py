@@ -1,6 +1,6 @@
 """Command-line interface: declarative runs, sweeps, serving, and tables.
 
-Six subcommands, all built on the :mod:`repro.api` façade:
+Seven subcommands, all built on the :mod:`repro.api` façade:
 
 ``repro run``
     Execute one agreement instance described by flags (protocol, parameters,
@@ -49,6 +49,19 @@ Six subcommands, all built on the :mod:`repro.api` façade:
     found violation as a regression fixture.  Exits 3 exactly when a
     violation was found, so CI can assert either outcome.
 
+``repro mc``
+    Stream a Monte-Carlo verification campaign (:mod:`repro.stats`): a grid
+    of (protocol × cell × adversary) points, ``--trials`` seeded executions
+    each with randomized fault placement, aggregated in constant space and
+    confronted with the paper's theorem bounds — Wilson confidence
+    intervals on agreement/validity failure rates plus observed-vs-bound
+    rows for rounds, message size, and local computation.  ``--checkpoint``
+    makes the campaign crash-durable (one cumulative snapshot per chunk)
+    and ``--resume`` continues it bit-identically after a kill.  Exit code
+    0 means the campaign completed and every observation stayed within the
+    paper's guarantees; 1 means a theorem was contradicted; 2 means the
+    campaign is incomplete (``--max-chunks`` slice).
+
 ``repro experiments``
     Regenerate the paper's tables/figures (the E1–E9 harness) at a chosen
     scale and print them; optionally restrict to a subset by experiment id.
@@ -73,6 +86,10 @@ Examples
         --cell 3,1 --allow-unsafe --budget 200 --pin
     python -m repro search --objective max_messages --cell 9,2 \\
         --strategy anneal --budget 100
+    python -m repro mc --protocol exponential algorithm-a --cell 13,3 \\
+        --adversary two-faced consistent-liar --trials 1000
+    python -m repro mc --protocol hybrid --cell 16,5 --trials 100000 \\
+        --executor pool --checkpoint mc.jsonl --resume --json
     python -m repro experiments --scale small --only E1 E8
 """
 
@@ -206,6 +223,11 @@ def _parser() -> argparse.ArgumentParser:
                        help="directory for the content-addressed result "
                             "cache (one <sha256>.json per distinct "
                             "request); omitted = in-memory only")
+    serve.add_argument("--cache-max-entries", type=int, default=None,
+                       metavar="N",
+                       help="bound the result cache at N entries with "
+                            "least-recently-used eviction (evicted disk "
+                            "entries are unlinked); omitted = unbounded")
     serve.add_argument("--journal", metavar="PATH", default=None,
                        help="write-ahead journal: accepted requests are "
                             "logged before execution and replayed on "
@@ -282,6 +304,65 @@ def _parser() -> argparse.ArgumentParser:
                              "are independent, so 'pool' parallelizes)")
     search.add_argument("--json", action="store_true",
                         help="print the structured search result as JSON")
+
+    mc = sub.add_parser(
+        "mc", help="stream a Monte-Carlo verification campaign")
+    mc.add_argument("--spec", metavar="SPEC.json", default=None,
+                    help="run a serialized McSpec file ('-' reads stdin); "
+                         "overrides the grid flags below")
+    mc.add_argument("--protocol", nargs="+", default=["exponential"],
+                    metavar="NAME", help="protocols to draw cells from")
+    mc.add_argument("--cell", nargs="+", default=["7,2"], metavar="N,T",
+                    help="instance sizes, each as n,t (e.g. --cell 7,2 "
+                         "13,3)")
+    mc.add_argument("--adversary", nargs="+", default=["two-faced"],
+                    metavar="NAME",
+                    help="adversaries to pair with every protocol/cell "
+                         "(default: two-faced)")
+    mc.add_argument("--trials", type=int, default=1000,
+                    help="seeded trials per grid cell (default 1000)")
+    mc.add_argument("--b", type=int, default=3,
+                    help="block parameter for algorithms A, B and the "
+                         "hybrid")
+    mc.add_argument("--faults", type=int, default=None,
+                    help="faulty processors per trial (default: t)")
+    mc.add_argument("--source-faulty", choices=("vary", "always", "never"),
+                    default="vary",
+                    help="source placement per trial: sampled like any "
+                         "processor (vary, default), always faulty, or "
+                         "never faulty")
+    mc.add_argument("--sweep-seed", type=int, default=0,
+                    help="master seed: every trial's run seed and fault "
+                         "placement derive from it positionally")
+    mc.add_argument("--executor", choices=sorted(executor_names()),
+                    default="serial",
+                    help="execution backend (trials are independent, so "
+                         "'pool' parallelizes)")
+    mc.add_argument("--max-workers", type=int, default=None,
+                    help="worker processes for the pool executor")
+    mc.add_argument("--chunk-size", type=int, default=256,
+                    help="trials aggregated (and checkpointed) per chunk — "
+                         "the only per-run buffer, so memory stays flat "
+                         "(default 256)")
+    mc.add_argument("--checkpoint", metavar="PATH", default=None,
+                    help="append one cumulative state snapshot per chunk "
+                         "to PATH (crash-durable JSONL; header created "
+                         "atomically and pinned to this campaign's digest)")
+    mc.add_argument("--resume", action="store_true",
+                    help="continue an interrupted --checkpoint campaign "
+                         "from its last intact snapshot (bit-identical to "
+                         "an uninterrupted run)")
+    mc.add_argument("--max-chunks", type=int, default=None,
+                    help="execute at most this many chunks this invocation "
+                         "(slice long campaigns; exit 2 until complete)")
+    mc.add_argument("--allow-unsafe", action="store_true",
+                    help="permit under-resilient cells (no guarantees "
+                         "claimed there, so no hard verdict either)")
+    mc.add_argument("--confidence", type=float, default=0.95,
+                    choices=(0.90, 0.95, 0.99),
+                    help="Wilson interval confidence level (default 0.95)")
+    mc.add_argument("--json", action="store_true",
+                    help="print the full machine-readable report as JSON")
 
     experiments = sub.add_parser("experiments",
                                  help="regenerate the paper's tables and figures")
@@ -501,7 +582,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             chaos = ChaosPolicy.from_json_file(args.chaos)
         except ConfigurationError as exc:
             raise SystemExit(str(exc)) from None
-    cache = ResultCache(args.cache_dir)
+    cache = ResultCache(args.cache_dir, max_entries=args.cache_max_entries)
     journal = (ServeJournal(args.journal, fsync=args.fsync)
                if args.journal else None)
     service = AgreementService(cache=cache, journal=journal)
@@ -669,6 +750,88 @@ def _command_search(args: argparse.Namespace) -> int:
     return 3 if result.found else 0
 
 
+def _mc_spec(args: argparse.Namespace):
+    """The :class:`~repro.stats.McSpec` the ``mc`` flags (or file) describe."""
+    from .stats import McCell, McSpec
+    if args.spec is not None:
+        payload = _read_payload(args.spec)
+        source = "stdin" if args.spec == "-" else args.spec
+        if not isinstance(payload, dict):
+            raise SystemExit(f"{source} must hold a serialized McSpec "
+                             f"object")
+        try:
+            return McSpec.from_dict(payload)
+        except (RegistryError, ConfigurationError, TypeError,
+                ValueError) as exc:
+            raise SystemExit(f"invalid campaign in {source}: {exc}") from None
+    registry = protocol_registry()
+    cells = []
+    try:
+        for protocol in args.protocol:
+            entry = registry.get(protocol)
+            if entry is None:
+                raise SystemExit(
+                    f"unknown protocol {protocol!r}; choose from "
+                    f"{sorted(protocol_names())}")
+            params = {"b": args.b} if "b" in entry.schema else {}
+            for n, t in _parse_cells(args.cell):
+                for adversary in args.adversary:
+                    if adversary not in adversary_names():
+                        raise SystemExit(
+                            f"unknown adversary {adversary!r}; choose from "
+                            f"{sorted(adversary_names())}")
+                    cells.append(McCell(
+                        protocol=protocol, n=n, t=t, adversary=adversary,
+                        protocol_params=params, faults=args.faults,
+                        source_placement=args.source_faulty,
+                        allow_unsafe=args.allow_unsafe))
+        executor_params = {}
+        if args.max_workers is not None:
+            if args.executor != "pool":
+                raise SystemExit(
+                    f"--max-workers applies to the pool executor, but the "
+                    f"campaign runs on {args.executor!r}; drop the flag or "
+                    f"pass --executor pool")
+            executor_params["max_workers"] = args.max_workers
+        return McSpec(cells=tuple(cells), trials=args.trials,
+                      sweep_seed=args.sweep_seed, executor=args.executor,
+                      executor_params=executor_params,
+                      chunk_size=args.chunk_size)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _command_mc(args: argparse.Namespace) -> int:
+    """Stream a verification campaign; exit 0 ok / 1 contradicted / 2 partial."""
+    from .stats import render_text, run_mc, to_json, verdict
+    spec = _mc_spec(args)
+
+    def progress(chunk: int, done: int, total: int) -> None:
+        if not args.json:
+            print(f"\rchunk {chunk + 1}/{spec.total_chunks}: "
+                  f"{done}/{total} trials", end="", file=sys.stderr,
+                  flush=True)
+
+    try:
+        result = run_mc(spec, checkpoint=args.checkpoint,
+                        resume=args.resume, max_chunks=args.max_chunks,
+                        progress=progress)
+    except (RegistryError, ConfigurationError, ValueError) as exc:
+        print("", file=sys.stderr)
+        raise SystemExit(str(exc)) from None
+    if not args.json and result.executed:
+        print("", file=sys.stderr)
+    if args.json:
+        print(json.dumps(to_json(result, args.confidence), indent=2,
+                         sort_keys=True))
+    else:
+        print(render_text(result, args.confidence))
+    ok, _ = verdict(result)
+    if ok:
+        return 0
+    return 2 if not result.complete else 1
+
+
 def _select_ambient_engine(engine: Optional[str]) -> None:
     """Pin the ambient engine process-wide and export it for pool workers.
 
@@ -714,6 +877,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_validate(args)
     if args.command == "search":
         return _command_search(args)
+    if args.command == "mc":
+        return _command_mc(args)
     return _command_experiments(args)
 
 

@@ -22,6 +22,14 @@ Disk layout: one ``<digest>.json`` per entry under ``cache_dir``, written
 atomically (temp file + ``os.replace``) on the happy path, so a ``kill -9``
 mid-store leaves either the old state or the new — except under chaos,
 which deliberately leaves the torn file a real crash could.
+
+The footprint is boundable: ``max_entries`` caps the cache at N entries
+with least-recently-used eviction (``get``/``peek``/``put`` all refresh
+recency).  Eviction is total — the in-memory entry goes **and** its disk
+file is unlinked — so a capped cache never resurrects evicted results on
+restart, and the disk directory's size tracks the cap instead of growing
+without bound.  Evictions are counted in :meth:`ResultCache.stats` and
+surface on the service's ``/metrics`` endpoint.
 """
 
 from __future__ import annotations
@@ -29,7 +37,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from collections import OrderedDict
 from typing import Any, Dict, Optional
+
+from ..runtime.errors import ConfigurationError
 
 from ..api.request import RunRequest
 from ..runtime.chaos import current_chaos
@@ -59,17 +70,26 @@ class ResultCache:
     ``get`` / ``put`` address entries by :func:`request_digest` values.
     With a ``cache_dir``, every store also lands as ``<digest>.json`` and
     misses fall through to disk — so a restarted service warm-starts from
-    whatever previous sessions (or a journal replay) persisted.
+    whatever previous sessions (or a journal replay) persisted.  With a
+    ``max_entries`` cap, the least-recently-used entry (memory *and* disk
+    file) is evicted whenever an insert would exceed it.
     """
 
-    def __init__(self, cache_dir: Optional[str] = None) -> None:
+    def __init__(self, cache_dir: Optional[str] = None,
+                 max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ConfigurationError(
+                f"cache max_entries must be positive (or None for "
+                f"unbounded), got {max_entries}")
         self.cache_dir = cache_dir
+        self.max_entries = max_entries
         if cache_dir:
             os.makedirs(cache_dir, exist_ok=True)
-        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.write_failures = 0
+        self.evictions = 0
         self._stores = 0
 
     def __len__(self) -> int:
@@ -104,13 +124,41 @@ class ResultCache:
             return None
         return entry
 
+    def _insert(self, digest: str, entry: Dict[str, Any]) -> None:
+        """Land *entry* as most-recent and enforce the ``max_entries`` cap.
+
+        Every in-memory insert — a ``put``, or a disk fall-through in
+        ``get``/``peek`` — goes through here, so the cap holds no matter
+        which path populated the entry.  Eviction removes the LRU entry's
+        disk file too: a capped cache must not regrow past its cap from
+        disk on the next restart.
+        """
+        self._entries[digest] = entry
+        self._entries.move_to_end(digest)
+        if self.max_entries is None:
+            return
+        while len(self._entries) > self.max_entries:
+            victim, _ = self._entries.popitem(last=False)
+            self.evictions += 1
+            if self.cache_dir:
+                try:
+                    os.unlink(self._path(victim))
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+
+    def _lookup(self, digest: str) -> Optional[Dict[str, Any]]:
+        entry = self._entries.get(digest)
+        if entry is not None:
+            self._entries.move_to_end(digest)
+            return entry
+        entry = self._load_from_disk(digest)
+        if entry is not None:
+            self._insert(digest, entry)
+        return entry
+
     def get(self, digest: str) -> Optional[Dict[str, Any]]:
         """The cached outcome for *digest*, counting the hit or miss."""
-        entry = self._entries.get(digest)
-        if entry is None:
-            entry = self._load_from_disk(digest)
-            if entry is not None:
-                self._entries[digest] = entry
+        entry = self._lookup(digest)
         if entry is None:
             self.misses += 1
             return None
@@ -119,12 +167,7 @@ class ResultCache:
 
     def peek(self, digest: str) -> Optional[Dict[str, Any]]:
         """Like :meth:`get` but without touching the hit/miss counters."""
-        entry = self._entries.get(digest)
-        if entry is None:
-            entry = self._load_from_disk(digest)
-            if entry is not None:
-                self._entries[digest] = entry
-        return entry
+        return self._lookup(digest)
 
     def put(self, digest: str, outcome: Dict[str, Any]) -> bool:
         """Store *outcome* under *digest*; ``False`` when the disk write failed.
@@ -135,7 +178,7 @@ class ResultCache:
         the chaos ``cache-write-fail`` injection exercises exactly this
         path, torn entry file included.
         """
-        self._entries[digest] = outcome
+        self._insert(digest, outcome)
         if not self.cache_dir:
             return True
         store_index = self._stores
@@ -172,4 +215,5 @@ class ResultCache:
     def stats(self) -> Dict[str, int]:
         return {"entries": len(self._entries), "hits": self.hits,
                 "misses": self.misses,
-                "write_failures": self.write_failures}
+                "write_failures": self.write_failures,
+                "evictions": self.evictions}

@@ -1,0 +1,35 @@
+"""Streaming Monte-Carlo verification at millions-of-runs scale.
+
+The subsystem that turns the engine's single-run verdicts into statistical
+evidence: constant-space aggregators (:mod:`~repro.stats.aggregators`),
+Wilson confidence intervals (:mod:`~repro.stats.intervals`), per-cell
+streaming state confronted with the paper's theorem bounds
+(:mod:`~repro.stats.cells`), a serializable campaign description
+(:mod:`~repro.stats.spec`), the chunked crash-safe driver
+(:mod:`~repro.stats.campaign`), and report rendering
+(:mod:`~repro.stats.report`).  ``repro mc`` is the CLI face.
+"""
+
+from __future__ import annotations
+
+from .aggregators import BoundedHistogram, Extrema, Welford
+from .campaign import (MC_CHECKPOINT_KIND, MC_CHECKPOINT_VERSION, McResult,
+                       McState, read_mc_checkpoint, run_mc)
+from .cells import (COMPUTATION_SLACK, OUT_OF_MODEL_ADVERSARIES,
+                    CellAggregate, McCell)
+from .intervals import Z_SCORES, wilson_interval, z_score
+from .report import (bound_rows, cell_rows, render_markdown, render_text,
+                     to_json, verdict)
+from .spec import McSpec, mc_digest, placement_seed
+
+__all__ = [
+    "Welford", "Extrema", "BoundedHistogram",
+    "wilson_interval", "z_score", "Z_SCORES",
+    "McCell", "CellAggregate", "OUT_OF_MODEL_ADVERSARIES",
+    "COMPUTATION_SLACK",
+    "McSpec", "mc_digest", "placement_seed",
+    "McState", "McResult", "run_mc", "read_mc_checkpoint",
+    "MC_CHECKPOINT_KIND", "MC_CHECKPOINT_VERSION",
+    "cell_rows", "bound_rows", "verdict", "render_text", "render_markdown",
+    "to_json",
+]

@@ -1,0 +1,180 @@
+"""Composable streaming aggregators: Welford moments, extrema, histograms.
+
+A million-run Monte-Carlo campaign must never hold its report list in
+memory, so every statistic the campaign publishes is computed by a
+constant-space aggregator with a one-report ``update`` step.  The three
+primitives here share one contract:
+
+* **streaming ≡ batch** — folding values one at a time produces *bit-
+  identical* state to folding the same sequence in one pass (there is no
+  separate batch formula; a batch is the same fold), which is what lets a
+  checkpoint-resumed campaign equal an uninterrupted one exactly;
+* **exact serialization** — ``to_dict``/``from_dict`` round-trip through
+  ``json.dumps``/``json.loads`` without loss (Python's ``json`` emits
+  shortest-round-trip ``repr`` floats), so aggregator state can ride a
+  JSONL checkpoint line and resume to the very same IEEE-754 bits;
+* **value equality** — two aggregators compare equal iff their states do,
+  the property the streaming-vs-batch and resume-vs-uninterrupted tests
+  pin down.
+
+:class:`Welford` is the numerically stable one-pass mean/variance recurrence
+(Welford 1962); :class:`Extrema` tracks min/max/last; :class:`BoundedHistogram`
+counts small non-negative integers (round counts) in a fixed number of bins
+with an explicit overflow bucket, so its footprint is independent of the
+campaign length.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..runtime.errors import ConfigurationError
+
+
+class Welford:
+    """One-pass mean/variance accumulator (Welford's recurrence).
+
+    ``update`` is O(1) and carries three numbers: the count, the running
+    mean, and the sum of squared deviations (``m2``).  Population and
+    sample variance are both derivable; ``std`` reports the sample standard
+    deviation (what a confidence interval over trials wants).
+    """
+
+    __slots__ = ("count", "mean", "m2")
+
+    def __init__(self, count: int = 0, mean: float = 0.0,
+                 m2: float = 0.0) -> None:
+        self.count = count
+        self.mean = mean
+        self.m2 = m2
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    def variance(self) -> float:
+        """Sample variance (``n − 1`` denominator); 0.0 below two values."""
+        if self.count < 2:
+            return 0.0
+        return self.m2 / (self.count - 1)
+
+    def std(self) -> float:
+        return math.sqrt(self.variance())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"count": self.count, "mean": self.mean, "m2": self.m2}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Welford":
+        return cls(count=int(data["count"]), mean=float(data["mean"]),
+                   m2=float(data["m2"]))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Welford):
+            return NotImplemented
+        return (self.count, self.mean, self.m2) == (other.count, other.mean,
+                                                    other.m2)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Welford(count={self.count}, mean={self.mean!r}, "
+                f"m2={self.m2!r})")
+
+
+class Extrema:
+    """Running min/max over a stream of numbers (``None`` until fed)."""
+
+    __slots__ = ("count", "minimum", "maximum")
+
+    def __init__(self, count: int = 0, minimum: Optional[float] = None,
+                 maximum: Optional[float] = None) -> None:
+        self.count = count
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"count": self.count, "min": self.minimum,
+                "max": self.maximum}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Extrema":
+        return cls(count=int(data["count"]), minimum=data["min"],
+                   maximum=data["max"])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Extrema):
+            return NotImplemented
+        return ((self.count, self.minimum, self.maximum)
+                == (other.count, other.minimum, other.maximum))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Extrema(count={self.count}, min={self.minimum}, "
+                f"max={self.maximum})")
+
+
+class BoundedHistogram:
+    """Counts of small non-negative integers with a fixed bin budget.
+
+    Values ``0 .. bins − 1`` land in their own bucket; anything at or above
+    ``bins`` (or negative, which a round count never is, but garbage input
+    should not corrupt memory) lands in the ``overflow`` bucket — so the
+    histogram's size is a constant of the *spec*, never of the stream.
+    """
+
+    __slots__ = ("bins", "counts", "overflow")
+
+    def __init__(self, bins: int, counts: Optional[List[int]] = None,
+                 overflow: int = 0) -> None:
+        if bins < 1:
+            raise ConfigurationError(
+                f"a histogram needs at least one bin, got {bins}")
+        self.bins = bins
+        self.counts = list(counts) if counts is not None else [0] * bins
+        if len(self.counts) != bins:
+            raise ConfigurationError(
+                f"histogram state carries {len(self.counts)} bins, "
+                f"expected {bins}")
+        self.overflow = overflow
+
+    def update(self, value: int) -> None:
+        if 0 <= value < self.bins:
+            self.counts[value] += 1
+        else:
+            self.overflow += 1
+
+    def total(self) -> int:
+        return sum(self.counts) + self.overflow
+
+    def nonzero(self) -> Dict[int, int]:
+        """The populated buckets, for compact reporting."""
+        return {value: count for value, count in enumerate(self.counts)
+                if count}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"bins": self.bins, "counts": list(self.counts),
+                "overflow": self.overflow}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BoundedHistogram":
+        return cls(bins=int(data["bins"]),
+                   counts=[int(c) for c in data["counts"]],
+                   overflow=int(data["overflow"]))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BoundedHistogram):
+            return NotImplemented
+        return ((self.bins, self.counts, self.overflow)
+                == (other.bins, other.counts, other.overflow))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BoundedHistogram(bins={self.bins}, "
+                f"nonzero={self.nonzero()}, overflow={self.overflow})")

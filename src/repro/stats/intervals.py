@@ -1,0 +1,66 @@
+"""Wilson-score confidence intervals for observed failure rates.
+
+A Monte-Carlo campaign observing ``k`` failures in ``n`` trials reports not
+just the point rate ``k/n`` but a confidence interval on the underlying
+probability.  The Wilson score interval is the standard choice for
+proportions near 0 or 1 — exactly where agreement/validity failure rates
+live (0 failures in 10⁶ trials must yield a *non-trivial* upper bound,
+which the naive Wald interval cannot do).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from ..runtime.errors import ConfigurationError
+
+#: Two-sided normal quantiles for the confidence levels the CLI accepts.
+#: Held as literals (no scipy in the container) at full double precision.
+Z_SCORES = {
+    0.90: 1.6448536269514722,
+    0.95: 1.959963984540054,
+    0.99: 2.5758293035489004,
+}
+
+
+def z_score(confidence: float) -> float:
+    """The two-sided normal quantile for *confidence* (a supported level)."""
+    try:
+        return Z_SCORES[confidence]
+    except KeyError:
+        raise ConfigurationError(
+            f"unsupported confidence level {confidence}; choose one of "
+            f"{sorted(Z_SCORES)}") from None
+
+
+def wilson_interval(successes: int, trials: int,
+                    confidence: float = 0.95) -> Tuple[float, float]:
+    """The Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)`` bounds on the underlying probability given
+    *successes* out of *trials*.  Zero trials yield the vacuous ``(0, 1)``;
+    the bounds are always inside ``[0, 1]`` and contain the point estimate.
+    """
+    if not 0 <= successes <= trials:
+        raise ConfigurationError(
+            f"{successes} successes out of {trials} trials is not a "
+            f"proportion")
+    if trials == 0:
+        return 0.0, 1.0
+    z = z_score(confidence)
+    phat = successes / trials
+    z2 = z * z
+    denominator = 1.0 + z2 / trials
+    centre = phat + z2 / (2.0 * trials)
+    margin = z * math.sqrt(phat * (1.0 - phat) / trials
+                           + z2 / (4.0 * trials * trials))
+    low = (centre - margin) / denominator
+    high = (centre + margin) / denominator
+    # At p̂ = 0 (or 1) the boundary endpoint is exactly 0 (or 1); pin it so
+    # floating-point residue like 1.7e-18 never leaks into reports.
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 1.0
+    return max(0.0, low), min(1.0, high)

@@ -1,0 +1,159 @@
+"""Campaign reporting: cell tables, bound confrontation rows, verdicts.
+
+A completed (or partial) :class:`~.campaign.McResult` renders three ways:
+
+* :func:`render_text` — aligned ASCII tables for the terminal;
+* :func:`render_markdown` — GitHub-flavoured tables for EXPERIMENTS.md-style
+  artifacts;
+* :func:`to_json` — the full machine-readable report (``repro mc --json``),
+  carrying every aggregate, CI, and bound row plus the verdict.
+
+The verdict discipline matches :mod:`repro.analysis.checkers`: a problem is
+only *hard* where the paper actually claims something
+(:meth:`~.cells.CellAggregate.guarantees_apply`); cells under out-of-model
+adversaries or past the resilience threshold report their numbers with a
+``guarantees`` column of ``no`` and never fail the campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..analysis.reporting import format_markdown_table, format_table
+from .campaign import McResult
+
+#: Column order of the per-cell correctness table.
+CELL_COLUMNS = ("cell", "guarantees", "trials", "agree_fail", "agree_rate",
+                "agree_ci", "valid_fail", "valid_rate", "valid_ci",
+                "rounds_mean", "rounds_max", "msgs_mean")
+
+#: Column order of the observed-vs-theorem table.
+BOUND_COLUMNS = ("cell", "quantity", "bound", "observed_max", "ratio",
+                 "slack", "within")
+
+
+def _ci(interval: Tuple[float, float]) -> str:
+    low, high = interval
+    return f"[{low:.4f}, {high:.4f}]"
+
+
+def cell_rows(result: McResult, confidence: float = 0.95
+              ) -> List[Dict[str, Any]]:
+    """One correctness row per cell: counts, rates, Wilson intervals."""
+    rows = []
+    for aggregate in result.state.aggregates:
+        rates = aggregate.failure_rates(confidence)
+        rows.append({
+            "cell": aggregate.cell.label(),
+            "guarantees": aggregate.guarantees_apply(),
+            "trials": aggregate.trials,
+            "agree_fail": aggregate.agreement_failures,
+            "agree_rate": rates["agreement_rate"],
+            "agree_ci": _ci(rates["agreement_ci"]),
+            "valid_fail": aggregate.validity_failures,
+            "valid_rate": rates["validity_rate"],
+            "valid_ci": _ci(rates["validity_ci"]),
+            "rounds_mean": aggregate.rounds.mean,
+            "rounds_max": aggregate.rounds_extrema.maximum,
+            "msgs_mean": aggregate.messages.mean,
+        })
+    return rows
+
+
+def bound_rows(result: McResult) -> List[Dict[str, Any]]:
+    """Observed-vs-theorem rows across every cell that has a theorem."""
+    rows: List[Dict[str, Any]] = []
+    for aggregate in result.state.aggregates:
+        rows.extend(aggregate.bound_rows())
+    return rows
+
+
+def verdict(result: McResult) -> Tuple[bool, Tuple[str, ...]]:
+    """``(ok, problems)`` — ok iff complete and no theorem was contradicted."""
+    problems = list(result.problems)
+    if not result.complete:
+        problems.insert(0, f"campaign incomplete: "
+                           f"{result.state.trials_done}/"
+                           f"{result.spec.total_trials} trials aggregated")
+    return (not problems), tuple(problems)
+
+
+def _summary_lines(result: McResult) -> List[str]:
+    lines = [f"trials: {result.state.trials_done}/"
+             f"{result.spec.total_trials}"
+             + (f" (resumed past {result.resumed_trials})"
+                if result.resumed_trials else "")]
+    if result.executed:
+        lines.append(f"throughput: {result.runs_per_second:.1f} runs/s "
+                     f"({result.executed} trials in "
+                     f"{result.elapsed_seconds:.2f}s, "
+                     f"executor={result.spec.executor})")
+    return lines
+
+
+def render_text(result: McResult, confidence: float = 0.95) -> str:
+    """The terminal report: summary, cell table, bound table, verdict."""
+    ok, problems = verdict(result)
+    parts = _summary_lines(result)
+    parts.append("")
+    parts.append(format_table(cell_rows(result, confidence),
+                              columns=CELL_COLUMNS,
+                              title=f"Correctness (Wilson "
+                                    f"{confidence:.0%} CIs)"))
+    rows = bound_rows(result)
+    if rows:
+        parts.append("")
+        parts.append(format_table(rows, columns=BOUND_COLUMNS,
+                                  title="Observed vs theorem bounds"))
+    parts.append("")
+    if ok:
+        parts.append("VERDICT: ok — all observations within the paper's "
+                     "guarantees")
+    else:
+        parts.append("VERDICT: FAIL")
+        parts.extend(f"  - {problem}" for problem in problems)
+    return "\n".join(parts)
+
+
+def render_markdown(result: McResult, confidence: float = 0.95) -> str:
+    """The same report as GitHub-flavoured Markdown sections."""
+    ok, problems = verdict(result)
+    parts = ["# Monte-Carlo verification report", ""]
+    parts.extend(f"- {line}" for line in _summary_lines(result))
+    parts.append(f"- verdict: {'ok' if ok else 'FAIL'}")
+    parts.extend(f"  - {problem}" for problem in problems)
+    parts.append("")
+    parts.append(f"## Correctness (Wilson {confidence:.0%} CIs)")
+    parts.append("")
+    parts.append(format_markdown_table(cell_rows(result, confidence),
+                                       columns=CELL_COLUMNS))
+    rows = bound_rows(result)
+    if rows:
+        parts.append("")
+        parts.append("## Observed vs theorem bounds")
+        parts.append("")
+        parts.append(format_markdown_table(rows, columns=BOUND_COLUMNS))
+    return "\n".join(parts) + "\n"
+
+
+def to_json(result: McResult, confidence: float = 0.95) -> Dict[str, Any]:
+    """The machine-readable report of ``repro mc --json``."""
+    ok, problems = verdict(result)
+    return {
+        "spec": result.spec.to_dict(),
+        "complete": result.complete,
+        "trials_done": result.state.trials_done,
+        "executed": result.executed,
+        "resumed_trials": result.resumed_trials,
+        "elapsed_seconds": result.elapsed_seconds,
+        "runs_per_second": result.runs_per_second,
+        "confidence": confidence,
+        "cells": [{
+            **aggregate.to_dict(),
+            "failure_rates": aggregate.failure_rates(confidence),
+            "bound_rows": list(aggregate.bound_rows()),
+            "guarantees_apply": aggregate.guarantees_apply(),
+        } for aggregate in result.state.aggregates],
+        "ok": ok,
+        "problems": list(problems),
+    }

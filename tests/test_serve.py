@@ -71,7 +71,7 @@ class TestResultCache:
         cache.put("a" * 64, {"decisions": {"0": 1}})
         assert cache.get("a" * 64) == {"decisions": {"0": 1}}
         assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1,
-                                 "write_failures": 0}
+                                 "write_failures": 0, "evictions": 0}
 
     def test_peek_does_not_touch_counters(self):
         cache = ResultCache()
@@ -115,6 +115,61 @@ class TestResultCache:
         # The next store (budget spent) lands durably.
         assert cache.put("a" * 64, {"decisions": {"0": 1}}) is True
         assert ResultCache(str(tmp_path)).get("a" * 64) is not None
+
+
+class TestCacheEviction:
+    def test_cap_is_enforced_lru_first(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a" * 64, {"decisions": {"0": 1}})
+        cache.put("b" * 64, {"decisions": {"0": 2}})
+        # Touch "a" so "b" becomes the least recently used entry.
+        assert cache.get("a" * 64) is not None
+        cache.put("c" * 64, {"decisions": {"0": 3}})
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.peek("b" * 64) is None
+        assert cache.peek("a" * 64) is not None
+        assert cache.peek("c" * 64) is not None
+
+    def test_eviction_unlinks_the_disk_entry(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_entries=1)
+        cache.put("a" * 64, {"decisions": {"0": 1}})
+        a_path = os.path.join(str(tmp_path), "a" * 64 + ".json")
+        assert os.path.exists(a_path)
+        cache.put("b" * 64, {"decisions": {"0": 2}})
+        # The evicted entry is gone from memory AND disk: a capped cache
+        # must not resurrect past its cap on the next restart.
+        assert not os.path.exists(a_path)
+        restarted = ResultCache(str(tmp_path), max_entries=1)
+        assert restarted.get("a" * 64) is None
+        assert restarted.get("b" * 64) is not None
+
+    def test_disk_fallthrough_also_respects_the_cap(self, tmp_path):
+        writer = ResultCache(str(tmp_path))
+        for letter in "abc":
+            writer.put(letter * 64, {"decisions": {"0": 1}})
+        capped = ResultCache(str(tmp_path), max_entries=1)
+        for letter in "abc":
+            assert capped.get(letter * 64) is not None
+        assert len(capped) == 1
+        assert capped.evictions == 2
+
+    def test_evictions_surface_in_stats(self):
+        cache = ResultCache(max_entries=1)
+        cache.put("a" * 64, {"decisions": {}})
+        cache.put("b" * 64, {"decisions": {}})
+        assert cache.stats()["evictions"] == 1
+        assert cache.stats()["entries"] == 1
+
+    def test_nonpositive_cap_is_refused(self):
+        with pytest.raises(ConfigurationError):
+            ResultCache(max_entries=0)
+
+    def test_uncapped_cache_never_evicts(self):
+        cache = ResultCache()
+        for index in range(100):
+            cache.put(f"{index:064d}", {"decisions": {}})
+        assert len(cache) == 100 and cache.evictions == 0
 
 
 class TestServeJournal:
