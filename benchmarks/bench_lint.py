@@ -1,0 +1,80 @@
+"""Lint — static-audit runtime over the whole source tree.
+
+``repro lint`` gates CI, so its wall-clock cost is a budget the rest of
+the pipeline pays on every push.  This benchmark times the three phases
+separately — parsing + symbol-table construction (:class:`Project.load`),
+the full 8-rule pass, and a single-rule pass (the marginal cost of adding
+one analyzer) — so a rule that regresses from linear-walk to quadratic
+shows up as a number, not as a slower CI.
+
+Running ``python benchmarks/bench_lint.py`` merges a ``"lint"`` section
+into ``BENCH_perf.json`` (every other section — the engine table, the
+serve latencies, the mc throughput — is left untouched).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.lint import run_lint
+from repro.lint.symbols import Project
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+LINT_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Repetitions per measurement: the tree parses in well under a second,
+#: so a small repeat count smooths scheduler noise without slowing CI.
+REPEATS = 5
+
+
+def best_of(fn) -> float:
+    """The fastest of :data:`REPEATS` timed calls, in seconds."""
+    best = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def main() -> None:
+    result = run_lint(LINT_ROOT, package="repro")
+    assert result.exit_code == 0, "the tree must lint clean before timing"
+
+    parse_seconds = best_of(
+        lambda: Project.load(LINT_ROOT, package="repro"))
+    full_seconds = best_of(
+        lambda: run_lint(LINT_ROOT, package="repro"))
+    single_seconds = best_of(
+        lambda: run_lint(LINT_ROOT, package="repro",
+                         rules=["determinism/set-iteration"]))
+
+    section = {
+        "modules": result.modules_checked,
+        "rules": len(result.rules),
+        "findings_waived": result.counts["waived"],
+        "parse_and_symbols_seconds": round(parse_seconds, 3),
+        "full_pass_seconds": round(full_seconds, 3),
+        "single_rule_seconds": round(single_seconds, 3),
+        "modules_per_second": round(result.modules_checked / full_seconds,
+                                    1),
+    }
+    print(f"parse+symbols: {parse_seconds:.3f}s  "
+          f"full 8-rule pass: {full_seconds:.3f}s  "
+          f"single rule: {single_seconds:.3f}s  "
+          f"({section['modules_per_second']} modules/s)")
+
+    recording = {}
+    if BENCH_PATH.exists():
+        recording = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+    recording["lint"] = section
+    BENCH_PATH.write_text(json.dumps(recording, indent=2) + "\n",
+                          encoding="utf-8")
+    print(f"wrote the lint section of {BENCH_PATH}")
+
+
+if __name__ == "__main__":
+    main()

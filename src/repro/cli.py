@@ -1,6 +1,6 @@
 """Command-line interface: declarative runs, sweeps, serving, and tables.
 
-Seven subcommands, all built on the :mod:`repro.api` façade:
+Eight subcommands, all built on the :mod:`repro.api` façade:
 
 ``repro run``
     Execute one agreement instance described by flags (protocol, parameters,
@@ -27,7 +27,21 @@ Seven subcommands, all built on the :mod:`repro.api` façade:
     Dry-run the registry/planner checks for a request file (``-`` for
     stdin): every request is resolved and planned — reporting the engine the
     planner would use and whether the sharded backend could split it —
-    without executing anything.
+    without executing anything.  ``--all-registered`` validates the full
+    protocol × adversary cross-product instead of a file, clamping ``t``
+    per protocol to its resilience envelope, so a registry entry that
+    stopped resolving fails CI before any experiment does.
+
+``repro lint``
+    Statically audit the source tree (:mod:`repro.lint`): an AST rule
+    engine enforcing the determinism and contract invariants the stack
+    rests on — no ambient RNG or wall clocks in the engine path, sorted
+    filesystem scans, no set-iteration order dependence, registry schemas
+    in sync with factory constructors, ``to_dict``/``from_dict`` parity,
+    and fail-stop error discipline.  Findings are suppressed inline with
+    ``# repro-lint: waive[rule-id] -- reason`` (the reason is mandatory)
+    or grandfathered via ``--baseline``.  Exit 0 clean, 1 findings, 2
+    internal error.
 
 ``repro serve``
     Run the crash-safe agreement service (:mod:`repro.serve`): an asyncio
@@ -80,6 +94,10 @@ Examples
     python -m repro sweep requests.json --chaos chaos.json --json
     python -m repro sweep requests.json --checkpoint out.jsonl --compact
     python -m repro validate requests.json
+    python -m repro validate --all-registered
+    python -m repro lint
+    python -m repro lint --format json --baseline lint_baseline.json
+    python -m repro lint src/repro --rules determinism/set-iteration
     python -m repro serve --port 8484 --cache-dir cache/ \\
         --journal serve.jsonl
     python -m repro search --objective agreement_violation \\
@@ -252,10 +270,41 @@ def _parser() -> argparse.ArgumentParser:
 
     validate = sub.add_parser(
         "validate", help="dry-run registry/planner checks for a request file")
-    validate.add_argument("requests",
-                          help="path to a JSON request file ('-' for stdin)")
+    validate.add_argument("requests", nargs="?", default=None,
+                          help="path to a JSON request file ('-' for "
+                               "stdin); omit with --all-registered")
+    validate.add_argument("--all-registered", action="store_true",
+                          help="validate the full protocol x adversary "
+                               "cross-product instead of a file, clamping "
+                               "t per protocol to its resilience envelope")
+    validate.add_argument("--n", type=int, default=16,
+                          help="instance size for --all-registered "
+                               "(default 16)")
+    validate.add_argument("--t", type=int, default=5,
+                          help="fault budget ceiling for --all-registered; "
+                               "clamped down per protocol (default 5)")
     validate.add_argument("--json", action="store_true",
                           help="print the per-request verdicts as JSON")
+
+    lint = sub.add_parser(
+        "lint", help="statically audit determinism/contract invariants")
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="directories to lint (default: the installed "
+                           "repro package source)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (default text)")
+    lint.add_argument("--baseline", metavar="PATH", default=None,
+                      help="JSON baseline of grandfathered findings; "
+                           "entries match on (rule, path, message)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="write the current unwaived findings to "
+                           "--baseline and exit 0")
+    lint.add_argument("--rules", nargs="+", default=None, metavar="RULE",
+                      help="run only these rule ids (default: all)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print every registered rule id and exit")
+    lint.add_argument("--verbose", action="store_true",
+                      help="also show waived and baselined findings")
 
     search = sub.add_parser(
         "search", help="hunt a protocol/adversary grid for extremal runs")
@@ -608,11 +657,61 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _registered_cross_product(n: int, t: int) -> List[dict]:
+    """Request dicts covering every protocol × adversary pair at (n, t).
+
+    Each protocol gets the largest ``t' ≤ t`` its resilience predicate
+    accepts at this ``n`` (algorithm B needs ``n ≥ 4t+1``, the hybrid
+    needs ``t ≥ 3``, algorithm C has its own ceiling), found by probing
+    ``validate`` — so one command exercises every registry entry without
+    hand-maintaining the envelopes here.
+    """
+    from .api import adversary_registry
+    items: List[dict] = []
+    for protocol in sorted(protocol_names()):
+        entry = protocol_registry()[protocol]
+        params = {"b": 3} if "b" in entry.schema else {}
+        effective_t = None
+        for candidate in range(t, 0, -1):
+            faulty = tuple(choose_faulty(n, candidate, source_faulty=False))
+            probe = RunRequest(protocol=protocol, protocol_params=params,
+                               n=n, t=candidate, initial_value=1,
+                               faulty=faulty, adversary="benign", seed=0)
+            try:
+                spec, config, _, _ = probe.resolve_parts()
+                spec.validate(config)
+            except (RegistryError, ConfigurationError, ValueError):
+                continue
+            effective_t = candidate
+            break
+        if effective_t is None:
+            # Let the row loop report the failure instead of hiding the
+            # protocol from the table.
+            effective_t = t
+        faulty = list(choose_faulty(n, effective_t, source_faulty=False))
+        for adversary in sorted(adversary_registry()):
+            items.append({
+                "protocol": protocol, "protocol_params": dict(params),
+                "n": n, "t": effective_t, "initial_value": 1,
+                "faulty": faulty, "adversary": adversary, "seed": 0,
+            })
+    return items
+
+
 def _command_validate(args: argparse.Namespace) -> int:
     """Resolve and plan every request without executing anything."""
-    items = _parse_request_items(_read_payload(args.requests),
-                                 "stdin" if args.requests == "-" else
-                                 args.requests)
+    if args.all_registered:
+        if args.requests is not None:
+            raise SystemExit("--all-registered generates its own requests; "
+                             "drop the request file argument")
+        items = _registered_cross_product(args.n, args.t)
+    elif args.requests is None:
+        raise SystemExit("validate needs a request file ('-' for stdin) "
+                         "or --all-registered")
+    else:
+        items = _parse_request_items(_read_payload(args.requests),
+                                     "stdin" if args.requests == "-" else
+                                     args.requests)
     if not items:
         raise SystemExit(f"{args.requests} contains no requests")
     rows: List[dict] = []
@@ -645,6 +744,52 @@ def _command_validate(args: argparse.Namespace) -> int:
             rows, title=f"validated {len(rows)} request(s), "
                         f"{failures} invalid"))
     return 1 if failures else 0
+
+
+def _command_lint(args: argparse.Namespace) -> int:
+    """Audit the source tree; exit 0 clean / 1 findings / 2 internal error."""
+    from pathlib import Path
+
+    from .lint import (render_json, render_text, rule_names, run_lint,
+                       save_baseline)
+    if args.list_rules:
+        for name in rule_names():
+            print(name)
+        return 0
+    if args.write_baseline and not args.baseline:
+        raise SystemExit("--write-baseline needs --baseline naming the "
+                         "file to write")
+    if args.paths:
+        roots = [Path(path) for path in args.paths]
+    else:
+        roots = [Path(__file__).resolve().parent]
+    try:
+        exit_code = 0
+        for root in roots:
+            package = "repro" if not args.paths else None
+            baseline = Path(args.baseline) if args.baseline else None
+            result = run_lint(root, package=package, rules=args.rules,
+                              baseline_path=None if args.write_baseline
+                              else baseline)
+            if args.write_baseline:
+                written = save_baseline(baseline, result.findings)
+                print(f"baseline {baseline}: {written} finding(s) recorded")
+                continue
+            if args.format == "json":
+                print(render_json(result))
+            else:
+                print(render_text(result, verbose=args.verbose))
+            exit_code = max(exit_code, result.exit_code)
+        return exit_code
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+    # repro-lint: waive[errors/broad-except] -- the linter must never
+    # crash CI opaquely: any internal error becomes the documented
+    # exit code 2 with the failure printed
+    except Exception as exc:
+        print(f"repro lint: internal error: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 2
 
 
 def _parse_cells(tokens: Sequence[str]) -> List[tuple]:
@@ -875,6 +1020,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_serve(args)
     if args.command == "validate":
         return _command_validate(args)
+    if args.command == "lint":
+        return _command_lint(args)
     if args.command == "search":
         return _command_search(args)
     if args.command == "mc":

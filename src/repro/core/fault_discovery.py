@@ -107,6 +107,8 @@ def window_majority(window: List[Value], branch: int):
     values with C-speed ``list.count`` is equivalent to the reference
     ``Counter.most_common`` check while allocating no per-node counter.
     """
+    # repro-lint: waive[determinism/set-iteration] -- at most one value
+    # can hold a strict majority, so scan order cannot change the result
     for value in set(window):
         if 2 * window.count(value) > branch:
             return value

@@ -350,6 +350,9 @@ def _vote_level_python(child_rows, size: int, branch: int, majority: bool,
                 continue
             winner = BOTTOM_CODE
             winners = 0
+            # repro-lint: waive[determinism/set-iteration] -- the winner
+            # is used only when exactly one code crosses the threshold,
+            # so visiting order cannot change the resolved value
             for code in set(window):
                 if code != BOTTOM_CODE and window.count(code) >= threshold:
                     winners += 1

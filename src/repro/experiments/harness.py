@@ -379,6 +379,9 @@ def experiment_baselines(n: int, t: int,
         config = ProtocolConfig(n=n, t=effective_t, initial_value=1)
         try:
             spec.validate(config)
+        # repro-lint: waive[errors/broad-except] -- admission probe: any
+        # validation failure just means this (n, t) is out of the
+        # protocol's resilience envelope, so the spec is skipped
         except Exception:
             continue
         if scenarios is None:

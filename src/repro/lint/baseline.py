@@ -1,0 +1,83 @@
+"""The committed baseline: grandfathered findings that do not gate CI.
+
+A baseline lets the linter land with the codebase imperfect: known
+findings are recorded once (as ``(rule, path, message)`` triples — no line
+numbers, so edits above a site do not invalidate it) and stop gating the
+exit code, while anything *new* still fails.  Matching is a multiset
+match: two identical findings need two baseline entries, so fixing one of
+a pair is visible.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Tuple
+
+from ..runtime.errors import ConfigurationError
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> Counter:
+    """The baseline file as a multiset of ``(rule, path, message)`` keys."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ConfigurationError(
+            f"baseline {path} lacks a 'findings' list")
+    keys: Counter = Counter()
+    for entry in data["findings"]:
+        try:
+            keys[(entry["rule"], entry["path"], entry["message"])] += 1
+        except (TypeError, KeyError) as exc:
+            raise ConfigurationError(
+                f"baseline {path}: entry {entry!r} lacks "
+                f"rule/path/message") from exc
+    return keys
+
+
+def save_baseline(path: Path, findings: List[Finding]) -> int:
+    """Write the unsuppressed findings as the new baseline; count written.
+
+    Waived findings are excluded — a waiver is already a committed,
+    reasoned suppression, and double-tracking it in the baseline would
+    leave a stale entry behind when the waiver is removed.
+    """
+    entries = sorted(
+        finding.key() for finding in findings if not finding.waived)
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"rule": rule, "path": relpath, "message": message}
+            for rule, relpath, message in entries
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def apply_baseline(findings: List[Finding],
+                   baseline: Counter) -> Tuple[List[Finding], Counter]:
+    """Grandfather baselined findings; return (findings, unmatched keys).
+
+    Unmatched baseline entries mean the underlying finding was fixed (or
+    its message changed) — surfaced so the baseline can be re-tightened
+    rather than rotting.
+    """
+    remaining = Counter(baseline)
+    out: List[Finding] = []
+    for finding in findings:
+        if not finding.waived and remaining[finding.key()] > 0:
+            remaining[finding.key()] -= 1
+            out.append(finding.grandfather())
+        else:
+            out.append(finding)
+    unmatched = Counter({key: count for key, count in remaining.items()
+                         if count > 0})
+    return out, unmatched

@@ -1,0 +1,84 @@
+"""Reporters: one :class:`LintResult`, rendered as text or JSON.
+
+The text form is for humans at a terminal — findings grouped by file with
+the offending source line quoted, then a one-line summary.  The JSON form
+is a stable schema for CI artifacts and the benchmark harness: the same
+``Finding.to_dict`` payloads the baseline machinery consumes, plus the
+rule list and summary counts, so two reports diff meaningfully.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .engine import LintResult
+from .findings import Finding
+
+REPORT_VERSION = 1
+
+
+def _suppression_tag(finding: Finding) -> str:
+    if finding.waived:
+        return f"  [waived: {finding.waive_reason}]"
+    if finding.baselined:
+        return "  [baselined]"
+    return ""
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """The human-readable report; suppressed findings only with *verbose*."""
+    lines: List[str] = []
+    shown = result.findings if verbose else result.active
+    current_path = None
+    for finding in shown:
+        if finding.path != current_path:
+            if current_path is not None:
+                lines.append("")
+            lines.append(f"{finding.path}:")
+            current_path = finding.path
+        lines.append(
+            f"  {finding.line}:{finding.col}  {finding.severity}  "
+            f"{finding.rule}{_suppression_tag(finding)}")
+        lines.append(f"      {finding.message}")
+        if finding.suggestion:
+            lines.append(f"      fix: {finding.suggestion}")
+    if shown:
+        lines.append("")
+    for key in result.stale_baseline:
+        rule, path, _ = key
+        lines.append(f"stale baseline entry: {rule} @ {path} "
+                     f"(finding fixed — regenerate the baseline)")
+    counts = result.counts
+    lines.append(
+        f"{result.modules_checked} modules, {len(result.rules)} rules: "
+        f"{counts['error']} errors, {counts['warning']} warnings "
+        f"({counts['waived']} waived, {counts['baselined']} baselined)")
+    return "\n".join(lines)
+
+
+def to_json(result: LintResult) -> Dict[str, Any]:
+    """The machine-readable report as a plain dict (see module docstring)."""
+    counts = result.counts
+    return {
+        "version": REPORT_VERSION,
+        "root": str(result.root),
+        "rules": list(result.rules),
+        "modules_checked": result.modules_checked,
+        "findings": [finding.to_dict() for finding in result.findings],
+        "stale_baseline": [
+            {"rule": rule, "path": path, "message": message}
+            for rule, path, message in result.stale_baseline
+        ],
+        "summary": {
+            "errors": counts["error"],
+            "warnings": counts["warning"],
+            "waived": counts["waived"],
+            "baselined": counts["baselined"],
+            "exit_code": result.exit_code,
+        },
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(to_json(result), indent=2)

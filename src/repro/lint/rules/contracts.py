@@ -1,0 +1,414 @@
+"""Contract rules: registry schemas match constructors, to/from_dict parity.
+
+These rules encode cross-module knowledge rather than style:
+
+* ``contract/registry-schema-sync`` — every
+  :class:`~repro.api.registries.RegistryEntry` declares a ``ParamSpec``
+  schema the façade validates against **before** instantiating the
+  factory.  A schema that drifts from the factory's ``__init__``
+  (renamed parameter, changed default, new required argument) turns a
+  precise ``RegistryError`` into a ``TypeError`` deep inside a
+  constructor — or worse, silently changes recorded defaults.  The rule
+  statically joins three shapes: literal ``RegistryEntry(...)`` calls
+  (the protocol table), the ``*_SCHEMAS`` dict of declared adversary
+  parameters, and the name→class dict returned by
+  ``adversary_registry()`` — then checks each resolved factory class's
+  effective ``__init__`` against its declared schema.
+
+* ``contract/roundtrip-parity`` — every class shipping both ``to_dict``
+  and ``from_dict`` must emit (in ``to_dict``) at least every literal key
+  ``from_dict`` consumes; a key consumed but never emitted means a value
+  that cannot survive its own wire format.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..findings import Finding
+from ..symbols import ClassInfo, ModuleInfo, Project
+from .base import Rule, literal_or_none
+
+
+# ---------------------------------------------------------------------------
+# contract/registry-schema-sync
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DeclaredParam:
+    """One ``ParamSpec(...)`` as written in source."""
+
+    name: str
+    required: bool
+    has_default: bool
+    default_literal: bool
+    default: object
+    node: ast.AST
+
+
+def _paramspec_from_call(call: ast.Call) -> Optional[DeclaredParam]:
+    """Parse a ``ParamSpec(name, kind, default=..., required=...)`` call."""
+    if not call.args or not isinstance(call.args[0], ast.Constant) \
+            or not isinstance(call.args[0].value, str):
+        return None
+    name = call.args[0].value
+    default_node: Optional[ast.expr] = None
+    required = False
+    if len(call.args) >= 3:
+        default_node = call.args[2]
+    if len(call.args) >= 4:
+        ok, value = literal_or_none(call.args[3])
+        required = bool(value) if ok else False
+    for keyword in call.keywords:
+        if keyword.arg == "default":
+            default_node = keyword.value
+        elif keyword.arg == "required":
+            ok, value = literal_or_none(keyword.value)
+            required = bool(value) if ok else False
+    has_default = default_node is not None
+    literal, value = literal_or_none(default_node)
+    return DeclaredParam(name=name, required=required,
+                         has_default=has_default, default_literal=literal,
+                         default=value, node=call)
+
+
+def _is_paramspec_call(module: ModuleInfo, node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = module.resolve(node.func)
+    if dotted is not None:
+        return dotted.rpartition(".")[2] == "ParamSpec"
+    return isinstance(node.func, ast.Name) and node.func.id == "ParamSpec"
+
+
+def _module_constants(module: ModuleInfo) -> Dict[str, ast.expr]:
+    """Module-level ``NAME = <expr>`` assignments (for shared ParamSpecs)."""
+    constants: Dict[str, ast.expr] = {}
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            constants[stmt.targets[0].id] = stmt.value
+    return constants
+
+
+def _params_from_tuple(module: ModuleInfo, node: ast.expr,
+                       constants: Dict[str, ast.expr]
+                       ) -> Optional[List[DeclaredParam]]:
+    """The DeclaredParams of a ``params=(...)`` tuple, or None if dynamic."""
+    if isinstance(node, ast.Name) and node.id in constants:
+        node = constants[node.id]
+    elements: List[ast.expr]
+    if isinstance(node, ast.Tuple):
+        elements = list(node.elts)
+    elif _is_paramspec_call(module, node):
+        elements = [node]
+    else:
+        return None
+    declared: List[DeclaredParam] = []
+    for element in elements:
+        if isinstance(element, ast.Name) and element.id in constants:
+            element = constants[element.id]
+        if not _is_paramspec_call(module, element):
+            return None
+        parsed = _paramspec_from_call(element)
+        if parsed is None:
+            return None
+        declared.append(parsed)
+    return declared
+
+
+class RegistrySchemaSyncRule(Rule):
+    id = "contract/registry-schema-sync"
+    severity = "error"
+    doc = ("every RegistryEntry's declared ParamSpec schema must match its "
+           "factory __init__: names, defaults, and required parameters")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.iter_modules():
+            constants = _module_constants(module)
+            yield from self._check_literal_entries(project, module,
+                                                   constants)
+            yield from self._check_registry_join(project, module, constants)
+
+    # -- literal RegistryEntry(...) calls (the protocol table) --------------
+    def _check_literal_entries(self, project: Project, module: ModuleInfo,
+                               constants: Dict[str, ast.expr]
+                               ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.resolve(node.func)
+            is_entry = (dotted or "").rpartition(".")[2] == "RegistryEntry" \
+                or (isinstance(node.func, ast.Name)
+                    and node.func.id == "RegistryEntry")
+            if not is_entry:
+                continue
+            if not node.args or not isinstance(node.args[0], ast.Constant) \
+                    or not isinstance(node.args[0].value, str):
+                continue  # dynamic entries are covered by the join below
+            entry_name = node.args[0].value
+            factory_node = node.args[1] if len(node.args) > 1 else None
+            for keyword in node.keywords:
+                if keyword.arg == "factory":
+                    factory_node = keyword.value
+            if factory_node is None:
+                continue
+            factory = module.resolve(factory_node)
+            if factory is None and isinstance(factory_node, ast.Name):
+                factory = f"{module.name}.{factory_node.id}"
+            cls_info = project.find_class(factory) if factory else None
+            if cls_info is None:
+                continue  # external factory: not statically checkable
+            params_node: Optional[ast.expr] = None
+            for keyword in node.keywords:
+                if keyword.arg == "params":
+                    params_node = keyword.value
+            declared = [] if params_node is None else _params_from_tuple(
+                module, params_node, constants)
+            if declared is None:
+                continue  # dynamically built schema
+            yield from _check_schema(self, project, module, node,
+                                     entry_name, declared, cls_info)
+
+    # -- the adversary join: *_SCHEMAS dict x adversary_registry() ----------
+    def _check_registry_join(self, project: Project, module: ModuleInfo,
+                             constants: Dict[str, ast.expr]
+                             ) -> Iterator[Finding]:
+        schemas = _schema_dicts(module, constants)
+        if not schemas:
+            return
+        factories = _factory_registries(project)
+        if not factories:
+            return
+        registered: Set[str] = set()
+        for factory_module, name, factory_dotted, key_node in factories:
+            registered.add(name)
+            cls_info = project.find_class(factory_dotted)
+            if cls_info is None:
+                continue
+            declared, schema_node = schemas.get(name, ([], None))
+            anchor_module = module if schema_node is not None \
+                else factory_module
+            anchor = schema_node if schema_node is not None else key_node
+            if declared is None:
+                continue  # dynamic schema value
+            yield from _check_schema(self, project, anchor_module, anchor,
+                                     name, declared, cls_info)
+        for name in sorted(set(schemas) - registered):
+            _, schema_node = schemas[name]
+            yield self.finding(
+                module, schema_node if schema_node is not None
+                else module.tree,
+                f"schema declared for {name!r}, which no registry "
+                f"factory provides",
+                "remove the stale schema entry or register the factory")
+
+
+def _schema_dicts(module: ModuleInfo, constants: Dict[str, ast.expr]
+                  ) -> Dict[str, Tuple[Optional[List[DeclaredParam]],
+                                       ast.expr]]:
+    """``name -> (params, value-node)`` from any ``*_SCHEMAS`` dict."""
+    schemas: Dict[str, Tuple[Optional[List[DeclaredParam]], ast.expr]] = {}
+    for stmt in module.tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if not targets or not isinstance(targets[0], ast.Name) \
+                or not targets[0].id.endswith("_SCHEMAS") \
+                or not isinstance(value, ast.Dict):
+            continue
+        for key, entry in zip(value.keys, value.values):
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                schemas[key.value] = (
+                    _params_from_tuple(module, entry, constants), entry)
+    return schemas
+
+
+def _factory_registries(project: Project
+                        ) -> List[Tuple[ModuleInfo, str, str, ast.expr]]:
+    """``(module, name, factory-dotted, key-node)`` for every entry of any
+    ``adversary_registry()``-style name→class dict in the project."""
+    entries: List[Tuple[ModuleInfo, str, str, ast.expr]] = []
+    for module in project.iter_modules():
+        for node in module.tree.body:
+            if not isinstance(node, ast.FunctionDef) \
+                    or not node.name.endswith("_registry"):
+                continue
+            for stmt in ast.walk(node):
+                if not isinstance(stmt, ast.Return) \
+                        or not isinstance(stmt.value, ast.Dict):
+                    continue
+                for key, value in zip(stmt.value.keys, stmt.value.values):
+                    if not (isinstance(key, ast.Constant)
+                            and isinstance(key.value, str)):
+                        continue
+                    dotted = module.resolve(value)
+                    if dotted is None and isinstance(value, ast.Name):
+                        dotted = f"{module.name}.{value.id}"
+                    if dotted is not None \
+                            and project.find_class(dotted) is not None:
+                        entries.append((module, key.value, dotted, value))
+    return entries
+
+
+def _check_schema(rule: Rule, project: Project, module: ModuleInfo,
+                  anchor: ast.AST, entry_name: str,
+                  declared: List[DeclaredParam],
+                  cls_info: ClassInfo) -> Iterator[Finding]:
+    """Findings for one (entry, schema, factory-class) triple."""
+    signature = project.init_signature(cls_info)
+    if signature is None:
+        return  # *args/**kwargs: not statically checkable
+    init_params = {arg.arg: default for arg, default in signature}
+    declared_names = {param.name for param in declared}
+    for param in declared:
+        if param.name not in init_params:
+            yield rule.finding(
+                module, anchor,
+                f"{entry_name}: schema declares {param.name!r} but "
+                f"{cls_info.name}.__init__ does not accept it",
+                "rename the ParamSpec or add the constructor parameter")
+            continue
+        init_default = init_params[param.name]
+        if init_default is None and not param.required:
+            yield rule.finding(
+                module, anchor,
+                f"{entry_name}: {param.name!r} has no constructor default "
+                f"but the schema does not mark it required",
+                "add required=True to the ParamSpec")
+        if init_default is not None and param.required:
+            yield rule.finding(
+                module, anchor,
+                f"{entry_name}: {param.name!r} is marked required but "
+                f"{cls_info.name}.__init__ supplies a default",
+                "drop required=True or remove the constructor default")
+        literal, init_value = literal_or_none(init_default)
+        if literal and param.has_default and param.default_literal \
+                and init_value != param.default:
+            yield rule.finding(
+                module, anchor,
+                f"{entry_name}: schema default {param.name}="
+                f"{param.default!r} but {cls_info.name}.__init__ uses "
+                f"{init_value!r}",
+                "align the ParamSpec default with the constructor")
+    for name, default in init_params.items():
+        if name in declared_names:
+            continue
+        if default is None:
+            yield rule.finding(
+                module, anchor,
+                f"{entry_name}: required constructor parameter {name!r} "
+                f"is not declared in the schema",
+                "declare it with ParamSpec(..., required=True)")
+        else:
+            yield rule.finding(
+                module, anchor,
+                f"{entry_name}: constructor parameter {name!r} is not "
+                f"addressable through the registry schema",
+                "declare a ParamSpec for it (wire callers cannot set it "
+                "otherwise)")
+
+
+# ---------------------------------------------------------------------------
+# contract/roundtrip-parity
+# ---------------------------------------------------------------------------
+
+def _emitted_keys(func: ast.FunctionDef) -> Set[str]:
+    """Literal keys ``to_dict`` emits: dict-literal keys + subscript stores."""
+    emitted: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) \
+                        and isinstance(key.value, str):
+                    emitted.add(key.value)
+        elif isinstance(node, ast.Subscript) \
+                and isinstance(node.ctx, ast.Store) \
+                and isinstance(node.slice, ast.Constant) \
+                and isinstance(node.slice.value, str):
+            emitted.add(node.slice.value)
+    return emitted
+
+
+def _data_param(func: ast.FunctionDef) -> Optional[str]:
+    """The name of ``from_dict``'s payload parameter."""
+    names = [arg.arg for arg in func.args.args]
+    if names and names[0] in ("cls", "self"):
+        names = names[1:]
+    return names[0] if names else None
+
+
+def _consumed_keys(func: ast.FunctionDef) -> Set[str]:
+    """Literal keys ``from_dict`` reads from its payload (incl. aliases)."""
+    data = _data_param(func)
+    if data is None:
+        return set()
+    sources = {data}
+    # One-hop aliases: `kwargs = dict(data)` reads the same payload.
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and isinstance(node.value, ast.Call) \
+                and isinstance(node.value.func, ast.Name) \
+                and node.value.func.id == "dict" \
+                and len(node.value.args) == 1 \
+                and isinstance(node.value.args[0], ast.Name) \
+                and node.value.args[0].id in sources:
+            sources.add(node.targets[0].id)
+    consumed: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Subscript) \
+                and isinstance(node.ctx, ast.Load) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id in sources \
+                and isinstance(node.slice, ast.Constant) \
+                and isinstance(node.slice.value, str):
+            consumed.add(node.slice.value)
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "get" \
+                and isinstance(node.func.value, ast.Name) \
+                and node.func.value.id in sources \
+                and node.args \
+                and isinstance(node.args[0], ast.Constant) \
+                and isinstance(node.args[0].value, str):
+            consumed.add(node.args[0].value)
+        elif isinstance(node, ast.Compare) \
+                and len(node.ops) == 1 \
+                and isinstance(node.ops[0], (ast.In, ast.NotIn)) \
+                and isinstance(node.left, ast.Constant) \
+                and isinstance(node.left.value, str) \
+                and len(node.comparators) == 1 \
+                and isinstance(node.comparators[0], ast.Name) \
+                and node.comparators[0].id in sources:
+            consumed.add(node.left.value)
+    return consumed
+
+
+class RoundtripParityRule(Rule):
+    id = "contract/roundtrip-parity"
+    severity = "error"
+    doc = ("in every class with both methods, the literal keys from_dict "
+           "consumes must be a subset of the keys to_dict emits")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.iter_modules():
+            for class_name in sorted(module.classes):
+                cls_info = module.classes[class_name]
+                to_dict = cls_info.methods.get("to_dict")
+                from_dict = cls_info.methods.get("from_dict")
+                if to_dict is None or from_dict is None:
+                    continue
+                emitted = _emitted_keys(to_dict)
+                consumed = _consumed_keys(from_dict)
+                for key in sorted(consumed - emitted):
+                    yield self.finding(
+                        module, from_dict,
+                        f"{class_name}.from_dict consumes key {key!r} "
+                        f"that {class_name}.to_dict never emits",
+                        "emit the key in to_dict or stop consuming it")

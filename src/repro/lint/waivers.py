@@ -1,0 +1,153 @@
+"""Inline suppression comments: ``# repro-lint: waive[rule-id] -- reason``.
+
+A waiver suppresses matching findings on its own line, or — written as a
+standalone comment — on the next code line (continuation comments are
+skipped, so the reason can wrap under the 79-column style the codebase
+follows).  Every waiver **must**
+carry a reason after ``--``: a reasonless waiver is itself a finding
+(``lint/bad-waiver``), as is a waiver that suppressed nothing
+(``lint/unused-waiver``), so suppressions cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from .findings import Finding
+from .symbols import ModuleInfo
+
+#: The waiver grammar.  Rule ids are ``area/slug``; several may be waived
+#: at once with a comma list.  The reason clause is mandatory (enforced in
+#: :func:`collect_waivers`, so the error message can be precise).
+_WAIVER_RE = re.compile(
+    r"#\s*repro-lint:\s*waive\[(?P<rules>[^\]]*)\]"
+    r"(?:\s*--\s*(?P<reason>.*))?\s*$")
+
+_RULE_ID_RE = re.compile(r"^[a-z0-9-]+/[a-z0-9-]+$")
+
+BAD_WAIVER = "lint/bad-waiver"
+UNUSED_WAIVER = "lint/unused-waiver"
+
+
+@dataclass
+class Waiver:
+    """One parsed waiver: the rules it covers and the line it applies to."""
+
+    rules: Tuple[str, ...]
+    reason: str
+    comment_line: int
+    target_line: int
+    used: bool = False
+
+
+def _comments(module: ModuleInfo) -> Iterator[Tuple[int, int, str]]:
+    """Real ``(line, col, text)`` comment tokens — never string contents.
+
+    Tokenizing (rather than regex-scanning raw lines) is what keeps a
+    docstring *describing* the waiver syntax from being parsed as one.
+    """
+    reader = io.StringIO(module.source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except tokenize.TokenError:
+        # The file parsed (Project.load gated on that), so a tokenizer
+        # error here means a trailing-continuation oddity; the comments
+        # already yielded are still good.
+        return
+
+
+def collect_waivers(module: ModuleInfo) -> Tuple[List[Waiver], List[Finding]]:
+    """Every waiver of *module* plus findings for the malformed ones."""
+    waivers: List[Waiver] = []
+    problems: List[Finding] = []
+    for lineno, col, comment in _comments(module):
+        match = _WAIVER_RE.search(comment)
+        if match is None:
+            if "repro-lint:" in comment:
+                problems.append(Finding(
+                    rule=BAD_WAIVER, severity="error", path=module.relpath,
+                    line=lineno, col=col,
+                    message="unparseable repro-lint comment",
+                    suggestion="write `# repro-lint: waive[rule-id] -- "
+                               "reason`"))
+            continue
+        rules = tuple(token.strip()
+                      for token in match.group("rules").split(",")
+                      if token.strip())
+        reason = (match.group("reason") or "").strip()
+        bad_ids = [rule for rule in rules if not _RULE_ID_RE.match(rule)]
+        if not rules or bad_ids:
+            problems.append(Finding(
+                rule=BAD_WAIVER, severity="error", path=module.relpath,
+                line=lineno, col=col,
+                message=f"waiver names no valid rule id "
+                        f"({', '.join(bad_ids) or 'empty list'})",
+                suggestion="rule ids look like determinism/wall-clock"))
+            continue
+        if not reason:
+            problems.append(Finding(
+                rule=BAD_WAIVER, severity="error", path=module.relpath,
+                line=lineno, col=col,
+                message=f"waiver for {', '.join(rules)} carries no reason",
+                suggestion="append `-- <why this site is safe>`"))
+            continue
+        # A trailing comment waives its own line; a comment-only line
+        # waives the next *code* line, with continuation comments joined
+        # into the reason so it can wrap under the 79-column style.
+        comment_only = module.line_text(lineno).strip().startswith("#")
+        target = lineno
+        if comment_only:
+            target = lineno + 1
+            while module.line_text(target).strip().startswith("#"):
+                extra = module.line_text(target).strip().lstrip("#").strip()
+                if extra:
+                    reason = f"{reason} {extra}"
+                target += 1
+        waivers.append(Waiver(rules=rules, reason=reason,
+                              comment_line=lineno, target_line=target))
+    return waivers, problems
+
+
+def apply_waivers(findings: List[Finding], waivers: List[Waiver],
+                  by_path_line: Dict[Tuple[str, int], List[Waiver]]
+                  ) -> List[Finding]:
+    """Mark findings covered by a waiver; record which waivers fired."""
+    out: List[Finding] = []
+    for finding in findings:
+        matched = None
+        for waiver in by_path_line.get((finding.path, finding.line), ()):
+            if finding.rule in waiver.rules:
+                matched = waiver
+                break
+        if matched is not None:
+            matched.used = True
+            out.append(finding.waive(matched.reason))
+        else:
+            out.append(finding)
+    return out
+
+
+def unused_waiver_findings(module: ModuleInfo, waivers: List[Waiver],
+                           active_rules: Tuple[str, ...]) -> List[Finding]:
+    """A ``lint/unused-waiver`` finding per waiver that suppressed nothing.
+
+    Waivers naming only rules outside *active_rules* are exempt: a
+    ``--rules`` subset run must not condemn waivers it never exercised.
+    """
+    active = set(active_rules)
+    return [
+        Finding(
+            rule=UNUSED_WAIVER, severity="warning", path=module.relpath,
+            line=waiver.comment_line, col=0,
+            message=f"waiver for {', '.join(waiver.rules)} matched no "
+                    f"finding",
+            suggestion="delete the stale waiver (or fix its rule id)")
+        for waiver in waivers
+        if not waiver.used and active.intersection(waiver.rules)
+    ]

@@ -93,6 +93,9 @@ def batched_supported(spec: "ProtocolSpec", config: "ProtocolConfig") -> bool:
         return False
     try:
         return _ProbeFacts(spec.build(config.source, config)).supported
+    # repro-lint: waive[errors/broad-except] -- eligibility probe: a
+    # protocol whose construction fails is simply not batchable, and the
+    # serial path will surface the real error with full context
     except Exception:
         return False
 

@@ -340,10 +340,16 @@ class NumpyLevelMessage(LevelMessage):
                                  self.sender, self.round_number)
 
     def _code_translation(self, codes, fn):
-        """``{old code: new code}`` with *fn* evaluated once per distinct code."""
+        """``{old code: new code}`` with *fn* evaluated once per distinct code.
+
+        Distinct codes are visited in sorted order: ``VALUE_CODEC.code``
+        interns previously unseen values, so visiting order decides which
+        code a new value receives — set order would make the codec table
+        depend on hash seeding.
+        """
         from ..core.npsupport import MISSING_CODE, VALUE_CODEC
         return {int(c): VALUE_CODEC.code(fn(VALUE_CODEC.value(int(c))))
-                for c in set(codes.tolist()) if c != MISSING_CODE}
+                for c in sorted(set(codes.tolist())) if c != MISSING_CODE}
 
     def map_values(self, fn: Callable[[Value], Value]) -> "NumpyLevelMessage":
         codes = self._values

@@ -447,6 +447,9 @@ def _shard_worker_main(conn, init) -> None:  # pragma: no cover - subprocess
                 raise SimulationError(
                     f"shard worker received an unintelligible payload: "
                     f"{kind!r}")
+    # repro-lint: waive[errors/broad-except] -- worker-process top level:
+    # the traceback is shipped over the pipe as an ("error", ...) payload
+    # so the coordinator fail-stops with the real cause
     except BaseException:
         try:
             conn.send(("error", traceback.format_exc()))

@@ -171,6 +171,9 @@ def viable(request: RunRequest) -> bool:
     try:
         spec_obj, config, _, _ = request.resolve_parts()
         spec_obj.validate(config)
+    # repro-lint: waive[errors/broad-except] -- viability probe over
+    # randomly sampled candidates: any resolve/validate failure means
+    # "not viable", and sample_viable bounds the retry budget
     except Exception:
         return False
     return True

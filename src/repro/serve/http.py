@@ -220,6 +220,9 @@ class HttpFrontend:
                     result = await asyncio.shield(call)
                 except asyncio.CancelledError:
                     raise
+                # repro-lint: waive[errors/broad-except] -- the failure
+                # is forwarded into the job future, where the request
+                # handler turns it into the client's 500 response
                 except BaseException as exc:
                     if not job.future.done():
                         job.future.set_exception(exc)
@@ -230,6 +233,9 @@ class HttpFrontend:
                 # Shutdown: the executor thread (if any) runs to completion
                 # in the background; the journal keeps the job accepted.
                 raise
+            # repro-lint: waive[errors/broad-except] -- the worker loop
+            # must survive any single job's failure; the restart is
+            # counted in worker_restarts_total
             except Exception:  # pragma: no cover - the pool must survive
                 self.service.metrics.increment("worker_restarts_total")
             finally:
@@ -439,7 +445,9 @@ class HttpFrontend:
             return
         try:
             result = await job.future
-        except Exception as exc:  # any execution failure is the client's 500
+        # repro-lint: waive[errors/broad-except] -- any execution failure
+        # becomes the client's 500 body, name and message included
+        except Exception as exc:
             await _respond(writer, 500, {
                 "error": f"{type(exc).__name__}: {exc}"})
             return
@@ -532,7 +540,10 @@ class HttpFrontend:
                 job = pending.pop(future)
                 try:
                     result = future.result()
-                except Exception as exc:  # stream the failure, keep going
+                # repro-lint: waive[errors/broad-except] -- one cell's
+                # failure is streamed as its error record; the rest of
+                # the sweep keeps going
+                except Exception as exc:
                     await stream.send({
                         "index": job.index, "id": job.digest,
                         "error": f"{type(exc).__name__}: {exc}"})

@@ -265,6 +265,8 @@ def run_mc(spec: McSpec, checkpoint: Optional[str] = None,
 
     total = spec.total_trials
     executed = 0
+    # repro-lint: waive[determinism/wall-clock] -- feeds elapsed_seconds
+    # only, which is diagnostic: aggregates and checkpoints never read it
     started = time.perf_counter()
     if start_chunk >= spec.total_chunks:
         return McResult(spec=spec, state=state, complete=True, executed=0,
@@ -307,6 +309,8 @@ def run_mc(spec: McSpec, checkpoint: Optional[str] = None,
             log.close()
         if owned:
             runner.close()
+    # repro-lint: waive[determinism/wall-clock] -- feeds elapsed_seconds
+    # only, which is diagnostic: aggregates and checkpoints never read it
     elapsed = time.perf_counter() - started
     return McResult(spec=spec, state=state,
                     complete=state.trials_done >= total,
